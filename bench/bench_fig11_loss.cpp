@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 11: validation losses of models trained by Cascade and
+ * Cascade-Lite, normalized to the TGL / TGLite baselines. Expected
+ * shape: ratios hover around 1.0 (paper: 99.4% / 97.9% average) —
+ * the speedups of Figure 10 come without loss regressions.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace cascade;
+using namespace cascade::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    // Loss comparisons need a minimally trained model.
+    cfg.epochs = std::max<size_t>(cfg.epochs, 2);
+    // Recurrent models need wider memories for stable loss ratios.
+    cfg.stableLossDims = true;
+    printHeader("Figure 11: validation loss normalized to the fixed-"
+                "batch baselines",
+                "dataset    model  TGL_loss  Cascade/TGL | TGLite_loss"
+                "  CascLite/TGLite");
+
+    double sum1 = 0.0, sum2 = 0.0;
+    size_t runs = 0;
+    for (const DatasetSpec &spec : moderateSpecs(cfg)) {
+        auto ds = load(spec, cfg);
+        for (const std::string &model : modelNames()) {
+            TrainReport tgl = runPolicy(*ds, model, Policy::Tgl, cfg);
+            TrainReport casc =
+                runPolicy(*ds, model, Policy::Cascade, cfg);
+            TrainReport lite =
+                runPolicy(*ds, model, Policy::TgLite, cfg);
+            TrainReport clite =
+                runPolicy(*ds, model, Policy::CascadeLite, cfg);
+
+            const double r1 = casc.valLoss / tgl.valLoss;
+            const double r2 = clite.valLoss / lite.valLoss;
+            std::printf("%-10s %-6s %8.4f  %11.1f%% | %11.4f  %14.1f%%\n",
+                        spec.name.c_str(), model.c_str(), tgl.valLoss,
+                        100.0 * r1, lite.valLoss, 100.0 * r2);
+            std::fflush(stdout);
+            sum1 += r1;
+            sum2 += r2;
+            ++runs;
+        }
+    }
+    std::printf("\naverage normalized loss: Cascade %.1f%% of TGL, "
+                "Cascade-Lite %.1f%% of TGLite "
+                "(paper: 99.4%% / 97.9%%)\n",
+                100.0 * sum1 / runs, 100.0 * sum2 / runs);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 12(a): average training batch sizes formed by Cascade vs the
+ * fixed TGL base batch, for TGN/JODIE/APAN on WIKI, REDDIT and
+ * WIKI-TALK. Expected shape: Cascade multiplies the base size several
+ * times over (paper: 900 -> ~4200 average).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace cascade;
+using namespace cascade::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    printHeader("Figure 12(a): average batch size, TGL vs Cascade",
+                "dataset    model  TGL_batch  Cascade_batch  growth");
+
+    std::vector<DatasetSpec> specs = moderateSpecs(cfg);
+    const DatasetSpec chosen[] = {specs[0], specs[1], specs[3]};
+    for (const DatasetSpec &spec : chosen) {
+        auto ds = load(spec, cfg);
+        for (const char *model : {"APAN", "JODIE", "TGN"}) {
+            RunOverrides ovr;
+            ovr.validate = false;
+            TrainReport tgl =
+                runPolicy(*ds, model, Policy::Tgl, cfg, ovr);
+            TrainReport casc =
+                runPolicy(*ds, model, Policy::Cascade, cfg, ovr);
+            std::printf("%-10s %-6s %9.0f  %13.0f  %5.2fx\n",
+                        spec.name.c_str(), model, tgl.avgBatchSize,
+                        casc.avgBatchSize,
+                        casc.avgBatchSize / tgl.avgBatchSize);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

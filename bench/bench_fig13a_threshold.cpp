@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 13(a): sensitivity to the SG-Filter similarity threshold.
+ * theta in {0.85, 0.90, 0.95} for APAN/JODIE/TGN on WIKI, REDDIT and
+ * WIKI-TALK. Expected shape: lower thresholds run faster but cost
+ * accuracy; higher thresholds protect accuracy but shrink the
+ * speedup (§5.3).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace cascade;
+using namespace cascade::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    // Loss comparisons need a minimally trained model.
+    cfg.epochs = std::max<size_t>(cfg.epochs, 2);
+    // Recurrent models need wider memories for stable loss ratios.
+    cfg.stableLossDims = true;
+    printHeader("Figure 13(a): theta_sim sweep (normalized to TGL)",
+                "dataset    model  theta  norm_latency  norm_val_loss");
+
+    std::vector<DatasetSpec> specs = moderateSpecs(cfg);
+    const DatasetSpec chosen[] = {specs[0], specs[1], specs[3]};
+    for (const DatasetSpec &spec : chosen) {
+        auto ds = load(spec, cfg);
+        for (const char *model : {"APAN", "JODIE", "TGN"}) {
+            TrainReport tgl = runPolicy(*ds, model, Policy::Tgl, cfg);
+            for (double theta : {0.85, 0.90, 0.95}) {
+                RunOverrides ovr;
+                ovr.simThreshold = theta;
+                TrainReport r =
+                    runPolicy(*ds, model, Policy::Cascade, cfg, ovr);
+                std::printf("%-10s %-6s %5.2f  %12.3f  %13.3f\n",
+                            spec.name.c_str(), model, theta,
+                            r.totalDeviceSeconds() / tgl.deviceSeconds,
+                            r.valLoss / tgl.valLoss);
+                std::fflush(stdout);
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 13(b): Cascade's latency breakdown — dependency-table
+ * building, per-batch event lookup/pointer updating, and model
+ * training — measured on real CPU wall time. Expected shape: table
+ * building is negligible (<1%), lookup is the dominant overhead
+ * (paper: ~16%), training dominates overall (§5.4).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace cascade;
+using namespace cascade::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    printHeader("Figure 13(b): Cascade latency breakdown (CPU wall "
+                "time)",
+                "dataset    model  build_tbl%  lookup%  training%");
+
+    std::vector<DatasetSpec> specs = moderateSpecs(cfg);
+    const DatasetSpec chosen[] = {specs[0], specs[1], specs[3]};
+    for (const DatasetSpec &spec : chosen) {
+        auto ds = load(spec, cfg);
+        for (const char *model : {"APAN", "JODIE", "TGN"}) {
+            RunOverrides ovr;
+            ovr.validate = false;
+            TrainReport r =
+                runPolicy(*ds, model, Policy::Cascade, cfg, ovr);
+            const double total = r.preprocessSeconds +
+                r.lookupSeconds + r.modelSeconds;
+            std::printf("%-10s %-6s %9.2f%%  %6.2f%%  %8.2f%%\n",
+                        spec.name.c_str(), model,
+                        100.0 * r.preprocessSeconds / total,
+                        100.0 * r.lookupSeconds / total,
+                        100.0 * r.modelSeconds / total);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 13(c): space-consumption breakdown — dependency table (DT),
+ * node stable flags (SF), graph structure, edge features, model
+ * parameters and the mailbox. Expected shape: DT + SF stay under a
+ * few percent; edge features dominate (§5.4).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/cascade_batcher.hh"
+
+using namespace cascade;
+using namespace cascade::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    printHeader("Figure 13(c): space breakdown after one epoch",
+                "dataset    model  DT%    SF%    graph%  features%"
+                "  model%  mailbox%");
+
+    std::vector<DatasetSpec> specs = moderateSpecs(cfg);
+    const DatasetSpec chosen[] = {specs[0], specs[1], specs[3]};
+    for (const DatasetSpec &spec : chosen) {
+        auto ds = load(spec, cfg);
+        for (const char *model_name : {"APAN", "JODIE", "TGN"}) {
+            ModelConfig mc = modelByName(model_name, cfg);
+            TgnnModel model(mc, spec.numNodes, ds->data.featDim(),
+                            cfg.seed + 1);
+            CascadeBatcher::Options copts;
+            copts.baseBatch = spec.baseBatch;
+            CascadeBatcher batcher(ds->data, ds->adj, ds->trainEnd,
+                                   copts);
+            TrainOptions topt;
+            topt.epochs = 1;
+            topt.validate = false;
+            trainModel(model, ds->data, ds->adj, ds->trainEnd, batcher,
+                       topt);
+
+            const double dt =
+                static_cast<double>(batcher.diffuser().tableBytes());
+            const double sf =
+                static_cast<double>(batcher.sgFilter().bytes());
+            const double graph = static_cast<double>(
+                ds->data.events.size() * sizeof(Event));
+            const double feats = static_cast<double>(
+                ds->data.features.size() * sizeof(float));
+            const double params =
+                static_cast<double>(model.parameterBytes());
+            const double mail = static_cast<double>(
+                model.stateBytes());
+            const double total =
+                dt + sf + graph + feats + params + mail;
+
+            std::printf("%-10s %-6s %5.1f%%  %5.1f%%  %6.1f%%  %8.1f%%"
+                        "  %6.1f%%  %7.1f%%\n",
+                        spec.name.c_str(), model_name,
+                        100.0 * dt / total, 100.0 * sf / total,
+                        100.0 * graph / total, 100.0 * feats / total,
+                        100.0 * params / total, 100.0 * mail / total);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

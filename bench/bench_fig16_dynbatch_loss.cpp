@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 16: validation losses of NeutronStream, ETC and Cascade
+ * normalized to TGL. Expected shape: all near 100% (dynamic batchers
+ * preserve dependencies by construction), with Cascade matching or
+ * beating the competitors on average.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace cascade;
+using namespace cascade::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    // Loss comparisons need a minimally trained model.
+    cfg.epochs = std::max<size_t>(cfg.epochs, 2);
+    // Recurrent models need wider memories for stable loss ratios.
+    cfg.stableLossDims = true;
+    printHeader("Figure 16: validation loss normalized to TGL",
+                "dataset    model  NeutronStream  ETC      Cascade");
+
+    for (const DatasetSpec &spec : moderateSpecs(cfg)) {
+        auto ds = load(spec, cfg);
+        for (const std::string &model : modelNames()) {
+            TrainReport tgl = runPolicy(*ds, model, Policy::Tgl, cfg);
+            TrainReport ns =
+                runPolicy(*ds, model, Policy::NeutronStream, cfg);
+            TrainReport etc = runPolicy(*ds, model, Policy::Etc, cfg);
+            TrainReport casc =
+                runPolicy(*ds, model, Policy::Cascade, cfg);
+            std::printf("%-10s %-6s %12.1f%%  %6.1f%%  %7.1f%%\n",
+                        spec.name.c_str(), model.c_str(),
+                        100.0 * ns.valLoss / tgl.valLoss,
+                        100.0 * etc.valLoss / tgl.valLoss,
+                        100.0 * casc.valLoss / tgl.valLoss);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

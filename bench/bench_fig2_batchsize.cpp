@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 2: normalized training latency and validation loss of TGN
+ * and JODIE under growing fixed batch sizes (paper: 900 to 6000 on an
+ * A100; here: the scaled base batch times the same multipliers, with
+ * latency from the calibrated device model).
+ *
+ * Expected shape: latency falls steeply with batch size while
+ * validation loss climbs — the trade-off motivating Cascade (§3.1).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace cascade;
+using namespace cascade::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    // Loss comparisons need a minimally trained model.
+    cfg.epochs = std::max<size_t>(cfg.epochs, 2);
+    // Recurrent models need wider memories for stable loss ratios.
+    cfg.stableLossDims = true;
+    printHeader("Figure 2: latency/loss vs fixed batch size "
+                "(normalized to the base batch)",
+                "dataset    model  batch_mult  batch  norm_latency"
+                "  norm_val_loss");
+
+    // Paper sweeps 900..6000, i.e. multipliers ~1x to 6.7x.
+    const double mults[] = {1.0, 2.2, 4.4, 6.7};
+
+    for (const DatasetSpec &spec : moderateSpecs(cfg)) {
+        auto ds = load(spec, cfg);
+        for (const char *model : {"TGN", "JODIE"}) {
+            double base_lat = 0.0, base_loss = 0.0;
+            for (double m : mults) {
+                RunOverrides ovr;
+                ovr.fixedBatchOverride = static_cast<size_t>(
+                    spec.baseBatch * m);
+                TrainReport r =
+                    runPolicy(*ds, model, Policy::Tgl, cfg, ovr);
+                if (m == 1.0) {
+                    base_lat = r.totalDeviceSeconds();
+                    base_loss = r.valLoss;
+                }
+                std::printf("%-10s %-6s %9.1fx  %5zu  %12.3f"
+                            "  %13.3f\n",
+                            spec.name.c_str(), model, m,
+                            ovr.fixedBatchOverride,
+                            r.totalDeviceSeconds() / base_lat,
+                            r.valLoss / base_loss);
+                std::fflush(stdout);
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 3: distribution of per-node event counts (degrees) within
+ * base-size batches. Expected shape: the overwhelming majority of
+ * involved nodes see only the first bucket of events per batch, while
+ * the most connected node stays far below the batch size — the
+ * spatial-independence headroom Cascade exploits (§3.2).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "graph/stats.hh"
+
+using namespace cascade;
+using namespace cascade::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    printHeader("Figure 3: per-batch node degree distribution "
+                "(base batch)",
+                "dataset    batch  bucket(deg)   share   cumulative");
+
+    for (const DatasetSpec &spec : moderateSpecs(cfg)) {
+        auto ds = load(spec, cfg);
+        // Paper buckets 900-event batches by 20; scale the bucket
+        // with the batch so the figure keeps its shape.
+        const size_t bucket =
+            std::max<size_t>(1, spec.baseBatch * 20 / 900);
+        BatchDegreeHistogram h =
+            batchDegreeHistogram(ds->data, spec.baseBatch, bucket);
+        double cum = 0.0;
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+            cum += h.fraction(i);
+            std::printf("%-10s %5zu  [%3zu-%3zu)     %5.1f%%   %6.1f%%\n",
+                        spec.name.c_str(), spec.baseBatch, i * bucket,
+                        (i + 1) * bucket, 100.0 * h.fraction(i),
+                        100.0 * cum);
+        }
+        std::printf("%-10s max per-batch degree: %zu (batch %zu)\n\n",
+                    spec.name.c_str(), h.maxDegree, spec.baseBatch);
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table 1: the five TGNN model configurations (sampler, message
+ * aggregation, memory update, node embedding) plus the instantiated
+ * parameter counts of this implementation.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace cascade;
+using namespace cascade::bench;
+
+namespace {
+
+const char *
+samplerName(const ModelConfig &c)
+{
+    return c.sampler == SamplerKind::MostRecent ? "most_recent"
+                                                : "uniform";
+}
+
+const char *
+aggName(const ModelConfig &c)
+{
+    switch (c.aggregator) {
+      case AggregatorKind::MostRecent: return "most_recent";
+      case AggregatorKind::Mean: return "mean";
+      case AggregatorKind::DotAttention: return "attention";
+    }
+    return "?";
+}
+
+const char *
+memName(const ModelConfig &c)
+{
+    switch (c.memory) {
+      case MemoryKind::Identity: return "Identity";
+      case MemoryKind::Rnn: return "RNN";
+      case MemoryKind::Gru: return "GRU";
+      case MemoryKind::Transformer: return "Transformer";
+    }
+    return "?";
+}
+
+const char *
+embedName(const ModelConfig &c)
+{
+    switch (c.embed) {
+      case EmbedKind::Identity: return "Identity";
+      case EmbedKind::TimeProjection: return "TimeProj";
+      case EmbedKind::Gat: return "GAT";
+      case EmbedKind::Gat2: return "2-layer GAT";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    printHeader("Table 1: TGNN model configurations",
+                "model   sampler(num)        aggregate    memory_update"
+                "  node_embedding  mem_dim  params");
+    for (const std::string &name : modelNames()) {
+        ModelConfig c = modelByName(name, cfg);
+        // Instantiate against a small node universe to count params.
+        TgnnModel model(c, 128, 32, 1);
+        std::printf("%-7s %-11s(num=%2zu)  %-11s  %-13s  %-14s  %7zu"
+                    "  %6zu\n",
+                    c.name.c_str(), samplerName(c), c.fanout,
+                    aggName(c), memName(c), embedName(c), c.memoryDim,
+                    model.parameters().size());
+    }
+    std::printf("\n(paper dims: memory/update/embed out size 100; "
+                "bench default CASCADE_DIM=%zu)\n", cfg.dim);
+    return 0;
+}

@@ -1,0 +1,159 @@
+#include "core/abs.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+AdaptiveBatchSensor::AdaptiveBatchSensor(Options opts)
+    : opts_(opts), rng_(opts.seed)
+{
+    CASCADE_CHECK(opts_.baseBatch > 0, "ABS: baseBatch must be > 0");
+}
+
+EnduranceStats
+AdaptiveBatchSensor::profile(const EventSequence &seq,
+                             const DependencyTable &table)
+{
+    const size_t n = std::min(seq.size(), table.rangeHi());
+    EnduranceStats stats;
+    stats.batchCount = (n + opts_.baseBatch - 1) / opts_.baseBatch;
+
+    // Sample batch indices without replacement (or all, if few).
+    std::vector<size_t> batches;
+    if (stats.batchCount <= opts_.sampleBatches) {
+        batches.resize(stats.batchCount);
+        for (size_t i = 0; i < batches.size(); ++i)
+            batches[i] = i;
+    } else {
+        std::unordered_set<size_t> chosen;
+        while (chosen.size() < opts_.sampleBatches)
+            chosen.insert(rng_.uniformInt(stats.batchCount));
+        batches.assign(chosen.begin(), chosen.end());
+    }
+
+    double sum = 0.0;
+    double mn = 1e30, mx = 0.0;
+    for (size_t b : batches) {
+        const size_t st = b * opts_.baseBatch;
+        const size_t ed = std::min(n, st + opts_.baseBatch);
+        const EventIdx ist = static_cast<EventIdx>(st);
+        const EventIdx ied = static_cast<EventIdx>(ed);
+
+        // Count relevant events per involved node via its
+        // dependency-table entry restricted to the batch window.
+        std::unordered_set<NodeId> touched;
+        for (size_t i = st; i < ed; ++i) {
+            touched.insert(seq.events[i].src);
+            touched.insert(seq.events[i].dst);
+        }
+        size_t max_endurance = 0;
+        for (NodeId node : touched) {
+            const auto &entry = table.entry(node);
+            const auto lo =
+                std::lower_bound(entry.begin(), entry.end(), ist);
+            const auto hi =
+                std::lower_bound(entry.begin(), entry.end(), ied);
+            max_endurance = std::max(
+                max_endurance, static_cast<size_t>(hi - lo));
+        }
+        sum += static_cast<double>(max_endurance);
+        mn = std::min(mn, static_cast<double>(max_endurance));
+        mx = std::max(mx, static_cast<double>(max_endurance));
+    }
+    if (batches.empty()) {
+        mn = mx = 1.0;
+        sum = 1.0;
+        batches.push_back(0);
+    }
+    stats.mrMean = sum / batches.size();
+    stats.mrMin = std::max(1.0, mn);
+    stats.mrMax = std::max(stats.mrMin, mx);
+
+    setStats(stats);
+    return stats;
+}
+
+void
+AdaptiveBatchSensor::setStats(const EnduranceStats &stats)
+{
+    stats_ = stats;
+    maxr_ = clampMaxr(opts_.initFactor * stats_.mrMean);
+    batchIdx_ = 0;
+    bestLoss_ = 1e30;
+    sinceImprovement_ = 0;
+    sinceDecision_ = 0;
+}
+
+size_t
+AdaptiveBatchSensor::clampMaxr(double v) const
+{
+    const double lo = std::max(1.0, stats_.mrMin);
+    const double hi = std::max(lo, stats_.mrMax);
+    return static_cast<size_t>(std::lround(std::clamp(v, lo, hi)));
+}
+
+void
+AdaptiveBatchSensor::recomputeFromSchedule()
+{
+    const double start = opts_.initFactor * stats_.mrMean;
+    const double batches =
+        static_cast<double>(std::max<size_t>(stats_.batchCount, 1));
+    const double i = static_cast<double>(batchIdx_);
+    double v = start;
+    switch (opts_.schedule) {
+      case DecaySchedule::Logarithmic: {
+        // Eq. 5-6 with the batch index driving the decay depth.
+        const double alpha = stats_.mrMin * stats_.mrMin /
+            std::max(stats_.mrMax, 1.0);
+        const double beta = batches / std::max(alpha, 1e-9);
+        v = start - alpha * std::log(i / beta + 1.0);
+        break;
+      }
+      case DecaySchedule::Linear:
+        v = start -
+            (start - stats_.mrMin) * std::min(1.0, i / batches);
+        break;
+      case DecaySchedule::Exponential:
+        v = stats_.mrMin +
+            (start - stats_.mrMin) * std::exp(-i / batches);
+        break;
+      case DecaySchedule::None:
+        break;
+    }
+    maxr_ = clampMaxr(v);
+    ++decays_;
+}
+
+void
+AdaptiveBatchSensor::observeLoss(double loss)
+{
+    ++batchIdx_;
+    ++sinceDecision_;
+    if (loss < bestLoss_ - 1e-4) {
+        bestLoss_ = loss;
+        sinceImprovement_ = 0;
+    } else {
+        ++sinceImprovement_;
+    }
+    if (sinceDecision_ >= opts_.period) {
+        sinceDecision_ = 0;
+        if (sinceImprovement_ >= opts_.plateau)
+            recomputeFromSchedule();
+    }
+}
+
+void
+AdaptiveBatchSensor::resetEpoch()
+{
+    maxr_ = clampMaxr(opts_.initFactor * stats_.mrMean);
+    batchIdx_ = 0;
+    bestLoss_ = 1e30;
+    sinceImprovement_ = 0;
+    sinceDecision_ = 0;
+}
+
+} // namespace cascade

@@ -1,0 +1,76 @@
+#include "core/dependency_table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/parallel.hh"
+#include "util/timer.hh"
+
+namespace cascade {
+
+DependencyTable
+DependencyTable::build(const EventSequence &seq,
+                       const TemporalAdjacency &adj, size_t lo, size_t hi)
+{
+    CASCADE_CHECK(lo <= hi && hi <= seq.size(),
+                  "DependencyTable: bad range");
+    Timer timer;
+    DependencyTable table;
+    table.lo_ = lo;
+    table.hi_ = hi;
+    table.entries_.resize(seq.numNodes);
+
+    const EventIdx ilo = static_cast<EventIdx>(lo);
+    const EventIdx ihi = static_cast<EventIdx>(hi);
+
+    // Loop-parallel over nodes (Algorithm 2): each node's entry is
+    // built independently, so no synchronization is needed.
+    parallelFor(0, seq.numNodes, [&](size_t n) {
+        const auto &own = adj.eventsOf(static_cast<NodeId>(n));
+        auto first = std::lower_bound(own.begin(), own.end(), ilo);
+        auto last = std::lower_bound(own.begin(), own.end(), ihi);
+        if (first == last)
+            return;
+
+        auto &entry = table.entries_[n];
+        // Step 1: the node's own incident events.
+        entry.assign(first, last);
+
+        // Step 2: each connected neighbor's future events (after the
+        // connecting event, truncated at the range end).
+        for (auto it = first; it != last; ++it) {
+            const Event &e = seq.events[static_cast<size_t>(*it)];
+            const NodeId q = e.src == static_cast<NodeId>(n)
+                ? e.dst : e.src;
+            if (q == static_cast<NodeId>(n))
+                continue;
+            const auto &qev = adj.eventsOf(q);
+            auto qfirst =
+                std::upper_bound(qev.begin(), qev.end(), *it);
+            auto qlast = std::lower_bound(qev.begin(), qev.end(), ihi);
+            entry.insert(entry.end(), qfirst, qlast);
+        }
+        std::sort(entry.begin(), entry.end());
+        entry.erase(std::unique(entry.begin(), entry.end()),
+                    entry.end());
+    }, 64);
+
+    for (size_t n = 0; n < table.entries_.size(); ++n) {
+        if (!table.entries_[n].empty())
+            table.active_.push_back(static_cast<NodeId>(n));
+    }
+    table.buildSeconds_ = timer.seconds();
+    return table;
+}
+
+size_t
+DependencyTable::bytes() const
+{
+    size_t b = entries_.size() * sizeof(std::vector<EventIdx>);
+    for (const auto &e : entries_)
+        b += e.capacity() * sizeof(EventIdx);
+    b += active_.capacity() * sizeof(NodeId);
+    return b;
+}
+
+} // namespace cascade

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The TG-Diffuser's node-event dependency table (Algorithm 2, §4.2).
+ *
+ * Entry D[n] holds, sorted and deduplicated:
+ *   (a) the indices of every event incident to node n, and
+ *   (b) for each incident event e(n,q) at index i, the indices of q's
+ *       events with index > i (a neighbor's *future* events affect n's
+ *       memory through n's next update; its past events do not).
+ *
+ * Tables are built in parallel over nodes and are immutable after
+ * construction. The chunked variant (§4.2 "Chunk-based Optimization")
+ * builds one table per range of consecutive events, truncating
+ * dependencies at the chunk boundary.
+ */
+
+#ifndef CASCADE_CORE_DEPENDENCY_TABLE_HH
+#define CASCADE_CORE_DEPENDENCY_TABLE_HH
+
+#include <vector>
+
+#include "graph/adjacency.hh"
+#include "graph/event.hh"
+
+namespace cascade {
+
+/** Immutable per-node dependency entries over an event range. */
+class DependencyTable
+{
+  public:
+    /**
+     * Build over events [lo, hi) of the sequence (Algorithm 2).
+     * Neighbor future-events are truncated to < hi, which is exactly
+     * the chunk-boundary rule; lo=0, hi=N gives the full table.
+     */
+    static DependencyTable build(const EventSequence &seq,
+                                 const TemporalAdjacency &adj,
+                                 size_t lo, size_t hi);
+
+    /** Sorted unique dependent-event indices of node n within range. */
+    const std::vector<EventIdx> &
+    entry(NodeId n) const
+    {
+        return entries_[static_cast<size_t>(n)];
+    }
+
+    size_t numNodes() const { return entries_.size(); }
+    size_t rangeLo() const { return lo_; }
+    size_t rangeHi() const { return hi_; }
+
+    /** Nodes with at least one entry (lookup iterates only these). */
+    const std::vector<NodeId> &activeNodes() const { return active_; }
+
+    /** Wall-clock seconds spent building (Figure 13b accounting). */
+    double buildSeconds() const { return buildSeconds_; }
+
+    /** Resident bytes (Figure 13c accounting). */
+    size_t bytes() const;
+
+  private:
+    std::vector<std::vector<EventIdx>> entries_;
+    std::vector<NodeId> active_;
+    size_t lo_ = 0;
+    size_t hi_ = 0;
+    double buildSeconds_ = 0.0;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_CORE_DEPENDENCY_TABLE_HH

@@ -1,0 +1,52 @@
+#include "core/sg_filter.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+SgFilter::SgFilter(size_t num_nodes, double threshold)
+    : threshold_(threshold), flags_(num_nodes, 0)
+{}
+
+void
+SgFilter::reset()
+{
+    std::fill(flags_.begin(), flags_.end(), 0);
+    stableCount_ = 0;
+    updatesTotal_ = 0;
+    updatesStable_ = 0;
+}
+
+void
+SgFilter::update(const std::vector<NodeId> &nodes,
+                 const std::vector<double> &cos)
+{
+    CASCADE_CHECK(nodes.size() == cos.size(),
+                  "SgFilter::update size mismatch");
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const size_t n = static_cast<size_t>(nodes[i]);
+        const bool stable = cos[i] > threshold_;
+        ++updatesTotal_;
+        if (stable)
+            ++updatesStable_;
+        if (stable && !flags_[n]) {
+            flags_[n] = 1;
+            ++stableCount_;
+        } else if (!stable && flags_[n]) {
+            flags_[n] = 0;
+            --stableCount_;
+        }
+    }
+}
+
+double
+SgFilter::stableUpdateRatio() const
+{
+    return updatesTotal_
+        ? static_cast<double>(updatesStable_) / updatesTotal_
+        : 0.0;
+}
+
+} // namespace cascade

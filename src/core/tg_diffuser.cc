@@ -1,0 +1,175 @@
+#include "core/tg_diffuser.hh"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+#include "util/logging.hh"
+#include "util/parallel.hh"
+#include "util/timer.hh"
+
+namespace cascade {
+
+TgDiffuser::TgDiffuser(const EventSequence &seq,
+                       const TemporalAdjacency &adj, size_t train_end,
+                       Options opts)
+    : seq_(seq), adj_(adj), trainEnd_(train_end), opts_(opts),
+      ptrs_(seq.numNodes, 0)
+{
+    CASCADE_CHECK(train_end <= seq.size(),
+                  "TgDiffuser: train_end beyond sequence");
+    const size_t chunk =
+        opts_.chunkSize == 0 ? trainEnd_ : opts_.chunkSize;
+    for (size_t lo = 0; lo < trainEnd_; lo += chunk)
+        chunkBounds_.emplace_back(lo, std::min(trainEnd_, lo + chunk));
+    if (chunkBounds_.empty())
+        chunkBounds_.emplace_back(0, 0);
+    tables_.resize(chunkBounds_.size());
+
+    // The first table always builds up front (nothing to overlap
+    // with); its cost is charged as preprocessing either way.
+    Timer t;
+    tables_[0] = std::make_unique<DependencyTable>(DependencyTable::build(
+        seq_, adj_, chunkBounds_[0].first, chunkBounds_[0].second));
+    prepSeconds_ += t.seconds();
+}
+
+TgDiffuser::~TgDiffuser()
+{
+    if (pending_.valid())
+        pending_.wait();
+}
+
+void
+TgDiffuser::setMaxRevisit(size_t maxr)
+{
+    maxr_ = std::max<size_t>(1, maxr);
+}
+
+const DependencyTable &
+TgDiffuser::ensureChunk(size_t c)
+{
+    CASCADE_CHECK(c < tables_.size(), "ensureChunk: bad chunk");
+    if (tables_[c])
+        return *tables_[c];
+    if (pendingChunk_ == c && pending_.valid()) {
+        // Pipelined build in flight: only the stall is preprocessing.
+        Timer t;
+        tables_[c] = pending_.get();
+        pendingChunk_ = SIZE_MAX;
+        prepSeconds_ += t.seconds();
+        return *tables_[c];
+    }
+    Timer t;
+    tables_[c] = std::make_unique<DependencyTable>(DependencyTable::build(
+        seq_, adj_, chunkBounds_[c].first, chunkBounds_[c].second));
+    prepSeconds_ += t.seconds();
+    return *tables_[c];
+}
+
+void
+TgDiffuser::enterChunk(size_t c)
+{
+    const DependencyTable &table = ensureChunk(c);
+    curChunk_ = c;
+    for (NodeId n : table.activeNodes())
+        ptrs_[static_cast<size_t>(n)] = 0;
+
+    // Prefetch the next chunk's table on a worker thread.
+    if (opts_.pipeline && c + 1 < tables_.size() && !tables_[c + 1] &&
+        pendingChunk_ == SIZE_MAX) {
+        const auto [lo, hi] = chunkBounds_[c + 1];
+        pendingChunk_ = c + 1;
+        pending_ = std::async(std::launch::async, [this, lo, hi] {
+            return std::make_unique<DependencyTable>(
+                DependencyTable::build(seq_, adj_, lo, hi));
+        });
+    }
+}
+
+size_t
+TgDiffuser::lastTolerableEnd(size_t st, const std::vector<uint8_t> &stable)
+{
+    CASCADE_CHECK(st < trainEnd_, "lastTolerableEnd: st out of range");
+    Timer timer;
+
+    // Advance the chunk cursor to the one containing st.
+    size_t c = curChunk_ == SIZE_MAX ? 0 : curChunk_;
+    while (c + 1 < chunkBounds_.size() && st >= chunkBounds_[c].second)
+        ++c;
+    if (c != curChunk_)
+        enterChunk(c);
+    const DependencyTable &table = *tables_[c];
+    const size_t chunk_hi = chunkBounds_[c].second;
+
+    // Loop-parallel min-reduction over active nodes (Algorithm 3).
+    const auto &active = table.activeNodes();
+    constexpr EventIdx kMax = std::numeric_limits<EventIdx>::max();
+    EventIdx best = kMax;
+    std::mutex merge;
+    parallelForChunks(0, active.size(), [&](size_t lo, size_t hi) {
+        EventIdx local = kMax;
+        for (size_t i = lo; i < hi; ++i) {
+            const NodeId n = active[i];
+            if (!stable.empty() &&
+                stable[static_cast<size_t>(n)]) {
+                continue; // SG-Filter: stable nodes pose no barrier
+            }
+            const auto &entry = table.entry(n);
+            const size_t ptr = ptrs_[static_cast<size_t>(n)];
+            // A node constrains the batch only when more than Max_r
+            // relevant events remain; with fewer, every remaining
+            // event is tolerable (the "-" / MAX_INT entries of
+            // Figure 7(b)).
+            if (ptr + maxr_ >= entry.size())
+                continue;
+            local = std::min(local, entry[ptr + maxr_]);
+        }
+        std::lock_guard<std::mutex> lock(merge);
+        best = std::min(best, local);
+    }, 512);
+
+    // The boundary event itself belongs to the batch (Figure 7(b):
+    // the batch's last event *is* the first intolerable one).
+    size_t ed = best == kMax
+        ? chunk_hi
+        : std::min(chunk_hi, static_cast<size_t>(best) + 1);
+    ed = std::max(ed, st + 1);
+    if (opts_.maxBatchCap > 0)
+        ed = std::min(ed, st + opts_.maxBatchCap);
+    ed = std::min(ed, chunk_hi);
+    CASCADE_CHECK(ed > st, "lastTolerableEnd made no progress");
+
+    // Advance every node's pointer past the batch's events.
+    const EventIdx edi = static_cast<EventIdx>(ed);
+    parallelFor(0, active.size(), [&](size_t i) {
+        const NodeId n = active[i];
+        const auto &entry = table.entry(n);
+        size_t &ptr = ptrs_[static_cast<size_t>(n)];
+        while (ptr < entry.size() && entry[ptr] < edi)
+            ++ptr;
+    }, 512);
+
+    lookupSeconds_ += timer.seconds();
+    return ed;
+}
+
+void
+TgDiffuser::resetEpoch()
+{
+    curChunk_ = SIZE_MAX;
+    std::fill(ptrs_.begin(), ptrs_.end(), 0);
+}
+
+size_t
+TgDiffuser::tableBytes() const
+{
+    size_t b = 0;
+    for (const auto &t : tables_) {
+        if (t)
+            b += t->bytes();
+    }
+    return b;
+}
+
+} // namespace cascade

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Topology-Aware Graph Diffuser (§4.2).
+ *
+ * Owns the dependency table(s) and per-node event pointers and answers
+ * the runtime question "how far may the next batch extend?" via
+ * Algorithm 3: each non-stable node tolerates at most Max_r relevant
+ * events before it must be refreshed; the batch boundary is the
+ * minimum last-tolerable event across nodes (inclusive).
+ *
+ * With a nonzero chunk size the event range is split into consecutive
+ * chunks whose tables are built independently (dependencies truncated
+ * at chunk boundaries) and optionally *pipelined*: chunk k+1's table
+ * builds on a worker thread while chunk k trains, so only the stall
+ * time is charged as preprocessing (§4.2, evaluated as Cascade_EX in
+ * §5.5).
+ */
+
+#ifndef CASCADE_CORE_TG_DIFFUSER_HH
+#define CASCADE_CORE_TG_DIFFUSER_HH
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/dependency_table.hh"
+#include "graph/adjacency.hh"
+#include "graph/event.hh"
+
+namespace cascade {
+
+/** Adaptive batch-boundary search over the dependency table. */
+class TgDiffuser
+{
+  public:
+    struct Options
+    {
+        /** Events per chunk; 0 = one table over everything. */
+        size_t chunkSize = 0;
+        /** Overlap next-chunk table building with training. */
+        bool pipeline = true;
+        /** Hard cap on batch length; 0 = uncapped. */
+        size_t maxBatchCap = 0;
+    };
+
+    /**
+     * @param seq        training events (tables cover [0, train_end))
+     * @param adj        adjacency over seq
+     * @param train_end  number of training events
+     */
+    TgDiffuser(const EventSequence &seq, const TemporalAdjacency &adj,
+               size_t train_end, Options opts);
+    ~TgDiffuser();
+
+    TgDiffuser(const TgDiffuser &) = delete;
+    TgDiffuser &operator=(const TgDiffuser &) = delete;
+
+    /** Set Max_r (driven by the Adaptive Batch Sensor). */
+    void setMaxRevisit(size_t maxr);
+    size_t maxRevisit() const { return maxr_; }
+
+    /**
+     * Algorithm 3: exclusive end of the batch starting at st.
+     * @param stable per-node stable flags (empty = none stable)
+     * @post st < result <= trainEnd, result <= current chunk end
+     */
+    size_t lastTolerableEnd(size_t st,
+                            const std::vector<uint8_t> &stable);
+
+    /** Rewind pointers/chunk cursor for a new epoch. */
+    void resetEpoch();
+
+    /** Table building seconds; pipelined builds charge only stalls. */
+    double preprocessSeconds() const { return prepSeconds_; }
+
+    /** Accumulated Algorithm 3 lookup seconds. */
+    double lookupSeconds() const { return lookupSeconds_; }
+
+    /** Dependency-table bytes across built chunks (Figure 13c). */
+    size_t tableBytes() const;
+
+    size_t numChunks() const { return chunkBounds_.size(); }
+
+    /** Already-built table for chunk c, or nullptr. */
+    const DependencyTable *
+    table(size_t c) const
+    {
+        return c < tables_.size() ? tables_[c].get() : nullptr;
+    }
+
+  private:
+    /** Table for chunk c, building or waiting as needed. */
+    const DependencyTable &ensureChunk(size_t c);
+
+    /** Enter chunk c: reset pointers, prefetch c+1. */
+    void enterChunk(size_t c);
+
+    const EventSequence &seq_;
+    const TemporalAdjacency &adj_;
+    size_t trainEnd_;
+    Options opts_;
+    size_t maxr_ = 8;
+
+    /** chunkBounds_[c] = {lo, hi} of chunk c. */
+    std::vector<std::pair<size_t, size_t>> chunkBounds_;
+    std::vector<std::unique_ptr<DependencyTable>> tables_;
+    std::future<std::unique_ptr<DependencyTable>> pending_;
+    size_t pendingChunk_ = SIZE_MAX;
+
+    size_t curChunk_ = SIZE_MAX;
+    std::vector<size_t> ptrs_; ///< per-node entry cursor
+
+    double prepSeconds_ = 0.0;
+    double lookupSeconds_ = 0.0;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_CORE_TG_DIFFUSER_HH

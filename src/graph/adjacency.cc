@@ -1,0 +1,65 @@
+#include "graph/adjacency.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+TemporalAdjacency::TemporalAdjacency(const EventSequence &seq)
+    : lists_(seq.numNodes)
+{
+    for (size_t i = 0; i < seq.events.size(); ++i) {
+        const Event &e = seq.events[i];
+        CASCADE_CHECK(e.src >= 0 &&
+                          static_cast<size_t>(e.src) < lists_.size() &&
+                          e.dst >= 0 &&
+                          static_cast<size_t>(e.dst) < lists_.size(),
+                      "event endpoint out of node range");
+        lists_[static_cast<size_t>(e.src)].push_back(
+            static_cast<EventIdx>(i));
+        if (e.dst != e.src) {
+            lists_[static_cast<size_t>(e.dst)].push_back(
+                static_cast<EventIdx>(i));
+        }
+    }
+}
+
+std::vector<EventIdx>
+TemporalAdjacency::lastKBefore(NodeId n, EventIdx before, size_t k) const
+{
+    const auto &lst = eventsOf(n);
+    auto it = std::lower_bound(lst.begin(), lst.end(), before);
+    std::vector<EventIdx> out;
+    out.reserve(k);
+    while (it != lst.begin() && out.size() < k) {
+        --it;
+        out.push_back(*it);
+    }
+    return out;
+}
+
+std::vector<EventIdx>
+TemporalAdjacency::uniformKBefore(NodeId n, EventIdx before, size_t k,
+                                  Rng &rng) const
+{
+    const size_t have = countBefore(n, before);
+    std::vector<EventIdx> out;
+    if (have == 0)
+        return out;
+    const auto &lst = eventsOf(n);
+    out.reserve(k);
+    for (size_t i = 0; i < k; ++i)
+        out.push_back(lst[rng.uniformInt(have)]);
+    return out;
+}
+
+size_t
+TemporalAdjacency::countBefore(NodeId n, EventIdx before) const
+{
+    const auto &lst = eventsOf(n);
+    return static_cast<size_t>(
+        std::lower_bound(lst.begin(), lst.end(), before) - lst.begin());
+}
+
+} // namespace cascade

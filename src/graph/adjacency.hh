@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-node chronological event index (the sampler's substrate).
+ *
+ * For each node, the indices of every event it participates in, in
+ * occurrence order. Both the TGNN neighbor samplers and the
+ * TG-Diffuser's dependency-table builder are driven from this
+ * structure.
+ */
+
+#ifndef CASCADE_GRAPH_ADJACENCY_HH
+#define CASCADE_GRAPH_ADJACENCY_HH
+
+#include <vector>
+
+#include "graph/event.hh"
+#include "util/rng.hh"
+
+namespace cascade {
+
+/** Chronological per-node incidence lists over an event sequence. */
+class TemporalAdjacency
+{
+  public:
+    /** Build from a sequence (parallel over nodes). */
+    explicit TemporalAdjacency(const EventSequence &seq);
+
+    /** All events touching node n, ascending by event index. */
+    const std::vector<EventIdx> &
+    eventsOf(NodeId n) const
+    {
+        return lists_[static_cast<size_t>(n)];
+    }
+
+    size_t numNodes() const { return lists_.size(); }
+
+    /**
+     * Up to k most recent events of node n strictly before event
+     * index `before`. Returned most-recent-first; may be shorter
+     * than k.
+     */
+    std::vector<EventIdx> lastKBefore(NodeId n, EventIdx before,
+                                      size_t k) const;
+
+    /**
+     * k events of node n sampled uniformly (with replacement) from
+     * those strictly before `before`. Empty if the node has no
+     * history yet.
+     */
+    std::vector<EventIdx> uniformKBefore(NodeId n, EventIdx before,
+                                         size_t k, Rng &rng) const;
+
+    /** Count of node n's events strictly before `before`. */
+    size_t countBefore(NodeId n, EventIdx before) const;
+
+  private:
+    std::vector<std::vector<EventIdx>> lists_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_GRAPH_ADJACENCY_HH

@@ -1,0 +1,318 @@
+#include "graph/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+namespace {
+
+/** Latent preference width used by the generator. */
+constexpr size_t kLatentDim = 8;
+
+/** Candidate pool examined per destination choice. */
+constexpr size_t kCandidates = 12;
+
+/** Partners remembered per node for repeat interactions. */
+constexpr size_t kRecent = 6;
+
+size_t
+scaleCount(size_t paper, double scale, size_t floor_value)
+{
+    const double v = static_cast<double>(paper) / std::max(scale, 1.0);
+    return std::max(floor_value, static_cast<size_t>(v));
+}
+
+DatasetSpec
+makeSpec(const char *name, size_t nodes, size_t events, size_t feat,
+         bool bipartite, double alpha, double repeat, double burst,
+         double drift, double scale)
+{
+    DatasetSpec s;
+    s.name = name;
+    s.numNodes = scaleCount(nodes, scale, 64);
+    s.numEvents = scaleCount(events, scale, 512);
+    s.featDim = feat;
+    s.bipartite = bipartite;
+    s.zipfAlpha = alpha;
+    s.repeatProb = repeat;
+    s.burstiness = burst;
+    s.drift = drift;
+    s.baseBatch = std::max<size_t>(20, scaleCount(900, scale, 20));
+    s.epochs = 4;
+    return s;
+}
+
+} // namespace
+
+// Paper-scale statistics come from Table 2; skew/recurrence parameters
+// are chosen so the scaled graphs reproduce each dataset's published
+// average degree regime (sparse: WIKI 17.5, WIKI-TALK 2.5, SX 24.4 vs
+// dense: REDDIT 61.1, MOOC 58.4 — §5.2).
+DatasetSpec
+wikiSpec(double scale)
+{
+    return makeSpec("WIKI", 9227, 157474, 172, true, 0.85, 0.55, 0.35,
+                    0.020, scale);
+}
+
+DatasetSpec
+redditSpec(double scale)
+{
+    return makeSpec("REDDIT", 11000, 672447, 172, true, 0.95, 0.70, 0.30,
+                    0.012, scale);
+}
+
+DatasetSpec
+moocSpec(double scale)
+{
+    return makeSpec("MOOC", 7047, 411749, 128, true, 0.90, 0.65, 0.25,
+                    0.015, scale);
+}
+
+DatasetSpec
+wikiTalkSpec(double scale)
+{
+    return makeSpec("WIKI-TALK", 2394385, 5021410, 32, false, 0.75, 0.30,
+                    0.40, 0.025, scale);
+}
+
+DatasetSpec
+sxFullSpec(double scale)
+{
+    return makeSpec("SX-FULL", 2601977, 63497050, 32, false, 0.85, 0.40,
+                    0.35, 0.020, scale);
+}
+
+DatasetSpec
+gdeltSpec(double scale)
+{
+    return makeSpec("GDELT", 16682, 191290882, 186, false, 0.90, 0.50,
+                    0.30, 0.010, scale);
+}
+
+DatasetSpec
+magSpec(double scale)
+{
+    return makeSpec("MAG", 121751665, 1297748926, 32, false, 0.80, 0.25,
+                    0.35, 0.015, scale);
+}
+
+std::vector<DatasetSpec>
+benchmarkSpecs(double scale)
+{
+    return {wikiSpec(scale), redditSpec(scale), moocSpec(scale),
+            wikiTalkSpec(scale), sxFullSpec(scale)};
+}
+
+namespace {
+
+/** Per-node latent preference table with renormalizing drift. */
+class Latents
+{
+  public:
+    Latents(size_t n, Rng &rng) : data_(n, kLatentDim)
+    {
+        for (size_t i = 0; i < data_.size(); ++i)
+            data_.data()[i] = static_cast<float>(rng.gaussian());
+        for (size_t r = 0; r < n; ++r)
+            normalize(r);
+    }
+
+    const float *row(size_t r) const { return data_.row(r); }
+
+    void
+    drift(size_t r, double step, Rng &rng)
+    {
+        float *v = data_.row(r);
+        for (size_t c = 0; c < kLatentDim; ++c)
+            v[c] += static_cast<float>(step * rng.gaussian());
+        normalize(r);
+    }
+
+    double
+    affinity(size_t a, size_t b) const
+    {
+        const float *x = data_.row(a);
+        const float *y = data_.row(b);
+        double acc = 0.0;
+        for (size_t c = 0; c < kLatentDim; ++c)
+            acc += static_cast<double>(x[c]) * y[c];
+        return acc;
+    }
+
+  private:
+    void
+    normalize(size_t r)
+    {
+        float *v = data_.row(r);
+        double norm = 0.0;
+        for (size_t c = 0; c < kLatentDim; ++c)
+            norm += static_cast<double>(v[c]) * v[c];
+        norm = std::sqrt(std::max(norm, 1e-12));
+        for (size_t c = 0; c < kLatentDim; ++c)
+            v[c] = static_cast<float>(v[c] / norm);
+    }
+
+    Tensor data_;
+};
+
+/** Fixed-size ring of recently contacted partners per node. */
+class RecentPartners
+{
+  public:
+    explicit RecentPartners(size_t n)
+        : ring_(n * kRecent, -1), count_(n, 0)
+    {}
+
+    void
+    push(size_t node, NodeId partner)
+    {
+        ring_[node * kRecent + count_[node] % kRecent] = partner;
+        ++count_[node];
+    }
+
+    /** A uniformly random remembered partner, or -1 if none. */
+    NodeId
+    sample(size_t node, Rng &rng) const
+    {
+        const size_t have =
+            std::min<size_t>(count_[node], kRecent);
+        if (have == 0)
+            return -1;
+        return ring_[node * kRecent + rng.uniformInt(have)];
+    }
+
+  private:
+    std::vector<NodeId> ring_;
+    std::vector<uint32_t> count_;
+};
+
+} // namespace
+
+EventSequence
+generateDataset(const DatasetSpec &spec, Rng &rng)
+{
+    CASCADE_CHECK(spec.numNodes >= 8, "dataset too small");
+    EventSequence seq;
+    seq.numNodes = spec.numNodes;
+    seq.events.reserve(spec.numEvents);
+    if (spec.featDim > 0)
+        seq.features = Tensor(spec.numEvents, spec.featDim);
+
+    // Bipartite interaction graphs put ~1/9 of nodes on the item side
+    // (matching WIKI's 1000 pages vs 8227 editors); unipartite graphs
+    // draw both endpoints from the full node set through decorrelating
+    // permutations.
+    const size_t src_count =
+        spec.bipartite ? std::max<size_t>(4, spec.numNodes * 8 / 9)
+                       : spec.numNodes;
+    const size_t dst_count =
+        spec.bipartite ? spec.numNodes - src_count : spec.numNodes;
+    const NodeId dst_base = spec.bipartite
+        ? static_cast<NodeId>(src_count) : 0;
+
+    std::vector<NodeId> src_perm(src_count), dst_perm(dst_count);
+    std::iota(src_perm.begin(), src_perm.end(), 0);
+    std::iota(dst_perm.begin(), dst_perm.end(), 0);
+    for (size_t i = src_count - 1; i > 0; --i)
+        std::swap(src_perm[i], src_perm[rng.uniformInt(i + 1)]);
+    for (size_t i = dst_count - 1; i > 0; --i)
+        std::swap(dst_perm[i], dst_perm[rng.uniformInt(i + 1)]);
+
+    Latents latents(spec.numNodes, rng);
+    RecentPartners recent(spec.numNodes);
+
+    // Bursty arrivals: a two-state modulated Poisson process.
+    double t = 0.0;
+    bool bursting = false;
+    const double switch_p = 0.01;
+
+    for (size_t e = 0; e < spec.numEvents; ++e) {
+        if (rng.bernoulli(switch_p))
+            bursting = !bursting;
+        const double rate =
+            bursting ? 1.0 + 9.0 * spec.burstiness : 1.0;
+        t += rng.exponential(rate);
+
+        const NodeId src =
+            src_perm[rng.zipf(src_count, spec.zipfAlpha)];
+
+        NodeId dst = -1;
+        if (rng.bernoulli(spec.repeatProb))
+            dst = recent.sample(static_cast<size_t>(src), rng);
+        if (dst < 0) {
+            // Preference-guided choice among popularity-skewed
+            // candidates: pick the candidate with the best noisy
+            // affinity to the source's current latent.
+            double best = -1e30;
+            for (size_t c = 0; c < kCandidates; ++c) {
+                const NodeId cand = dst_base +
+                    dst_perm[rng.zipf(dst_count, spec.zipfAlpha + 0.15)];
+                if (cand == src)
+                    continue;
+                const double score =
+                    latents.affinity(static_cast<size_t>(src),
+                                     static_cast<size_t>(cand)) +
+                    0.3 * rng.gaussian();
+                if (score > best) {
+                    best = score;
+                    dst = cand;
+                }
+            }
+            if (dst < 0)
+                dst = dst_base + static_cast<NodeId>(
+                    dst_perm[rng.uniformInt(dst_count)]);
+        }
+
+        seq.events.push_back({src, dst, t});
+        recent.push(static_cast<size_t>(src), dst);
+        if (!spec.bipartite)
+            recent.push(static_cast<size_t>(dst), src);
+
+        // Edge features: leading entries carry the latent interaction
+        // signal, the tail is noise (mimicking the paper's random
+        // features for featureless datasets).
+        if (spec.featDim > 0) {
+            float *row = seq.features.row(e);
+            const float *ls = latents.row(static_cast<size_t>(src));
+            const float *ld = latents.row(static_cast<size_t>(dst));
+            const size_t sig = std::min(spec.featDim, kLatentDim);
+            for (size_t c = 0; c < sig; ++c) {
+                row[c] = ls[c] * ld[c] +
+                         0.1f * static_cast<float>(rng.gaussian());
+            }
+            for (size_t c = sig; c < spec.featDim; ++c)
+                row[c] = 0.1f * static_cast<float>(rng.gaussian());
+        }
+
+        // Preference drift is what makes memory freshness matter:
+        // active sources drift fastest, destinations slowly.
+        latents.drift(static_cast<size_t>(src), spec.drift, rng);
+        if (rng.bernoulli(0.1)) {
+            latents.drift(static_cast<size_t>(dst), spec.drift * 0.1,
+                          rng);
+        }
+    }
+
+    CASCADE_CHECK(seq.isChronological(), "generator broke time order");
+    return seq;
+}
+
+TrainValSplit
+splitSequence(const EventSequence &seq, double train_frac)
+{
+    CASCADE_CHECK(train_frac > 0.0 && train_frac < 1.0,
+                  "train_frac must be in (0,1)");
+    const size_t cut =
+        static_cast<size_t>(seq.size() * train_frac);
+    TrainValSplit out;
+    out.train = seq.slice(0, cut);
+    out.val = seq.slice(cut, seq.size());
+    return out;
+}
+
+} // namespace cascade

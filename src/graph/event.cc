@@ -1,0 +1,32 @@
+#include "graph/event.hh"
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+EventSequence
+EventSequence::slice(size_t begin, size_t end) const
+{
+    CASCADE_CHECK(begin <= end && end <= events.size(),
+                  "EventSequence::slice out of range");
+    EventSequence out;
+    out.numNodes = numNodes;
+    out.events.assign(events.begin() + begin, events.begin() + end);
+    if (features.cols() > 0) {
+        out.features = Tensor(end - begin, features.cols());
+        for (size_t i = begin; i < end; ++i)
+            out.features.copyRowFrom(i - begin, features, i);
+    }
+    return out;
+}
+
+bool
+EventSequence::isChronological() const
+{
+    for (size_t i = 1; i < events.size(); ++i)
+        if (events[i].ts < events[i - 1].ts)
+            return false;
+    return true;
+}
+
+} // namespace cascade

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CTDG event primitives.
+ *
+ * A continuous-time dynamic graph is a chronologically ordered sequence
+ * of events, each an edge (src -> dst) with a timestamp and an edge-
+ * feature row stored in a side table (G = {e(t1), e(t2), ...}, §2.1).
+ */
+
+#ifndef CASCADE_GRAPH_EVENT_HH
+#define CASCADE_GRAPH_EVENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace cascade {
+
+/** Node identifier. */
+using NodeId = int64_t;
+
+/** Index of an event within its sequence. */
+using EventIdx = int64_t;
+
+/** One dynamic-graph event: an edge appearing at a timestamp. */
+struct Event
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    double ts = 0.0;
+};
+
+/**
+ * An ordered event sequence plus its edge-feature table.
+ *
+ * Invariant: events are sorted by non-decreasing timestamp, and
+ * features.rows() == events.size() when features are present.
+ */
+struct EventSequence
+{
+    size_t numNodes = 0;
+    std::vector<Event> events;
+    /** Per-event edge features (may be 0x0 for featureless graphs). */
+    Tensor features;
+
+    size_t size() const { return events.size(); }
+    size_t featDim() const { return features.cols(); }
+
+    /** Sub-sequence [begin, end) sharing feature rows by copy. */
+    EventSequence slice(size_t begin, size_t end) const;
+
+    /** Verify the chronological-order invariant. */
+    bool isChronological() const;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_GRAPH_EVENT_HH

@@ -1,0 +1,133 @@
+#include "graph/io.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace cascade {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x43534556; // "CSEV"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+saveEventsCsv(const EventSequence &seq, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "w"));
+    if (!f)
+        return false;
+    if (std::fprintf(f.get(), "src,dst,ts\n") < 0)
+        return false;
+    for (const Event &e : seq.events) {
+        if (std::fprintf(f.get(), "%lld,%lld,%.17g\n",
+                         static_cast<long long>(e.src),
+                         static_cast<long long>(e.dst), e.ts) < 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadEventsCsv(EventSequence &seq, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "r"));
+    if (!f)
+        return false;
+    EventSequence out;
+    char line[256];
+    bool first = true;
+    NodeId max_node = -1;
+    while (std::fgets(line, sizeof(line), f.get())) {
+        if (first) {
+            first = false;
+            if (std::strncmp(line, "src", 3) == 0)
+                continue; // header
+        }
+        long long src = 0, dst = 0;
+        double ts = 0.0;
+        if (std::sscanf(line, "%lld,%lld,%lf", &src, &dst, &ts) != 3)
+            return false;
+        out.events.push_back({static_cast<NodeId>(src),
+                              static_cast<NodeId>(dst), ts});
+        max_node = std::max({max_node, static_cast<NodeId>(src),
+                             static_cast<NodeId>(dst)});
+    }
+    out.numNodes = static_cast<size_t>(max_node + 1);
+    seq = std::move(out);
+    return true;
+}
+
+bool
+saveEventsBinary(const EventSequence &seq, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    const uint32_t header[2] = {kMagic, kVersion};
+    const uint64_t dims[3] = {seq.numNodes, seq.events.size(),
+                              seq.features.cols()};
+    if (std::fwrite(header, sizeof(header), 1, f.get()) != 1 ||
+        std::fwrite(dims, sizeof(dims), 1, f.get()) != 1) {
+        return false;
+    }
+    if (!seq.events.empty() &&
+        std::fwrite(seq.events.data(), sizeof(Event),
+                    seq.events.size(), f.get()) != seq.events.size()) {
+        return false;
+    }
+    if (seq.features.size() > 0 &&
+        std::fwrite(seq.features.data(), sizeof(float),
+                    seq.features.size(),
+                    f.get()) != seq.features.size()) {
+        return false;
+    }
+    return true;
+}
+
+bool
+loadEventsBinary(EventSequence &seq, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    uint32_t header[2] = {0, 0};
+    uint64_t dims[3] = {0, 0, 0};
+    if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
+        header[0] != kMagic || header[1] != kVersion ||
+        std::fread(dims, sizeof(dims), 1, f.get()) != 1) {
+        return false;
+    }
+    EventSequence out;
+    out.numNodes = static_cast<size_t>(dims[0]);
+    out.events.resize(static_cast<size_t>(dims[1]));
+    if (!out.events.empty() &&
+        std::fread(out.events.data(), sizeof(Event), out.events.size(),
+                   f.get()) != out.events.size()) {
+        return false;
+    }
+    const size_t feat_cols = static_cast<size_t>(dims[2]);
+    if (feat_cols > 0) {
+        out.features = Tensor(out.events.size(), feat_cols);
+        if (std::fread(out.features.data(), sizeof(float),
+                       out.features.size(),
+                       f.get()) != out.features.size()) {
+            return false;
+        }
+    }
+    seq = std::move(out);
+    return true;
+}
+
+} // namespace cascade

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Event-sequence persistence.
+ *
+ * Two interchange formats:
+ *  - CSV ("src,dst,ts" with a header line), the layout TGL-style
+ *    pipelines ship their edge lists in — features are not included;
+ *  - a binary container holding events *and* edge features, for
+ *    fast reloads of synthesized benchmark datasets.
+ */
+
+#ifndef CASCADE_GRAPH_IO_HH
+#define CASCADE_GRAPH_IO_HH
+
+#include <string>
+
+#include "graph/event.hh"
+
+namespace cascade {
+
+/** Write "src,dst,ts" CSV (features are dropped). */
+bool saveEventsCsv(const EventSequence &seq, const std::string &path);
+
+/**
+ * Read a "src,dst,ts" CSV.
+ * @param seq  output; numNodes is set to max id + 1
+ * @return false on I/O or parse failure (seq untouched)
+ */
+bool loadEventsCsv(EventSequence &seq, const std::string &path);
+
+/** Write the full sequence (events + features) in binary form. */
+bool saveEventsBinary(const EventSequence &seq, const std::string &path);
+
+/** Read a binary sequence written by saveEventsBinary. */
+bool loadEventsBinary(EventSequence &seq, const std::string &path);
+
+} // namespace cascade
+
+#endif // CASCADE_GRAPH_IO_HH

@@ -1,0 +1,86 @@
+#include "graph/stats.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+double
+BatchDegreeHistogram::fraction(size_t i) const
+{
+    const size_t t = total();
+    if (t == 0 || i >= counts.size())
+        return 0.0;
+    return static_cast<double>(counts[i]) / t;
+}
+
+size_t
+BatchDegreeHistogram::total() const
+{
+    size_t t = 0;
+    for (size_t c : counts)
+        t += c;
+    return t;
+}
+
+BatchDegreeHistogram
+batchDegreeHistogram(const EventSequence &seq, size_t batch_size,
+                     size_t bucket_width)
+{
+    CASCADE_CHECK(batch_size > 0 && bucket_width > 0,
+                  "batchDegreeHistogram bad parameters");
+    BatchDegreeHistogram hist;
+    hist.bucketWidth = bucket_width;
+
+    std::unordered_map<NodeId, size_t> degree;
+    for (size_t st = 0; st < seq.size(); st += batch_size) {
+        const size_t ed = std::min(seq.size(), st + batch_size);
+        degree.clear();
+        for (size_t i = st; i < ed; ++i) {
+            ++degree[seq.events[i].src];
+            ++degree[seq.events[i].dst];
+        }
+        for (const auto &[node, d] : degree) {
+            (void)node;
+            const size_t bucket = d / bucket_width;
+            if (hist.counts.size() <= bucket)
+                hist.counts.resize(bucket + 1, 0);
+            ++hist.counts[bucket];
+            hist.maxDegree = std::max(hist.maxDegree, d);
+        }
+    }
+    return hist;
+}
+
+size_t
+activeNodeCount(const EventSequence &seq)
+{
+    std::unordered_set<NodeId> seen;
+    for (const Event &e : seq.events) {
+        seen.insert(e.src);
+        seen.insert(e.dst);
+    }
+    return seen.size();
+}
+
+double
+repeatPairFraction(const EventSequence &seq)
+{
+    if (seq.events.empty())
+        return 0.0;
+    std::unordered_set<uint64_t> seen;
+    size_t repeats = 0;
+    for (const Event &e : seq.events) {
+        const uint64_t key =
+            (static_cast<uint64_t>(e.src) << 32) ^
+            static_cast<uint64_t>(static_cast<uint32_t>(e.dst));
+        if (!seen.insert(key).second)
+            ++repeats;
+    }
+    return static_cast<double>(repeats) / seq.events.size();
+}
+
+} // namespace cascade

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Structural statistics over event sequences.
+ *
+ * Backs Table 2 (dataset statistics), Figure 3 (per-batch node-degree
+ * distribution) and the ABS endurance profiling sanity checks.
+ */
+
+#ifndef CASCADE_GRAPH_STATS_HH
+#define CASCADE_GRAPH_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/event.hh"
+
+namespace cascade {
+
+/** Histogram of per-node event counts within fixed-size batches. */
+struct BatchDegreeHistogram
+{
+    /** Bucket width in events (Figure 3 uses 20). */
+    size_t bucketWidth = 20;
+    /** counts[i] = nodes with degree in [i*width, (i+1)*width). */
+    std::vector<size_t> counts;
+    /** Largest per-node per-batch degree observed. */
+    size_t maxDegree = 0;
+
+    /** Fraction of observations in bucket i. */
+    double fraction(size_t i) const;
+    /** Total observations. */
+    size_t total() const;
+};
+
+/**
+ * Figure 3: split `seq` into fixed batches and histogram the number of
+ * events each involved node sees per batch.
+ */
+BatchDegreeHistogram batchDegreeHistogram(const EventSequence &seq,
+                                          size_t batch_size,
+                                          size_t bucket_width = 20);
+
+/** Count of distinct nodes that appear in the sequence. */
+size_t activeNodeCount(const EventSequence &seq);
+
+/** Fraction of events whose (src,dst) pair appeared earlier. */
+double repeatPairFraction(const EventSequence &seq);
+
+} // namespace cascade
+
+#endif // CASCADE_GRAPH_STATS_HH

@@ -1,0 +1,99 @@
+#include "nn/attention.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+namespace {
+
+/** Repeat each of the B rows K times -> (B*K) rows. */
+std::vector<int64_t>
+repeatIndex(size_t b, size_t k)
+{
+    std::vector<int64_t> idx;
+    idx.reserve(b * k);
+    for (size_t i = 0; i < b; ++i)
+        for (size_t j = 0; j < k; ++j)
+            idx.push_back(static_cast<int64_t>(i));
+    return idx;
+}
+
+/** Row-wise dot product of equally-shaped matrices -> Bx1. */
+Variable
+rowDot(const Variable &a, const Variable &b)
+{
+    Variable prod = ops::mul(a, b);
+    Variable ones(Tensor::ones(a.cols(), 1));
+    return ops::matmul(prod, ones);
+}
+
+} // namespace
+
+GatLayer::GatLayer(size_t target_dim, size_t neighbor_dim, size_t out_dim,
+                   Rng &rng)
+    : out_(out_dim),
+      wt_(addParam(Tensor::xavier(target_dim, out_dim, rng))),
+      wn_(addParam(Tensor::xavier(neighbor_dim, out_dim, rng))),
+      at_(addParam(Tensor::xavier(out_dim, 1, rng))),
+      an_(addParam(Tensor::xavier(out_dim, 1, rng))),
+      wo_(addParam(Tensor::xavier(2 * out_dim, out_dim, rng))),
+      bo_(addParam(Tensor::zeros(1, out_dim)))
+{}
+
+Variable
+GatLayer::forward(const Variable &target, const Variable &neighbors,
+                  size_t k) const
+{
+    using namespace ops;
+    const size_t b = target.rows();
+    CASCADE_CHECK(neighbors.rows() == b * k,
+                  "GatLayer: neighbor rows must be B*K");
+
+    Variable zt = matmul(target, wt_);            // B x H
+    Variable zn = matmul(neighbors, wn_);         // BK x H
+    Variable zt_rep = gatherRows(zt, repeatIndex(b, k)); // BK x H
+
+    // e_ij = LeakyReLU(a_t . zt_i + a_n . zn_j)
+    Variable score = leakyRelu(
+        add(matmul(zt_rep, at_), matmul(zn, an_)));
+    Variable attn = groupedSoftmax(score, k);
+    Variable pooled = groupedWeightedSum(attn, zn, k); // B x H
+
+    return relu(add(matmul(concatCols(zt, pooled), wo_), bo_));
+}
+
+DotAttention::DotAttention(size_t query_dim, size_t kv_dim, size_t out_dim,
+                           Rng &rng)
+    : out_(out_dim),
+      wq_(addParam(Tensor::xavier(query_dim, out_dim, rng))),
+      wk_(addParam(Tensor::xavier(kv_dim, out_dim, rng))),
+      wv_(addParam(Tensor::xavier(kv_dim, out_dim, rng)))
+{}
+
+Variable
+DotAttention::forward(const Variable &query, const Variable &kv, size_t k,
+                      const Tensor *mask) const
+{
+    using namespace ops;
+    const size_t b = query.rows();
+    CASCADE_CHECK(kv.rows() == b * k, "DotAttention: kv rows must be B*K");
+
+    Variable q = matmul(query, wq_);              // B x H
+    Variable keys = matmul(kv, wk_);              // BK x H
+    Variable vals = matmul(kv, wv_);              // BK x H
+    Variable q_rep = gatherRows(q, repeatIndex(b, k));
+
+    const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(out_));
+    Variable score = scale(rowDot(q_rep, keys), inv_sqrt); // BK x 1
+    if (mask) {
+        CASCADE_CHECK(mask->rows() == b * k && mask->cols() == 1,
+                      "DotAttention mask shape mismatch");
+        score = add(score, Variable(*mask));
+    }
+    Variable attn = groupedSoftmax(score, k);
+    return groupedWeightedSum(attn, vals, k);     // B x H
+}
+
+} // namespace cascade

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Attention layers over fixed-fanout neighbor blocks.
+ *
+ * GatLayer implements the single-head graph attention of Velickovic et
+ * al. used by TGN/DySAT/TGAT for node embedding (Eq. 4's GNN); the
+ * fixed fanout K lets the whole batch run as dense (B*K)-row tensor
+ * ops. DotAttention is the scaled dot-product attention APAN applies
+ * over its mailbox.
+ */
+
+#ifndef CASCADE_NN_ATTENTION_HH
+#define CASCADE_NN_ATTENTION_HH
+
+#include "nn/module.hh"
+#include "tensor/ops.hh"
+#include "util/rng.hh"
+
+namespace cascade {
+
+/**
+ * Single-head GAT layer with fixed neighbor fanout.
+ *
+ * Neighbor rows are laid out (B*K) x neighborDim with node i's
+ * neighbors in rows [i*K, (i+1)*K). Missing neighbors are padded with
+ * zero features by the sampler; attention learns to down-weight them.
+ */
+class GatLayer : public Module
+{
+  public:
+    /**
+     * @param target_dim   target-node input width
+     * @param neighbor_dim neighbor input width (memory + edge + time)
+     * @param out_dim      output embedding width
+     */
+    GatLayer(size_t target_dim, size_t neighbor_dim, size_t out_dim,
+             Rng &rng);
+
+    /**
+     * @param target    B x targetDim
+     * @param neighbors (B*K) x neighborDim
+     * @param k         fanout
+     * @return B x outDim embeddings
+     */
+    Variable forward(const Variable &target, const Variable &neighbors,
+                     size_t k) const;
+
+    size_t outDim() const { return out_; }
+
+  private:
+    size_t out_;
+    Variable wt_;  // target projection
+    Variable wn_;  // neighbor projection
+    Variable at_;  // attention vector (target half)
+    Variable an_;  // attention vector (neighbor half)
+    Variable wo_;  // output combine
+    Variable bo_;
+};
+
+/** Scaled dot-product attention pooling K stored messages per node. */
+class DotAttention : public Module
+{
+  public:
+    /**
+     * @param query_dim input width of the querying node state
+     * @param kv_dim    input width of mailbox messages
+     * @param out_dim   pooled output width
+     */
+    DotAttention(size_t query_dim, size_t kv_dim, size_t out_dim,
+                 Rng &rng);
+
+    /**
+     * @param query   B x queryDim
+     * @param kv      (B*K) x kvDim mailbox messages
+     * @param k       messages per node
+     * @param mask    optional (B*K) x 1 additive score mask
+     *                (0 = keep, large negative = drop padded slots)
+     * @return B x outDim pooled messages
+     */
+    Variable forward(const Variable &query, const Variable &kv, size_t k,
+                     const Tensor *mask = nullptr) const;
+
+  private:
+    size_t out_;
+    Variable wq_, wk_, wv_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_NN_ATTENTION_HH

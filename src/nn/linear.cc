@@ -1,0 +1,41 @@
+#include "nn/linear.hh"
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+Linear::Linear(size_t in, size_t out, Rng &rng)
+    : in_(in), out_(out),
+      weight_(addParam(Tensor::xavier(in, out, rng))),
+      bias_(addParam(Tensor::zeros(1, out)))
+{}
+
+Variable
+Linear::forward(const Variable &x) const
+{
+    return ops::add(ops::matmul(x, weight_), bias_);
+}
+
+Mlp::Mlp(const std::vector<size_t> &dims, Rng &rng)
+{
+    CASCADE_CHECK(dims.size() >= 2, "Mlp needs at least {in, out}");
+    layers_.reserve(dims.size() - 1);
+    for (size_t i = 0; i + 1 < dims.size(); ++i)
+        layers_.emplace_back(dims[i], dims[i + 1], rng);
+    for (const auto &l : layers_)
+        registerChild(&l);
+}
+
+Variable
+Mlp::forward(const Variable &x) const
+{
+    Variable h = x;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        h = layers_[i].forward(h);
+        if (i + 1 < layers_.size())
+            h = ops::relu(h);
+    }
+    return h;
+}
+
+} // namespace cascade

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Affine layers: Linear and Mlp.
+ */
+
+#ifndef CASCADE_NN_LINEAR_HH
+#define CASCADE_NN_LINEAR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/module.hh"
+#include "tensor/ops.hh"
+#include "util/rng.hh"
+
+namespace cascade {
+
+/** y = x W + b. */
+class Linear : public Module
+{
+  public:
+    /**
+     * @param in   input feature width
+     * @param out  output feature width
+     * @param rng  initializer source (Xavier weights, zero bias)
+     */
+    Linear(size_t in, size_t out, Rng &rng);
+
+    /** Forward pass; x is BxIn. */
+    Variable forward(const Variable &x) const;
+
+    size_t inDim() const { return in_; }
+    size_t outDim() const { return out_; }
+
+  private:
+    size_t in_, out_;
+    Variable weight_;
+    Variable bias_;
+};
+
+/** Multi-layer perceptron with ReLU hidden activations. */
+class Mlp : public Module
+{
+  public:
+    /**
+     * @param dims layer widths, e.g. {in, hidden, out}; requires >= 2
+     */
+    Mlp(const std::vector<size_t> &dims, Rng &rng);
+
+    /** Forward pass (ReLU between layers, linear output). */
+    Variable forward(const Variable &x) const;
+
+  private:
+    std::vector<Linear> layers_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_NN_LINEAR_HH

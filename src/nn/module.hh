@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Base class for neural modules with a parameter registry.
+ *
+ * Modules own leaf Variables (requiresGrad = true) and expose them
+ * through parameters() so the optimizer can update them; composite
+ * modules merge their children's registries.
+ */
+
+#ifndef CASCADE_NN_MODULE_HH
+#define CASCADE_NN_MODULE_HH
+
+#include <vector>
+
+#include "tensor/variable.hh"
+
+namespace cascade {
+
+/** Base class for parameterized layers. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** All trainable parameters, own plus registered children. */
+    std::vector<Variable>
+    parameters() const
+    {
+        std::vector<Variable> all = params_;
+        for (const Module *child : children_) {
+            auto sub = child->parameters();
+            all.insert(all.end(), sub.begin(), sub.end());
+        }
+        return all;
+    }
+
+    /** Scalar count across all parameters. */
+    size_t
+    numScalars() const
+    {
+        size_t n = 0;
+        for (const auto &p : parameters())
+            n += p.value().size();
+        return n;
+    }
+
+  protected:
+    /** Register a trainable tensor and return its handle. */
+    Variable
+    addParam(Tensor init)
+    {
+        params_.emplace_back(std::move(init), true);
+        return params_.back();
+    }
+
+    /** Register a child module (must outlive this module). */
+    void registerChild(const Module *child) { children_.push_back(child); }
+
+  private:
+    std::vector<Variable> params_;
+    std::vector<const Module *> children_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_NN_MODULE_HH

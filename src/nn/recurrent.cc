@@ -1,0 +1,46 @@
+#include "nn/recurrent.hh"
+
+namespace cascade {
+
+RnnCell::RnnCell(size_t input_dim, size_t hidden_dim, Rng &rng)
+    : hidden_(hidden_dim),
+      wx_(addParam(Tensor::xavier(input_dim, hidden_dim, rng))),
+      wh_(addParam(Tensor::xavier(hidden_dim, hidden_dim, rng))),
+      b_(addParam(Tensor::zeros(1, hidden_dim)))
+{}
+
+Variable
+RnnCell::forward(const Variable &x, const Variable &h) const
+{
+    using namespace ops;
+    return tanhOp(add(add(matmul(x, wx_), matmul(h, wh_)), b_));
+}
+
+GruCell::GruCell(size_t input_dim, size_t hidden_dim, Rng &rng)
+    : hidden_(hidden_dim),
+      wxr_(addParam(Tensor::xavier(input_dim, hidden_dim, rng))),
+      whr_(addParam(Tensor::xavier(hidden_dim, hidden_dim, rng))),
+      br_(addParam(Tensor::zeros(1, hidden_dim))),
+      wxz_(addParam(Tensor::xavier(input_dim, hidden_dim, rng))),
+      whz_(addParam(Tensor::xavier(hidden_dim, hidden_dim, rng))),
+      bz_(addParam(Tensor::zeros(1, hidden_dim))),
+      wxn_(addParam(Tensor::xavier(input_dim, hidden_dim, rng))),
+      whn_(addParam(Tensor::xavier(hidden_dim, hidden_dim, rng))),
+      bn_(addParam(Tensor::zeros(1, hidden_dim)))
+{}
+
+Variable
+GruCell::forward(const Variable &x, const Variable &h) const
+{
+    using namespace ops;
+    Variable r = sigmoid(add(add(matmul(x, wxr_), matmul(h, whr_)), br_));
+    Variable z = sigmoid(add(add(matmul(x, wxz_), matmul(h, whz_)), bz_));
+    Variable n =
+        tanhOp(add(add(matmul(x, wxn_), mul(matmul(h, whn_), r)), bn_));
+    // h' = (1 - z) * n + z * h
+    Variable one_minus_z = sub(Variable(Tensor::ones(z.rows(), z.cols())),
+                               z);
+    return add(mul(one_minus_z, n), mul(z, h));
+}
+
+} // namespace cascade

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Recurrent memory-update cells (Eq. 3's UPDT function).
+ *
+ * RnnCell is the vanilla tanh RNN used by JODIE and DySAT; GruCell is
+ * the gated unit used by TGN.
+ */
+
+#ifndef CASCADE_NN_RECURRENT_HH
+#define CASCADE_NN_RECURRENT_HH
+
+#include "nn/module.hh"
+#include "tensor/ops.hh"
+#include "util/rng.hh"
+
+namespace cascade {
+
+/** h' = tanh(x Wx + h Wh + b). */
+class RnnCell : public Module
+{
+  public:
+    RnnCell(size_t input_dim, size_t hidden_dim, Rng &rng);
+
+    /**
+     * One step.
+     * @param x BxI aggregated messages
+     * @param h BxH previous memories
+     * @return BxH updated memories
+     */
+    Variable forward(const Variable &x, const Variable &h) const;
+
+    size_t hiddenDim() const { return hidden_; }
+
+  private:
+    size_t hidden_;
+    Variable wx_, wh_, b_;
+};
+
+/** Standard GRU cell (Cho et al.), the TGN memory updater. */
+class GruCell : public Module
+{
+  public:
+    GruCell(size_t input_dim, size_t hidden_dim, Rng &rng);
+
+    /**
+     * One step.
+     * @param x BxI aggregated messages
+     * @param h BxH previous memories
+     * @return BxH updated memories
+     */
+    Variable forward(const Variable &x, const Variable &h) const;
+
+    size_t hiddenDim() const { return hidden_; }
+
+  private:
+    size_t hidden_;
+    Variable wxr_, whr_, br_;
+    Variable wxz_, whz_, bz_;
+    Variable wxn_, whn_, bn_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_NN_RECURRENT_HH

@@ -1,0 +1,28 @@
+#include "nn/time_encoding.hh"
+
+#include <cmath>
+
+namespace cascade {
+
+TimeEncoding::TimeEncoding(size_t dim, Rng &rng)
+    : dim_(dim)
+{
+    Tensor f(1, dim);
+    for (size_t k = 0; k < dim; ++k) {
+        const double base =
+            std::pow(10.0, -static_cast<double>(k) / std::max<size_t>(dim, 1));
+        f.at(0, k) = static_cast<float>(base * (1.0 + 0.01 * rng.gaussian()));
+    }
+    freq_ = addParam(std::move(f));
+    phase_ = addParam(Tensor::zeros(1, dim));
+}
+
+Variable
+TimeEncoding::forward(const Variable &dt) const
+{
+    using namespace ops;
+    // (Bx1) x (1xD) -> BxD, then add phase and take cos.
+    return cosOp(add(matmul(dt, freq_), phase_));
+}
+
+} // namespace cascade

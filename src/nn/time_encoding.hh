@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Learnable time encoding phi(dt) = cos(dt * w + b).
+ *
+ * The positional/functional time encoding of TGAT (Xu et al. 2020),
+ * also used to feed delta-t into message functions (Eq. 2's ΔT term).
+ */
+
+#ifndef CASCADE_NN_TIME_ENCODING_HH
+#define CASCADE_NN_TIME_ENCODING_HH
+
+#include "nn/module.hh"
+#include "tensor/ops.hh"
+#include "util/rng.hh"
+
+namespace cascade {
+
+/** Cosine time encoder with learnable frequencies and phases. */
+class TimeEncoding : public Module
+{
+  public:
+    /**
+     * @param dim  encoding width
+     * @param rng  initializer: frequencies follow the 1/10^(k/dim)
+     *             geometric ladder with small noise
+     */
+    TimeEncoding(size_t dim, Rng &rng);
+
+    /**
+     * Encode a column of time deltas.
+     * @param dt Bx1 time differences
+     * @return BxDim encodings
+     */
+    Variable forward(const Variable &dt) const;
+
+    size_t dim() const { return dim_; }
+
+  private:
+    size_t dim_;
+    Variable freq_; // 1 x dim
+    Variable phase_; // 1 x dim
+};
+
+} // namespace cascade
+
+#endif // CASCADE_NN_TIME_ENCODING_HH

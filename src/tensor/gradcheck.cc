@@ -1,0 +1,42 @@
+#include "tensor/gradcheck.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cascade {
+
+double
+gradCheck(std::vector<Variable> inputs,
+          const std::function<Variable()> &fn, double eps)
+{
+    // Analytic gradients.
+    for (auto &in : inputs)
+        in.zeroGrad();
+    Variable out = fn();
+    out.backward();
+    std::vector<Tensor> analytic;
+    analytic.reserve(inputs.size());
+    for (auto &in : inputs)
+        analytic.push_back(in.grad());
+
+    double max_rel = 0.0;
+    for (size_t pi = 0; pi < inputs.size(); ++pi) {
+        Tensor &val = inputs[pi].valueMutable();
+        for (size_t i = 0; i < val.size(); ++i) {
+            const float orig = val.data()[i];
+            val.data()[i] = orig + static_cast<float>(eps);
+            const double f_plus = fn().value().at(0, 0);
+            val.data()[i] = orig - static_cast<float>(eps);
+            const double f_minus = fn().value().at(0, 0);
+            val.data()[i] = orig;
+            const double num = (f_plus - f_minus) / (2.0 * eps);
+            const double ana = analytic[pi].data()[i];
+            const double denom =
+                std::max({std::abs(num), std::abs(ana), 1e-4});
+            max_rel = std::max(max_rel, std::abs(num - ana) / denom);
+        }
+    }
+    return max_rel;
+}
+
+} // namespace cascade

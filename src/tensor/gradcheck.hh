@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Finite-difference gradient verification for autograd ops and layers.
+ *
+ * Used by the test suite: every differentiable building block is
+ * validated against a central-difference numerical gradient before the
+ * TGNN models rely on it.
+ */
+
+#ifndef CASCADE_TENSOR_GRADCHECK_HH
+#define CASCADE_TENSOR_GRADCHECK_HH
+
+#include <functional>
+#include <vector>
+
+#include "tensor/variable.hh"
+
+namespace cascade {
+
+/**
+ * Check analytic vs numerical gradients of a scalar-valued function.
+ *
+ * @param inputs  leaf variables the function reads (must require grad)
+ * @param fn      builds a fresh 1x1 Variable from the current values
+ * @param eps     finite-difference step
+ * @return max relative error across all input scalars
+ */
+double gradCheck(std::vector<Variable> inputs,
+                 const std::function<Variable()> &fn,
+                 double eps = 1e-3);
+
+} // namespace cascade
+
+#endif // CASCADE_TENSOR_GRADCHECK_HH

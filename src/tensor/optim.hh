@@ -1,0 +1,68 @@
+/**
+ * @file
+ * First-order optimizers over Variable parameter lists.
+ *
+ * The paper trains with Adam (Kingma & Ba); SGD is provided for tests
+ * and ablations.
+ */
+
+#ifndef CASCADE_TENSOR_OPTIM_HH
+#define CASCADE_TENSOR_OPTIM_HH
+
+#include <vector>
+
+#include "tensor/variable.hh"
+
+namespace cascade {
+
+/** Common optimizer interface. */
+class Optimizer
+{
+  public:
+    /** @param params leaf Variables with requiresGrad set */
+    explicit Optimizer(std::vector<Variable> params);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the parameters' current gradients. */
+    virtual void step() = 0;
+
+    /** Zero every parameter gradient. */
+    void zeroGrad();
+
+    /** Parameter count (scalars) across all tensors. */
+    size_t numScalars() const;
+
+  protected:
+    std::vector<Variable> params_;
+};
+
+/** Plain SGD with optional gradient clipping. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Variable> params, float lr, float clip = 0.0f);
+    void step() override;
+
+  private:
+    float lr_;
+    float clip_;
+};
+
+/** Adam (Kingma & Ba 2014) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Variable> params, float lr = 1e-3f,
+         float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+    void step() override;
+
+  private:
+    float lr_, beta1_, beta2_, eps_;
+    long t_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_TENSOR_OPTIM_HH

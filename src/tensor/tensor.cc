@@ -1,0 +1,211 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+Tensor::Tensor(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data))
+{
+    CASCADE_CHECK(data_.size() == rows_ * cols_,
+                  "Tensor data size does not match shape");
+}
+
+Tensor
+Tensor::zeros(size_t rows, size_t cols)
+{
+    return Tensor(rows, cols);
+}
+
+Tensor
+Tensor::ones(size_t rows, size_t cols)
+{
+    return full(rows, cols, 1.0f);
+}
+
+Tensor
+Tensor::full(size_t rows, size_t cols, float value)
+{
+    Tensor t(rows, cols);
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::randn(size_t rows, size_t cols, Rng &rng, float stddev)
+{
+    Tensor t(rows, cols);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<float>(rng.gaussian(0.0, stddev));
+    return t;
+}
+
+Tensor
+Tensor::xavier(size_t rows, size_t cols, Rng &rng)
+{
+    Tensor t(rows, cols);
+    const double bound = std::sqrt(6.0 / (rows + cols));
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<float>(rng.uniform(-bound, bound));
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+bool
+Tensor::sameShape(const Tensor &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_;
+}
+
+Tensor &
+Tensor::operator+=(const Tensor &other)
+{
+    CASCADE_CHECK(sameShape(other), "+= shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator-=(const Tensor &other)
+{
+    CASCADE_CHECK(sameShape(other), "-= shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator*=(float s)
+{
+    for (auto &v : data_)
+        v *= s;
+    return *this;
+}
+
+double
+Tensor::sum() const
+{
+    double acc = 0.0;
+    for (float v : data_)
+        acc += v;
+    return acc;
+}
+
+float
+Tensor::maxAbs() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+void
+Tensor::copyRowFrom(size_t dst_row, const Tensor &src, size_t src_row)
+{
+    CASCADE_CHECK(cols_ == src.cols(), "copyRowFrom column mismatch");
+    std::copy(src.row(src_row), src.row(src_row) + cols_, row(dst_row));
+}
+
+Tensor
+matmulRaw(const Tensor &a, const Tensor &b)
+{
+    CASCADE_CHECK(a.cols() == b.rows(), "matmul inner dim mismatch");
+    Tensor c(a.rows(), b.cols());
+    const size_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.row(p);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransARaw(const Tensor &a, const Tensor &b)
+{
+    CASCADE_CHECK(a.rows() == b.rows(), "matmulTransA dim mismatch");
+    Tensor c(a.cols(), b.cols());
+    const size_t m = a.cols(), k = a.rows(), n = b.cols();
+    for (size_t p = 0; p < k; ++p) {
+        const float *arow = a.row(p);
+        const float *brow = b.row(p);
+        for (size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.row(i);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    (void)m;
+    return c;
+}
+
+Tensor
+matmulTransBRaw(const Tensor &a, const Tensor &b)
+{
+    CASCADE_CHECK(a.cols() == b.cols(), "matmulTransB dim mismatch");
+    Tensor c(a.rows(), b.rows());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (size_t j = 0; j < b.rows(); ++j) {
+            const float *brow = b.row(j);
+            float acc = 0.0f;
+            for (size_t p = 0; p < a.cols(); ++p)
+                acc += arow[p] * brow[p];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+Tensor
+transposeRaw(const Tensor &a)
+{
+    Tensor t(a.cols(), a.rows());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            t.at(j, i) = a.at(i, j);
+    return t;
+}
+
+double
+cosineSimilarityRows(const Tensor &a, size_t ra,
+                     const Tensor &b, size_t rb)
+{
+    CASCADE_CHECK(a.cols() == b.cols(), "cosine column mismatch");
+    const float *x = a.row(ra);
+    const float *y = b.row(rb);
+    double dot = 0.0, nx = 0.0, ny = 0.0;
+    for (size_t i = 0; i < a.cols(); ++i) {
+        dot += static_cast<double>(x[i]) * y[i];
+        nx += static_cast<double>(x[i]) * x[i];
+        ny += static_cast<double>(y[i]) * y[i];
+    }
+    if (nx < 1e-24 && ny < 1e-24)
+        return 1.0;
+    if (nx < 1e-24 || ny < 1e-24)
+        return 0.0;
+    return dot / (std::sqrt(nx) * std::sqrt(ny));
+}
+
+} // namespace cascade

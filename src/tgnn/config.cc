@@ -1,0 +1,87 @@
+#include "tgnn/config.hh"
+
+namespace cascade {
+
+ModelConfig
+jodieConfig(size_t dim)
+{
+    ModelConfig c;
+    c.name = "JODIE";
+    c.sampler = SamplerKind::MostRecent;
+    c.fanout = 1;
+    c.aggregator = AggregatorKind::MostRecent;
+    c.memory = MemoryKind::Rnn;
+    c.embed = EmbedKind::TimeProjection;
+    c.mailboxSlots = 1;
+    c.memoryDim = dim;
+    return c;
+}
+
+ModelConfig
+tgnConfig(size_t dim)
+{
+    ModelConfig c;
+    c.name = "TGN";
+    c.sampler = SamplerKind::MostRecent;
+    c.fanout = 1;
+    c.aggregator = AggregatorKind::MostRecent;
+    c.memory = MemoryKind::Gru;
+    c.embed = EmbedKind::Gat;
+    c.mailboxSlots = 1;
+    c.memoryDim = dim;
+    return c;
+}
+
+ModelConfig
+apanConfig(size_t dim)
+{
+    ModelConfig c;
+    c.name = "APAN";
+    c.sampler = SamplerKind::MostRecent;
+    c.fanout = 10;
+    c.aggregator = AggregatorKind::DotAttention;
+    c.memory = MemoryKind::Transformer;
+    c.embed = EmbedKind::Identity;
+    c.mailboxSlots = 10;
+    c.memoryDim = dim;
+    return c;
+}
+
+ModelConfig
+dysatConfig(size_t dim)
+{
+    ModelConfig c;
+    c.name = "DySAT";
+    c.sampler = SamplerKind::Uniform;
+    c.fanout = 10;
+    c.aggregator = AggregatorKind::Mean;
+    c.memory = MemoryKind::Rnn;
+    c.embed = EmbedKind::Gat;
+    c.mailboxSlots = 4;
+    c.memoryDim = dim;
+    return c;
+}
+
+ModelConfig
+tgatConfig(size_t dim)
+{
+    ModelConfig c;
+    c.name = "TGAT";
+    c.sampler = SamplerKind::Uniform;
+    c.fanout = 10;
+    c.aggregator = AggregatorKind::Mean;
+    c.memory = MemoryKind::Identity;
+    c.embed = EmbedKind::Gat2;
+    c.mailboxSlots = 1;
+    c.memoryDim = dim;
+    return c;
+}
+
+std::vector<ModelConfig>
+allModelConfigs(size_t dim)
+{
+    return {apanConfig(dim), jodieConfig(dim), tgnConfig(dim),
+            dysatConfig(dim), tgatConfig(dim)};
+}
+
+} // namespace cascade

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * TGNN model configurations mirroring Table 1 of the paper.
+ *
+ * All five evaluated models share one generic pipeline (sample →
+ * aggregate messages → update memory → embed → predict); a ModelConfig
+ * selects the concrete modules, exactly how TGL parameterizes them.
+ */
+
+#ifndef CASCADE_TGNN_CONFIG_HH
+#define CASCADE_TGNN_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+namespace cascade {
+
+/** How embedding-time neighbors are sampled. */
+enum class SamplerKind
+{
+    MostRecent, ///< latest k events of the node
+    Uniform     ///< uniform over the node's history
+};
+
+/** How pending mailbox messages are aggregated (Eq. 3's AGGR). */
+enum class AggregatorKind
+{
+    MostRecent, ///< use the latest message only
+    Mean,       ///< average the valid messages
+    DotAttention ///< APAN's attention over the mailbox
+};
+
+/** Memory update module (Eq. 3's UPDT). */
+enum class MemoryKind
+{
+    Identity, ///< no memory (TGAT)
+    Rnn,      ///< vanilla RNN (JODIE, DySAT)
+    Gru,      ///< GRU (TGN)
+    Transformer ///< attention-pooled update (APAN)
+};
+
+/** Node embedding module (Eq. 4's GNN). */
+enum class EmbedKind
+{
+    Identity,       ///< memory as embedding (APAN)
+    TimeProjection, ///< JODIE's time-decay projection
+    Gat,            ///< 1-layer GAT (TGN, DySAT)
+    Gat2            ///< 2-layer GAT (TGAT)
+};
+
+/** Full configuration of one TGNN. */
+struct ModelConfig
+{
+    std::string name;
+    SamplerKind sampler = SamplerKind::MostRecent;
+    size_t fanout = 1;        ///< embedding-time neighbor count
+    AggregatorKind aggregator = AggregatorKind::MostRecent;
+    MemoryKind memory = MemoryKind::Gru;
+    EmbedKind embed = EmbedKind::Gat;
+    size_t mailboxSlots = 1;  ///< messages retained per node
+    size_t memoryDim = 32;    ///< paper uses 100; scaled default
+    size_t timeDim = 8;       ///< time-encoding width
+    /**
+     * TGLite-style optimized execution: embed each distinct node of
+     * the batch once (at the batch start time) and gather, instead of
+     * once per event row. Used for the TGLite baseline and
+     * Cascade-Lite (§5.1).
+     */
+    bool dedupEmbed = false;
+};
+
+/** @name Table 1 model factories (dim overrides the scaled default) */
+/** @{ */
+ModelConfig jodieConfig(size_t dim = 32);
+ModelConfig tgnConfig(size_t dim = 32);
+ModelConfig apanConfig(size_t dim = 32);
+ModelConfig dysatConfig(size_t dim = 32);
+ModelConfig tgatConfig(size_t dim = 32);
+/** @} */
+
+/** All five models in the paper's presentation order. */
+std::vector<ModelConfig> allModelConfigs(size_t dim = 32);
+
+} // namespace cascade
+
+#endif // CASCADE_TGNN_CONFIG_HH

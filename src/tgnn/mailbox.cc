@@ -1,0 +1,82 @@
+#include "tgnn/mailbox.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+Mailbox::Mailbox(size_t slots, size_t msg_dim)
+    : slots_(slots), msgDim_(msg_dim)
+{
+    CASCADE_CHECK(slots_ > 0 && msgDim_ > 0, "Mailbox bad dimensions");
+}
+
+void
+Mailbox::push(NodeId node, const float *payload, double ts)
+{
+    NodeBox &box = boxes_[node];
+    if (box.ring.size() < slots_)
+        box.ring.resize(slots_);
+    Slot &slot = box.ring[box.next];
+    slot.payload.assign(payload, payload + msgDim_);
+    slot.ts = ts;
+    box.next = (box.next + 1) % slots_;
+    ++box.count;
+}
+
+bool
+Mailbox::hasMessages(NodeId node) const
+{
+    auto it = boxes_.find(node);
+    return it != boxes_.end() && it->second.count > 0;
+}
+
+Mailbox::Gathered
+Mailbox::gather(const std::vector<NodeId> &nodes, double now) const
+{
+    Gathered out;
+    out.payloads = Tensor(nodes.size() * slots_, msgDim_);
+    out.dt = Tensor(nodes.size() * slots_, 1);
+    out.valid.assign(nodes.size() * slots_, 0.0f);
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        auto it = boxes_.find(nodes[i]);
+        if (it == boxes_.end() || it->second.count == 0)
+            continue;
+        const NodeBox &box = it->second;
+        const size_t have = std::min(box.count, slots_);
+        for (size_t j = 0; j < have; ++j) {
+            // Most recent first: step backwards from the cursor.
+            const size_t pos =
+                (box.next + slots_ - 1 - j) % slots_;
+            const Slot &slot = box.ring[pos];
+            const size_t row = i * slots_ + j;
+            std::copy(slot.payload.begin(), slot.payload.end(),
+                      out.payloads.row(row));
+            out.dt.at(row, 0) = static_cast<float>(now - slot.ts);
+            out.valid[row] = 1.0f;
+        }
+    }
+    return out;
+}
+
+void
+Mailbox::reset()
+{
+    boxes_.clear();
+}
+
+size_t
+Mailbox::bytes() const
+{
+    size_t b = 0;
+    for (const auto &[node, box] : boxes_) {
+        (void)node;
+        b += sizeof(NodeBox) + box.ring.size() *
+             (sizeof(Slot) + msgDim_ * sizeof(float));
+    }
+    return b;
+}
+
+} // namespace cascade

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-node mailbox of raw messages awaiting consumption.
+ *
+ * Eq. 2's messages are generated when a batch's events are processed
+ * and consumed (aggregated + fed to UPDT) the next time the node is
+ * involved — the deferred-update scheme TGL popularized and APAN's
+ * "asynchronous mailbox" generalizes. Message payloads are raw
+ * (non-differentiable) vectors: [other endpoint's memory | edge
+ * features]; the time delta is re-derived at consumption so it is
+ * always fresh.
+ */
+
+#ifndef CASCADE_TGNN_MAILBOX_HH
+#define CASCADE_TGNN_MAILBOX_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/event.hh"
+#include "tensor/tensor.hh"
+
+namespace cascade {
+
+/** Ring buffer of the most recent messages per node. */
+class Mailbox
+{
+  public:
+    /**
+     * @param slots   messages retained per node (1 for JODIE/TGN,
+     *                10 for APAN per Table 1)
+     * @param msg_dim payload width
+     */
+    Mailbox(size_t slots, size_t msg_dim);
+
+    size_t slots() const { return slots_; }
+    size_t msgDim() const { return msgDim_; }
+
+    /** Append a message for a node (evicts the oldest beyond slots). */
+    void push(NodeId node, const float *payload, double ts);
+
+    /** True if the node has at least one pending message. */
+    bool hasMessages(NodeId node) const;
+
+    /**
+     * Gather the latest k<=slots messages for each node into a
+     * (B*slots) x msgDim tensor, most recent first, zero-padded, with
+     * per-slot time deltas (now - msg ts; padding gets dt = 0) and a
+     * per-slot validity mask.
+     */
+    struct Gathered
+    {
+        Tensor payloads; ///< (B*slots) x msgDim
+        Tensor dt;       ///< (B*slots) x 1
+        std::vector<float> valid; ///< (B*slots) 1/0 mask
+    };
+    Gathered gather(const std::vector<NodeId> &nodes, double now) const;
+
+    /** Drop every message (epoch restart). */
+    void reset();
+
+    /** Deep copy for validation snapshots. */
+    Mailbox clone() const { return *this; }
+
+    /** Approximate resident bytes (Figure 13c accounting). */
+    size_t bytes() const;
+
+  private:
+    struct Slot
+    {
+        std::vector<float> payload;
+        double ts = 0.0;
+    };
+    struct NodeBox
+    {
+        std::vector<Slot> ring;
+        size_t next = 0;  ///< insertion cursor
+        size_t count = 0; ///< total pushes
+    };
+
+    size_t slots_;
+    size_t msgDim_;
+    std::unordered_map<NodeId, NodeBox> boxes_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_TGNN_MAILBOX_HH

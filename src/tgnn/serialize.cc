@@ -1,0 +1,110 @@
+#include "tgnn/serialize.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "tgnn/model.hh"
+
+namespace cascade {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x43534b50;  // "CSKP"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool
+writeU32(std::FILE *f, uint32_t v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+readU32(std::FILE *f, uint32_t &v)
+{
+    return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+} // namespace
+
+bool
+saveParameters(const std::vector<Variable> &params,
+               const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    if (!writeU32(f.get(), kMagic) || !writeU32(f.get(), kVersion) ||
+        !writeU32(f.get(), static_cast<uint32_t>(params.size()))) {
+        return false;
+    }
+    for (const auto &p : params) {
+        const Tensor &t = p.value();
+        if (!writeU32(f.get(), static_cast<uint32_t>(t.rows())) ||
+            !writeU32(f.get(), static_cast<uint32_t>(t.cols()))) {
+            return false;
+        }
+        if (t.size() > 0 &&
+            std::fwrite(t.data(), sizeof(float), t.size(), f.get()) !=
+                t.size()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadParameters(std::vector<Variable> params, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    uint32_t magic = 0, version = 0, count = 0;
+    if (!readU32(f.get(), magic) || magic != kMagic ||
+        !readU32(f.get(), version) || version != kVersion ||
+        !readU32(f.get(), count) || count != params.size()) {
+        return false;
+    }
+
+    // Read everything into staging first: a half-applied checkpoint
+    // would be worse than a failed load.
+    std::vector<Tensor> staged;
+    staged.reserve(count);
+    for (const auto &p : params) {
+        uint32_t rows = 0, cols = 0;
+        if (!readU32(f.get(), rows) || !readU32(f.get(), cols) ||
+            rows != p.value().rows() || cols != p.value().cols()) {
+            return false;
+        }
+        Tensor t(rows, cols);
+        if (t.size() > 0 &&
+            std::fread(t.data(), sizeof(float), t.size(), f.get()) !=
+                t.size()) {
+            return false;
+        }
+        staged.push_back(std::move(t));
+    }
+    for (size_t i = 0; i < params.size(); ++i)
+        params[i].valueMutable() = std::move(staged[i]);
+    return true;
+}
+
+bool
+saveModel(const TgnnModel &model, const std::string &path)
+{
+    return saveParameters(model.parameters(), path);
+}
+
+bool
+loadModel(TgnnModel &model, const std::string &path)
+{
+    return loadParameters(model.parameters(), path);
+}
+
+} // namespace cascade

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Model checkpointing.
+ *
+ * Parameters are written in a small self-describing binary format:
+ * magic, version, tensor count, then per tensor (rows, cols, data).
+ * Loading validates shapes against the target model's registry, so a
+ * checkpoint can only be restored into an identically configured
+ * model — mismatches fail loudly instead of silently corrupting
+ * weights.
+ */
+
+#ifndef CASCADE_TGNN_SERIALIZE_HH
+#define CASCADE_TGNN_SERIALIZE_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/variable.hh"
+
+namespace cascade {
+
+class TgnnModel;
+
+/**
+ * Write a parameter list to a file.
+ * @return false on I/O failure
+ */
+bool saveParameters(const std::vector<Variable> &params,
+                    const std::string &path);
+
+/**
+ * Read parameters from a file into an existing registry.
+ * @return false on I/O failure, wrong magic/version, or any shape
+ *         mismatch (the registry is untouched in that case)
+ */
+bool loadParameters(std::vector<Variable> params,
+                    const std::string &path);
+
+/** Convenience wrappers for a whole model. */
+bool saveModel(const TgnnModel &model, const std::string &path);
+bool loadModel(TgnnModel &model, const std::string &path);
+
+} // namespace cascade
+
+#endif // CASCADE_TGNN_SERIALIZE_HH

@@ -1,0 +1,120 @@
+#include "train/batcher.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace cascade {
+
+FixedBatcher::FixedBatcher(size_t num_events, size_t batch_size)
+    : numEvents_(num_events), batchSize_(batch_size)
+{
+    CASCADE_CHECK(batch_size > 0, "FixedBatcher: batch_size must be > 0");
+}
+
+size_t
+FixedBatcher::next(size_t st)
+{
+    CASCADE_CHECK(st < numEvents_, "FixedBatcher: st out of range");
+    return std::min(numEvents_, st + batchSize_);
+}
+
+NeutronStreamBatcher::NeutronStreamBatcher(const EventSequence &seq,
+                                           size_t window,
+                                           size_t train_end)
+    : seq_(seq), window_(window),
+      trainEnd_(train_end == 0 ? seq.size() : train_end)
+{
+    CASCADE_CHECK(window > 0, "NeutronStream: window must be > 0");
+    CASCADE_CHECK(trainEnd_ <= seq.size(),
+                  "NeutronStream: train_end beyond sequence");
+}
+
+size_t
+NeutronStreamBatcher::next(size_t st)
+{
+    CASCADE_CHECK(st < trainEnd_, "NeutronStream: st out of range");
+    Timer t;
+    const size_t hi = std::min(trainEnd_, st + window_);
+
+    // Build the window's event-dependency relation (events conflict
+    // when they share an endpoint), then take the maximal prefix of
+    // pairwise-independent events. This mirrors NeutronStream, which
+    // only parallelizes events without dependencies and otherwise
+    // falls back to sequential execution.
+    std::unordered_set<NodeId> touched;
+    size_t ed = st;
+    for (size_t i = st; i < hi; ++i) {
+        const Event &e = seq_.events[i];
+        if (touched.count(e.src) || touched.count(e.dst))
+            break;
+        touched.insert(e.src);
+        touched.insert(e.dst);
+        ed = i + 1;
+    }
+    if (ed == st)
+        ed = st + 1; // a dependent head event runs alone
+    prepSeconds_ += t.seconds();
+    return ed;
+}
+
+EtcBatcher::EtcBatcher(const EventSequence &seq, size_t base_batch,
+                       size_t train_end)
+    : seq_(seq), baseBatch_(base_batch),
+      trainEnd_(train_end == 0 ? seq.size() : train_end)
+{
+    CASCADE_CHECK(base_batch > 0, "ETC: base_batch must be > 0");
+    CASCADE_CHECK(trainEnd_ <= seq.size(),
+                  "ETC: train_end beyond sequence");
+    // Profile the information loss of the preset small batches and
+    // use the upper bound as the expansion budget (§5.6).
+    Timer t;
+    for (size_t st = 0; st < trainEnd_; st += baseBatch_) {
+        const size_t ed = std::min(trainEnd_, st + baseBatch_);
+        threshold_ =
+            std::max(threshold_, informationLoss(seq_, st, ed));
+    }
+    prepSeconds_ = t.seconds();
+}
+
+size_t
+EtcBatcher::informationLoss(const EventSequence &seq, size_t st,
+                            size_t ed)
+{
+    std::unordered_map<NodeId, size_t> count;
+    size_t loss = 0;
+    for (size_t i = st; i < ed; ++i) {
+        if (count[seq.events[i].src]++ > 0)
+            ++loss;
+        if (count[seq.events[i].dst]++ > 0)
+            ++loss;
+    }
+    return loss;
+}
+
+size_t
+EtcBatcher::next(size_t st)
+{
+    CASCADE_CHECK(st < trainEnd_, "ETC: st out of range");
+    std::unordered_map<NodeId, size_t> count;
+    size_t loss = 0;
+    size_t ed = st;
+    while (ed < trainEnd_) {
+        const Event &e = seq_.events[ed];
+        size_t added = 0;
+        if (count[e.src]++ > 0)
+            ++added;
+        if (count[e.dst]++ > 0)
+            ++added;
+        if (loss + added > threshold_ && ed > st)
+            break;
+        loss += added;
+        ++ed;
+    }
+    return std::max(ed, st + 1);
+}
+
+} // namespace cascade

@@ -1,0 +1,77 @@
+#include "train/churn.hh"
+
+#include <algorithm>
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace cascade {
+
+namespace {
+
+Mlp
+makeHead(size_t embed_dim, Rng &rng)
+{
+    return Mlp({embed_dim, std::max<size_t>(4, embed_dim / 2), 1}, rng);
+}
+
+} // namespace
+
+std::vector<int>
+churnLabels(const TemporalAdjacency &adj,
+            const std::vector<NodeId> &nodes, EventIdx as_of,
+            size_t horizon)
+{
+    std::vector<int> labels;
+    labels.reserve(nodes.size());
+    for (NodeId n : nodes) {
+        const auto &evs = adj.eventsOf(n);
+        auto it = std::lower_bound(evs.begin(), evs.end(), as_of);
+        const bool active = it != evs.end() &&
+            *it < as_of + static_cast<EventIdx>(horizon);
+        labels.push_back(active ? 1 : 0);
+    }
+    return labels;
+}
+
+ChurnProbe::ChurnProbe(size_t embed_dim, uint64_t seed)
+    : rng_(seed), head_(makeHead(embed_dim, rng_)),
+      optimizer_(head_.parameters(), 5e-3f)
+{}
+
+double
+ChurnProbe::trainEpoch(const Tensor &embeddings,
+                       const std::vector<int> &labels)
+{
+    CASCADE_CHECK(embeddings.rows() == labels.size(),
+                  "ChurnProbe: embeddings/labels mismatch");
+    Tensor targets(labels.size(), 1);
+    for (size_t i = 0; i < labels.size(); ++i)
+        targets.at(i, 0) = labels[i] ? 1.0f : 0.0f;
+
+    optimizer_.zeroGrad();
+    Variable logits = head_.forward(Variable(embeddings));
+    Variable loss = ops::bceWithLogits(logits, targets);
+    loss.backward();
+    optimizer_.step();
+    return loss.value().at(0, 0);
+}
+
+std::vector<double>
+ChurnProbe::predict(const Tensor &embeddings) const
+{
+    Variable logits = head_.forward(Variable(embeddings));
+    Tensor probs = ops::sigmoidRaw(logits.value());
+    std::vector<double> out(probs.rows());
+    for (size_t i = 0; i < probs.rows(); ++i)
+        out[i] = probs.at(i, 0);
+    return out;
+}
+
+std::vector<Variable>
+ChurnProbe::parameters() const
+{
+    return head_.parameters();
+}
+
+} // namespace cascade

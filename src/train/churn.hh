@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Node-classification probe: churn prediction.
+ *
+ * The MOOC benchmark of Table 2 is a node-classification task
+ * (student drop-out). Its synthetic stand-in here: predict, from a
+ * node's TGNN embedding at a point in the stream, whether the node
+ * will act again within a horizon of future events ("active") or
+ * churn. Labels derive purely from the event sequence, and a small
+ * logistic head is trained on frozen embeddings — the standard
+ * probing setup for memory-based TGNNs.
+ */
+
+#ifndef CASCADE_TRAIN_CHURN_HH
+#define CASCADE_TRAIN_CHURN_HH
+
+#include <vector>
+
+#include "graph/adjacency.hh"
+#include "graph/event.hh"
+#include "nn/linear.hh"
+#include "tensor/optim.hh"
+
+namespace cascade {
+
+/**
+ * 1 if the node has any event with index in [as_of, as_of + horizon),
+ * else 0 (it churned), per node.
+ */
+std::vector<int> churnLabels(const TemporalAdjacency &adj,
+                             const std::vector<NodeId> &nodes,
+                             EventIdx as_of, size_t horizon);
+
+/** Logistic probe over fixed node embeddings. */
+class ChurnProbe
+{
+  public:
+    /**
+     * @param embed_dim embedding width
+     * @param seed      head initialization seed
+     */
+    ChurnProbe(size_t embed_dim, uint64_t seed);
+
+    /**
+     * One full-batch training epoch.
+     * @param embeddings |N| x embedDim frozen node embeddings
+     * @param labels     {0,1} churn labels, parallel rows
+     * @return epoch BCE loss
+     */
+    double trainEpoch(const Tensor &embeddings,
+                      const std::vector<int> &labels);
+
+    /** P(active) per row. */
+    std::vector<double> predict(const Tensor &embeddings) const;
+
+    /** Head parameters (for persistence / optimizer introspection). */
+    std::vector<Variable> parameters() const;
+
+  private:
+    Rng rng_;
+    Mlp head_;
+    Adam optimizer_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_TRAIN_CHURN_HH

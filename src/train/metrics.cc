@@ -1,0 +1,127 @@
+#include "train/metrics.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+namespace {
+
+/** Indices of scores sorted descending (ties keep input order). */
+std::vector<size_t>
+sortedByScoreDesc(const std::vector<double> &scores)
+{
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&scores](size_t a, size_t b) {
+                         return scores[a] > scores[b];
+                     });
+    return order;
+}
+
+} // namespace
+
+double
+rocAuc(const std::vector<double> &scores, const std::vector<int> &labels)
+{
+    CASCADE_CHECK(scores.size() == labels.size(),
+                  "rocAuc size mismatch");
+    // Rank-sum (Mann-Whitney) formulation with midranks for ties.
+    const size_t n = scores.size();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&scores](size_t a, size_t b) {
+                  return scores[a] < scores[b];
+              });
+
+    double pos_rank_sum = 0.0;
+    size_t pos = 0, neg = 0;
+    size_t i = 0;
+    while (i < n) {
+        size_t j = i;
+        while (j < n && scores[order[j]] == scores[order[i]])
+            ++j;
+        const double midrank = 0.5 * (i + j - 1) + 1.0; // 1-based
+        for (size_t k = i; k < j; ++k) {
+            if (labels[order[k]]) {
+                pos_rank_sum += midrank;
+                ++pos;
+            } else {
+                ++neg;
+            }
+        }
+        i = j;
+    }
+    if (pos == 0 || neg == 0)
+        return 0.5;
+    const double u = pos_rank_sum -
+        static_cast<double>(pos) * (pos + 1) / 2.0;
+    return u / (static_cast<double>(pos) * neg);
+}
+
+double
+averagePrecision(const std::vector<double> &scores,
+                 const std::vector<int> &labels)
+{
+    CASCADE_CHECK(scores.size() == labels.size(),
+                  "averagePrecision size mismatch");
+    size_t total_pos = 0;
+    for (int l : labels)
+        total_pos += l != 0;
+    if (total_pos == 0)
+        return 0.0;
+
+    auto order = sortedByScoreDesc(scores);
+    double ap = 0.0;
+    size_t hits = 0;
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+        if (labels[order[rank]]) {
+            ++hits;
+            ap += static_cast<double>(hits) / (rank + 1);
+        }
+    }
+    return ap / total_pos;
+}
+
+double
+meanReciprocalRank(const std::vector<double> &pos_scores,
+                   const std::vector<double> &neg_scores,
+                   size_t negs_per_query)
+{
+    CASCADE_CHECK(negs_per_query > 0 &&
+                      neg_scores.size() ==
+                          pos_scores.size() * negs_per_query,
+                  "meanReciprocalRank shape mismatch");
+    if (pos_scores.empty())
+        return 0.0;
+    double mrr = 0.0;
+    for (size_t q = 0; q < pos_scores.size(); ++q) {
+        size_t rank = 1;
+        for (size_t j = 0; j < negs_per_query; ++j) {
+            if (neg_scores[q * negs_per_query + j] >= pos_scores[q])
+                ++rank;
+        }
+        mrr += 1.0 / rank;
+    }
+    return mrr / pos_scores.size();
+}
+
+double
+binaryAccuracy(const std::vector<double> &probs,
+               const std::vector<int> &labels)
+{
+    CASCADE_CHECK(probs.size() == labels.size(),
+                  "binaryAccuracy size mismatch");
+    if (probs.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < probs.size(); ++i)
+        correct += (probs[i] > 0.5) == (labels[i] != 0);
+    return static_cast<double>(correct) / probs.size();
+}
+
+} // namespace cascade

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ranking and classification metrics for link-prediction and node-
+ * classification evaluation (AUC / average precision are the metrics
+ * the TGNN literature reports alongside loss).
+ */
+
+#ifndef CASCADE_TRAIN_METRICS_HH
+#define CASCADE_TRAIN_METRICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cascade {
+
+/**
+ * Area under the ROC curve via the rank statistic.
+ * @param scores prediction scores (any monotone scale)
+ * @param labels {0,1} ground truth, parallel to scores
+ * @return AUC in [0,1]; 0.5 when a class is missing
+ */
+double rocAuc(const std::vector<double> &scores,
+              const std::vector<int> &labels);
+
+/**
+ * Average precision (area under the precision-recall curve,
+ * step-interpolated).
+ */
+double averagePrecision(const std::vector<double> &scores,
+                        const std::vector<int> &labels);
+
+/**
+ * Mean reciprocal rank of the positive among its negatives.
+ * @param pos_scores one positive score per query
+ * @param neg_scores negatives per query, flattened row-major
+ * @param negs_per_query fixed negatives per query
+ */
+double meanReciprocalRank(const std::vector<double> &pos_scores,
+                          const std::vector<double> &neg_scores,
+                          size_t negs_per_query);
+
+/** Classification accuracy at a 0.5 threshold on probabilities. */
+double binaryAccuracy(const std::vector<double> &probs,
+                      const std::vector<int> &labels);
+
+} // namespace cascade
+
+#endif // CASCADE_TRAIN_METRICS_HH

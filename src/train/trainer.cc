@@ -1,0 +1,97 @@
+#include "train/trainer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace cascade {
+
+TrainReport
+trainModel(TgnnModel &model, const EventSequence &data,
+           const TemporalAdjacency &adj, size_t train_end,
+           Batcher &batcher, const TrainOptions &options,
+           DeviceModel *device)
+{
+    CASCADE_CHECK(train_end > 0 && train_end <= data.size(),
+                  "trainModel: bad train range");
+    TrainReport report;
+    report.preprocessSeconds = batcher.preprocessSeconds();
+
+    Accumulator model_time;
+    size_t total_events = 0;
+    DeviceModel local_device;
+    DeviceModel &dev = device ? *device : local_device;
+
+    for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        Timer epoch_timer;
+        model.resetState();
+        batcher.reset();
+
+        EpochStats es;
+        double loss_sum = 0.0;
+        size_t events = 0;
+        const double dev_before = dev.totalSeconds();
+
+        size_t batch_index = 0;
+        size_t st = 0;
+        while (st < train_end) {
+            const size_t ed = batcher.next(st);
+            CASCADE_CHECK(ed > st && ed <= train_end,
+                          "batcher returned a bad range");
+
+            StepResult r;
+            {
+                TimerGuard guard(model_time);
+                r = model.step(data, adj, st, ed, true);
+            }
+            dev.charge(r.numEvents, r.workRows, r.sampledNeighbors);
+
+            BatchFeedback fb;
+            fb.batchIndex = batch_index++;
+            fb.st = st;
+            fb.ed = ed;
+            fb.loss = r.loss;
+            fb.updatedNodes = &r.updatedNodes;
+            fb.memCosine = &r.memCosine;
+            batcher.onBatchDone(fb);
+
+            loss_sum += r.loss * r.numEvents;
+            events += r.numEvents;
+            st = ed;
+        }
+
+        es.batches = batch_index;
+        es.trainLoss = events ? loss_sum / events : 0.0;
+        es.avgBatchSize = batch_index
+            ? static_cast<double>(events) / batch_index : 0.0;
+        es.wallSeconds = epoch_timer.seconds();
+        es.deviceSeconds = dev.totalSeconds() - dev_before;
+        es.stableUpdateRatio = batcher.stableUpdateRatio();
+        report.epochs.push_back(es);
+
+        report.totalBatches += batch_index;
+        total_events += events;
+        report.wallSeconds += es.wallSeconds;
+        report.stableUpdateRatio = batcher.stableUpdateRatio();
+    }
+
+    report.deviceSeconds = dev.totalSeconds();
+    report.deviceUtilization = dev.utilization();
+    report.lookupSeconds = batcher.lookupSeconds();
+    report.modelSeconds = model_time.seconds();
+    // Preprocessing that happened lazily during training (pipelined
+    // chunk builds) shows up as the delta against the initial charge.
+    report.preprocessSeconds = batcher.preprocessSeconds();
+    report.avgBatchSize = report.totalBatches
+        ? static_cast<double>(total_events) / report.totalBatches
+        : 0.0;
+
+    if (options.validate && train_end < data.size()) {
+        report.valLoss = model.evalLoss(data, adj, train_end,
+                                        data.size(), options.evalBatch);
+    }
+    return report;
+}
+
+} // namespace cascade

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The training loop (Algorithm 1's outer structure).
+ *
+ * Drives a TgnnModel over the training range with any Batcher policy,
+ * collecting the measurements every evaluation figure needs: wall-
+ * clock and modeled device time, per-phase latency breakdown (table
+ * building / batch lookup / model compute — Figure 13b), batch-size
+ * statistics (Figure 12a), the stable-update ratio (Figure 5) and the
+ * final validation loss at the preset base batch size (Figures 11/16).
+ */
+
+#ifndef CASCADE_TRAIN_TRAINER_HH
+#define CASCADE_TRAIN_TRAINER_HH
+
+#include <vector>
+
+#include "graph/adjacency.hh"
+#include "graph/event.hh"
+#include "sim/device_model.hh"
+#include "tgnn/model.hh"
+#include "train/batcher.hh"
+
+namespace cascade {
+
+/** Per-epoch measurements. */
+struct EpochStats
+{
+    double trainLoss = 0.0;     ///< event-weighted mean batch loss
+    size_t batches = 0;
+    double avgBatchSize = 0.0;
+    double wallSeconds = 0.0;
+    double deviceSeconds = 0.0;
+    double stableUpdateRatio = 0.0; ///< Figure 5 series
+};
+
+/** Full-run measurements. */
+struct TrainReport
+{
+    std::vector<EpochStats> epochs;
+
+    double wallSeconds = 0.0;      ///< total training wall time
+    double deviceSeconds = 0.0;    ///< total modeled device time
+    double preprocessSeconds = 0.0;///< table building + profiling
+    double lookupSeconds = 0.0;    ///< batch-boundary search
+    double modelSeconds = 0.0;     ///< forward/backward/update
+
+    double valLoss = 0.0;          ///< final loss at the base batch
+    double avgBatchSize = 0.0;
+    size_t totalBatches = 0;
+    double deviceUtilization = 0.0;
+    double stableUpdateRatio = 0.0;///< last epoch (0 if policy lacks it)
+
+    /** End-to-end modeled latency: preprocessing + device time. */
+    double
+    totalDeviceSeconds() const
+    {
+        return preprocessSeconds + deviceSeconds;
+    }
+};
+
+/** Options controlling a training run. */
+struct TrainOptions
+{
+    size_t epochs = 4;
+    /** Validation batch size (the paper evaluates at the preset 900,
+     *  scaled). */
+    size_t evalBatch = 100;
+    /** Validate after training (needs a validation range). */
+    bool validate = true;
+};
+
+/**
+ * Run `model` over data[0, train_end) with `batcher`, validating on
+ * data[train_end, N).
+ */
+TrainReport trainModel(TgnnModel &model, const EventSequence &data,
+                       const TemporalAdjacency &adj, size_t train_end,
+                       Batcher &batcher, const TrainOptions &options,
+                       DeviceModel *device = nullptr);
+
+} // namespace cascade
+
+#endif // CASCADE_TRAIN_TRAINER_HH

@@ -1,0 +1,34 @@
+#include "util/env.hh"
+
+#include <cstdlib>
+
+namespace cascade {
+
+double
+envDouble(const std::string &name, double deflt)
+{
+    const char *v = std::getenv(name.c_str());
+    if (!v || !*v)
+        return deflt;
+    return std::strtod(v, nullptr);
+}
+
+long
+envLong(const std::string &name, long deflt)
+{
+    const char *v = std::getenv(name.c_str());
+    if (!v || !*v)
+        return deflt;
+    return std::strtol(v, nullptr, 10);
+}
+
+std::string
+envString(const std::string &name, const std::string &deflt)
+{
+    const char *v = std::getenv(name.c_str());
+    if (!v || !*v)
+        return deflt;
+    return v;
+}
+
+} // namespace cascade

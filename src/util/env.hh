@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Environment-variable configuration helpers.
+ *
+ * Benches and examples read CASCADE_SCALE / CASCADE_THREADS /
+ * CASCADE_EPOCHS through these so a single run can be resized without
+ * recompiling.
+ */
+
+#ifndef CASCADE_UTIL_ENV_HH
+#define CASCADE_UTIL_ENV_HH
+
+#include <string>
+
+namespace cascade {
+
+/** Read an environment variable as double, or fall back to deflt. */
+double envDouble(const std::string &name, double deflt);
+
+/** Read an environment variable as long, or fall back to deflt. */
+long envLong(const std::string &name, long deflt);
+
+/** Read an environment variable as string, or fall back to deflt. */
+std::string envString(const std::string &name, const std::string &deflt);
+
+} // namespace cascade
+
+#endif // CASCADE_UTIL_ENV_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (library bugs);
+ * fatal() is for unrecoverable user errors (bad configuration).
+ */
+
+#ifndef CASCADE_UTIL_LOGGING_HH
+#define CASCADE_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cascade {
+
+/** Abort with a message; use for "should never happen" conditions. */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/** Exit with an error code; use for user-caused unrecoverable errors. */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace cascade
+
+#define CASCADE_PANIC(msg) ::cascade::panicImpl(__FILE__, __LINE__, msg)
+#define CASCADE_FATAL(msg) ::cascade::fatalImpl(__FILE__, __LINE__, msg)
+
+/** Cheap always-on invariant check (unlike assert, survives NDEBUG). */
+#define CASCADE_CHECK(cond, msg)                                           \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            CASCADE_PANIC(msg);                                            \
+    } while (0)
+
+#endif // CASCADE_UTIL_LOGGING_HH

@@ -1,0 +1,134 @@
+#include "util/parallel.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace cascade {
+
+namespace {
+
+std::unique_ptr<ThreadPool> globalPool;
+std::mutex globalPoolMutex;
+size_t requestedThreads = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    taskCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+        ++inflight_;
+    }
+    taskCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskCv_.wait(lock,
+                         [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inflight_;
+            if (inflight_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    if (!globalPool) {
+        size_t n = requestedThreads;
+        if (n == 0)
+            n = std::max<size_t>(1, std::thread::hardware_concurrency());
+        globalPool = std::make_unique<ThreadPool>(n);
+    }
+    return *globalPool;
+}
+
+void
+ThreadPool::setGlobalThreads(size_t threads)
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    requestedThreads = threads;
+    globalPool.reset();
+}
+
+void
+parallelFor(size_t begin, size_t end,
+            const std::function<void(size_t)> &body, size_t grain)
+{
+    parallelForChunks(begin, end,
+                      [&body](size_t lo, size_t hi) {
+                          for (size_t i = lo; i < hi; ++i)
+                              body(i);
+                      },
+                      grain);
+}
+
+void
+parallelForChunks(size_t begin, size_t end,
+                  const std::function<void(size_t, size_t)> &body,
+                  size_t grain)
+{
+    if (end <= begin)
+        return;
+    const size_t n = end - begin;
+    auto &pool = ThreadPool::global();
+    const size_t workers = pool.threads();
+    if (n <= grain || workers <= 1) {
+        body(begin, end);
+        return;
+    }
+    const size_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
+    const size_t step = (n + chunks - 1) / chunks;
+    for (size_t lo = begin; lo < end; lo += step) {
+        const size_t hi = std::min(end, lo + step);
+        pool.submit([&body, lo, hi] { body(lo, hi); });
+    }
+    pool.wait();
+}
+
+} // namespace cascade

@@ -1,0 +1,136 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+namespace {
+
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+    : cachedGaussian_(0.0), hasCachedGaussian_(false)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    CASCADE_CHECK(n > 0, "uniformInt requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -n % n;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-12)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    cachedGaussian_ = mag * std::sin(2.0 * M_PI * u2);
+    hasCachedGaussian_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+uint64_t
+Rng::zipf(uint64_t n, double alpha)
+{
+    CASCADE_CHECK(n > 0, "zipf requires n > 0");
+    // Inverse-CDF over a power-law approximated continuously; exact
+    // harmonic normalization is unnecessary for workload synthesis.
+    if (alpha <= 0.0)
+        return uniformInt(n);
+    const double u = uniform();
+    if (std::abs(alpha - 1.0) < 1e-9) {
+        const double r = std::pow(static_cast<double>(n), u);
+        uint64_t v = static_cast<uint64_t>(r) - 1;
+        return v < n ? v : n - 1;
+    }
+    const double oneMinus = 1.0 - alpha;
+    const double nm = std::pow(static_cast<double>(n), oneMinus);
+    const double x = std::pow(u * (nm - 1.0) + 1.0, 1.0 / oneMinus);
+    uint64_t v = static_cast<uint64_t>(x) - (x >= 1.0 ? 1 : 0);
+    return v < n ? v : n - 1;
+}
+
+double
+Rng::exponential(double rate)
+{
+    CASCADE_CHECK(rate > 0.0, "exponential requires rate > 0");
+    double u = 0.0;
+    while (u <= 1e-12)
+        u = uniform();
+    return -std::log(u) / rate;
+}
+
+} // namespace cascade

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small xoshiro256** generator seeded via SplitMix64. Every stochastic
+ * component in the library (weight init, dataset synthesis, negative
+ * sampling) takes an explicit Rng so experiments are reproducible from a
+ * single seed.
+ */
+
+#ifndef CASCADE_UTIL_RNG_HH
+#define CASCADE_UTIL_RNG_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace cascade {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience samplers.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double gaussian();
+
+    /** Normal with given mean / stddev. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli draw with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Zipf-like draw over [0, n): probability of rank r is
+     * proportional to (r + 1)^-alpha. Used by the synthetic dataset
+     * generators to reproduce skewed degree distributions.
+     */
+    uint64_t zipf(uint64_t n, double alpha);
+
+    /** Exponential with given rate (inter-arrival times). */
+    double exponential(double rate);
+
+  private:
+    uint64_t s_[4];
+    double cachedGaussian_;
+    bool hasCachedGaussian_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_UTIL_RNG_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the benchmark harness and the
+ * trainer's latency breakdown accounting (Figure 13b / 14c).
+ */
+
+#ifndef CASCADE_UTIL_TIMER_HH
+#define CASCADE_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace cascade {
+
+/** Simple monotonic stopwatch reporting elapsed seconds. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Accumulates time across disjoint intervals (scoped via TimerGuard). */
+class Accumulator
+{
+  public:
+    /** Add raw seconds. */
+    void add(double s) { total_ += s; ++count_; }
+
+    /** Total accumulated seconds. */
+    double seconds() const { return total_; }
+
+    /** Number of recorded intervals. */
+    long count() const { return count_; }
+
+    /** Clear the accumulator. */
+    void reset() { total_ = 0.0; count_ = 0; }
+
+  private:
+    double total_ = 0.0;
+    long count_ = 0;
+};
+
+/** RAII guard that adds its lifetime to an Accumulator. */
+class TimerGuard
+{
+  public:
+    explicit TimerGuard(Accumulator &acc) : acc_(acc) {}
+    ~TimerGuard() { acc_.add(timer_.seconds()); }
+
+    TimerGuard(const TimerGuard &) = delete;
+    TimerGuard &operator=(const TimerGuard &) = delete;
+
+  private:
+    Accumulator &acc_;
+    Timer timer_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_UTIL_TIMER_HH

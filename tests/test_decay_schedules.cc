@@ -1,0 +1,104 @@
+/**
+ * @file
+ * ABS decay-schedule ablation tests: the alternative schedules share
+ * the clamp/plateau machinery but decay at characteristically
+ * different speeds, and the init factor shifts the starting point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/abs.hh"
+
+using namespace cascade;
+
+namespace {
+
+AdaptiveBatchSensor
+makeSensor(DecaySchedule schedule, double init_factor = 2.0)
+{
+    AdaptiveBatchSensor::Options o;
+    o.baseBatch = 8;
+    o.period = 20;
+    o.plateau = 10;
+    o.schedule = schedule;
+    o.initFactor = init_factor;
+    AdaptiveBatchSensor abs(o);
+    EnduranceStats s;
+    s.mrMin = 2;
+    s.mrMean = 10;
+    s.mrMax = 60;
+    s.batchCount = 100;
+    abs.setStats(s);
+    return abs;
+}
+
+/** Max_r after n flat-loss batches. */
+size_t
+maxrAfter(AdaptiveBatchSensor &abs, int n)
+{
+    for (int i = 0; i < n; ++i)
+        abs.observeLoss(0.5);
+    return abs.currentMaxRevisit();
+}
+
+} // namespace
+
+TEST(DecaySchedules, NoneNeverMoves)
+{
+    auto abs = makeSensor(DecaySchedule::None);
+    EXPECT_EQ(maxrAfter(abs, 1000), 20u);
+    EXPECT_GT(abs.decayCount(), 0u); // decisions fire, value holds
+}
+
+TEST(DecaySchedules, LinearReachesMinimumWithinBudget)
+{
+    auto abs = makeSensor(DecaySchedule::Linear);
+    // After batchCount flat batches the line has hit mr_min.
+    EXPECT_EQ(maxrAfter(abs, 120), 2u);
+}
+
+TEST(DecaySchedules, ExponentialDecaysFasterThanLogarithmic)
+{
+    auto log_abs = makeSensor(DecaySchedule::Logarithmic);
+    auto exp_abs = makeSensor(DecaySchedule::Exponential);
+    const size_t log_v = maxrAfter(log_abs, 200);
+    const size_t exp_v = maxrAfter(exp_abs, 200);
+    EXPECT_LE(exp_v, log_v);
+    EXPECT_GE(exp_v, 2u);
+}
+
+TEST(DecaySchedules, AllStayClamped)
+{
+    for (DecaySchedule s :
+         {DecaySchedule::Logarithmic, DecaySchedule::Linear,
+          DecaySchedule::Exponential, DecaySchedule::None}) {
+        auto abs = makeSensor(s);
+        const size_t v = maxrAfter(abs, 3000);
+        EXPECT_GE(v, 2u);
+        EXPECT_LE(v, 60u);
+    }
+}
+
+TEST(DecaySchedules, InitFactorShiftsStart)
+{
+    auto one = makeSensor(DecaySchedule::Logarithmic, 1.0);
+    auto two = makeSensor(DecaySchedule::Logarithmic, 2.0);
+    auto three = makeSensor(DecaySchedule::Logarithmic, 3.0);
+    EXPECT_EQ(one.currentMaxRevisit(), 10u);
+    EXPECT_EQ(two.currentMaxRevisit(), 20u);
+    EXPECT_EQ(three.currentMaxRevisit(), 30u);
+}
+
+TEST(DecaySchedules, InitFactorClampsAtProfiledMax)
+{
+    auto big = makeSensor(DecaySchedule::Logarithmic, 10.0);
+    EXPECT_EQ(big.currentMaxRevisit(), 60u);
+}
+
+TEST(DecaySchedules, EpochResetRestoresConfiguredStart)
+{
+    auto abs = makeSensor(DecaySchedule::Linear, 3.0);
+    maxrAfter(abs, 500);
+    abs.resetEpoch();
+    EXPECT_EQ(abs.currentMaxRevisit(), 30u);
+}

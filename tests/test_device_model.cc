@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Device cost-model tests: charge arithmetic, utilization accounting,
+ * and the §3.1 calibration targets the model substitutes for the
+ * paper's A100 measurements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/device_model.hh"
+
+using namespace cascade;
+
+TEST(DeviceModel, ChargeMatchesFormula)
+{
+    DeviceParams p;
+    p.tLaunch = 1.0;
+    p.tSample = 0.1;
+    p.lanes = 100;
+    p.tWave = 2.0;
+    DeviceModel dm(p);
+    // 250 rows -> 3 waves; 10 samples -> 1.0s.
+    const double t = dm.charge(50, 250, 10);
+    EXPECT_DOUBLE_EQ(t, 1.0 + 1.0 + 3 * 2.0);
+    EXPECT_DOUBLE_EQ(dm.totalSeconds(), t);
+    EXPECT_EQ(dm.batches(), 1u);
+}
+
+TEST(DeviceModel, UtilizationIsRowFillFraction)
+{
+    DeviceParams p;
+    p.lanes = 100;
+    DeviceModel dm(p);
+    dm.charge(10, 50, 0);  // 1 wave, 50% filled
+    EXPECT_NEAR(dm.utilization(), 0.5, 1e-9);
+    dm.charge(10, 150, 0); // 2 waves, 150/200 filled
+    EXPECT_NEAR(dm.utilization(), 200.0 / 300.0, 1e-9);
+}
+
+TEST(DeviceModel, ResetClears)
+{
+    DeviceModel dm;
+    dm.charge(10, 10, 10);
+    dm.reset();
+    EXPECT_DOUBLE_EQ(dm.totalSeconds(), 0.0);
+    EXPECT_EQ(dm.batches(), 0u);
+    EXPECT_DOUBLE_EQ(dm.utilization(), 0.0);
+}
+
+TEST(DeviceModel, ZeroRowBatchStillPaysLaunch)
+{
+    DeviceParams p;
+    p.tLaunch = 0.5;
+    DeviceModel dm(p);
+    EXPECT_DOUBLE_EQ(dm.charge(0, 0, 0), 0.5);
+}
+
+TEST(DeviceModel, CalibrationLargeBatchesCutLatencyAbout70Percent)
+{
+    // §3.1: BS=6000 reduces TGN/WIKI latency by ~71% vs BS=900.
+    // Reproduce the comparison: same total events, ~3.4 effective
+    // rows per event (TGN), default parameters.
+    const size_t total_events = 90000;
+    const double rows_per_event = 3.4;
+    auto epoch_seconds = [&](size_t bs) {
+        DeviceModel dm;
+        for (size_t st = 0; st < total_events; st += bs) {
+            const size_t b = std::min(bs, total_events - st);
+            dm.charge(b, static_cast<size_t>(b * rows_per_event), b);
+        }
+        return dm.totalSeconds();
+    };
+    const double t900 = epoch_seconds(900);
+    const double t6000 = epoch_seconds(6000);
+    EXPECT_NEAR(t6000 / t900, 0.30, 0.07);
+}
+
+TEST(DeviceModel, CalibrationBaseBatchUnderutilizes)
+{
+    // §3.1: the base batch leaves the device mostly idle (~17%).
+    DeviceModel dm;
+    dm.charge(900, 3060, 900);
+    EXPECT_NEAR(dm.utilization(), 0.172, 0.03);
+}
+
+TEST(DeviceModel, BiggerBatchesRaiseUtilization)
+{
+    DeviceModel a, b;
+    a.charge(900, 3060, 0);
+    b.charge(6000, 20400, 0);
+    EXPECT_GT(b.utilization(), a.utilization());
+}
+
+TEST(DeviceModel, ScaledParamsKeepBaseBatchFillFraction)
+{
+    // A scaled base batch must occupy the same lane fraction as the
+    // paper's 900-event batch does at full scale.
+    DeviceParams full;
+    DeviceParams scaled = scaledDeviceParams(45); // scale divisor 20
+    const double full_fill = 900.0 * 3.4 / full.lanes;
+    const double scaled_fill = 45.0 * 3.4 / scaled.lanes;
+    EXPECT_NEAR(scaled_fill, full_fill, 0.02);
+    // Tiny batches never drop below the lane floor.
+    EXPECT_GE(scaledDeviceParams(1).lanes, 32u);
+}

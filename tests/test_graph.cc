@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Graph-substrate tests: event sequences, dataset synthesis (spec
+ * conformance across all seven Table 2 datasets), temporal adjacency
+ * and structural statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/adjacency.hh"
+#include "graph/dataset.hh"
+#include "graph/stats.hh"
+
+using namespace cascade;
+
+namespace {
+
+EventSequence
+tinyDataset(double scale = 200.0, uint64_t seed = 42)
+{
+    DatasetSpec spec = wikiSpec(scale);
+    Rng rng(seed);
+    return generateDataset(spec, rng);
+}
+
+} // namespace
+
+TEST(EventSequence, SliceKeepsFeatures)
+{
+    EventSequence seq = tinyDataset();
+    EventSequence s = seq.slice(10, 20);
+    ASSERT_EQ(s.size(), 10u);
+    EXPECT_EQ(s.featDim(), seq.featDim());
+    EXPECT_EQ(s.events[0].src, seq.events[10].src);
+    for (size_t c = 0; c < seq.featDim(); ++c)
+        EXPECT_FLOAT_EQ(s.features.at(0, c), seq.features.at(10, c));
+}
+
+TEST(EventSequence, ChronologicalInvariantDetection)
+{
+    EventSequence seq;
+    seq.numNodes = 4;
+    seq.events = {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 1.5}};
+    EXPECT_FALSE(seq.isChronological());
+    seq.events[2].ts = 2.5;
+    EXPECT_TRUE(seq.isChronological());
+}
+
+class DatasetSpecConformance
+    : public ::testing::TestWithParam<int>
+{
+  public:
+    static DatasetSpec
+    spec(int which, double scale)
+    {
+        switch (which) {
+          case 0: return wikiSpec(scale);
+          case 1: return redditSpec(scale);
+          case 2: return moocSpec(scale);
+          case 3: return wikiTalkSpec(scale);
+          case 4: return sxFullSpec(scale);
+          case 5: return gdeltSpec(scale);
+          default: return magSpec(scale);
+        }
+    }
+};
+
+TEST_P(DatasetSpecConformance, GeneratedGraphMatchesSpec)
+{
+    // Large scale keeps each synthetic graph small enough for tests.
+    const double scale = GetParam() >= 3 ? 20000.0 : 300.0;
+    DatasetSpec spec = DatasetSpecConformance::spec(GetParam(), scale);
+    Rng rng(1);
+    EventSequence seq = generateDataset(spec, rng);
+
+    EXPECT_EQ(seq.size(), spec.numEvents);
+    EXPECT_EQ(seq.numNodes, spec.numNodes);
+    EXPECT_EQ(seq.featDim(), spec.featDim);
+    EXPECT_TRUE(seq.isChronological());
+    for (const Event &e : seq.events) {
+        ASSERT_GE(e.src, 0);
+        ASSERT_LT(static_cast<size_t>(e.src), spec.numNodes);
+        ASSERT_GE(e.dst, 0);
+        ASSERT_LT(static_cast<size_t>(e.dst), spec.numNodes);
+    }
+}
+
+TEST_P(DatasetSpecConformance, BipartiteSidesRespected)
+{
+    const double scale = GetParam() >= 3 ? 20000.0 : 300.0;
+    DatasetSpec spec = DatasetSpecConformance::spec(GetParam(), scale);
+    if (!spec.bipartite)
+        GTEST_SKIP() << "unipartite dataset";
+    Rng rng(2);
+    EventSequence seq = generateDataset(spec, rng);
+    const size_t src_count = std::max<size_t>(4, spec.numNodes * 8 / 9);
+    for (const Event &e : seq.events) {
+        ASSERT_LT(static_cast<size_t>(e.src), src_count);
+        ASSERT_GE(static_cast<size_t>(e.dst), src_count);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSpecConformance,
+                         ::testing::Range(0, 7));
+
+TEST(Dataset, DeterministicForSameSeed)
+{
+    Rng r1(9), r2(9);
+    DatasetSpec spec = wikiSpec(300.0);
+    EventSequence a = generateDataset(spec, r1);
+    EventSequence b = generateDataset(spec, r2);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events[i].src, b.events[i].src);
+        EXPECT_EQ(a.events[i].dst, b.events[i].dst);
+        EXPECT_DOUBLE_EQ(a.events[i].ts, b.events[i].ts);
+    }
+}
+
+TEST(Dataset, DifferentSeedsProduceDifferentStreams)
+{
+    Rng r1(9), r2(10);
+    DatasetSpec spec = wikiSpec(300.0);
+    EventSequence a = generateDataset(spec, r1);
+    EventSequence b = generateDataset(spec, r2);
+    size_t diff = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        diff += a.events[i].dst != b.events[i].dst;
+    EXPECT_GT(diff, a.size() / 4);
+}
+
+TEST(Dataset, RepeatInteractionsPresent)
+{
+    // The repeat-partner mechanism must produce recurring pairs,
+    // which is what stabilizes node memories (§3.3).
+    EventSequence seq = tinyDataset(100.0);
+    EXPECT_GT(repeatPairFraction(seq), 0.2);
+}
+
+TEST(Dataset, DegreeSkewPresent)
+{
+    EventSequence seq = tinyDataset(100.0);
+    TemporalAdjacency adj(seq);
+    size_t max_deg = 0;
+    for (size_t n = 0; n < seq.numNodes; ++n)
+        max_deg = std::max(max_deg, adj.eventsOf(n).size());
+    const double avg = 2.0 * seq.size() / seq.numNodes;
+    // Hubs well above the average degree (Figure 3's heavy tail).
+    EXPECT_GT(static_cast<double>(max_deg), 4.0 * avg);
+}
+
+TEST(Dataset, SplitIsChronologicalPartition)
+{
+    EventSequence seq = tinyDataset();
+    TrainValSplit split = splitSequence(seq, 0.8);
+    EXPECT_EQ(split.train.size() + split.val.size(), seq.size());
+    EXPECT_TRUE(split.train.isChronological());
+    EXPECT_TRUE(split.val.isChronological());
+    EXPECT_LE(split.train.events.back().ts, split.val.events.front().ts);
+}
+
+TEST(Dataset, AverageDegreeOrderingMatchesPaper)
+{
+    // §5.2: REDDIT and MOOC are dense; WIKI and WIKI-TALK sparse.
+    EXPECT_GT(redditSpec(1.0).avgDegree(), wikiSpec(1.0).avgDegree());
+    EXPECT_GT(moocSpec(1.0).avgDegree(), wikiSpec(1.0).avgDegree());
+    EXPECT_LT(wikiTalkSpec(1.0).avgDegree(), wikiSpec(1.0).avgDegree());
+}
+
+TEST(Adjacency, ListsAreChronologicalAndComplete)
+{
+    EventSequence seq = tinyDataset();
+    TemporalAdjacency adj(seq);
+    size_t total = 0;
+    for (size_t n = 0; n < seq.numNodes; ++n) {
+        const auto &lst = adj.eventsOf(static_cast<NodeId>(n));
+        total += lst.size();
+        for (size_t i = 1; i < lst.size(); ++i)
+            ASSERT_LT(lst[i - 1], lst[i]);
+        for (EventIdx e : lst) {
+            const Event &ev = seq.events[static_cast<size_t>(e)];
+            ASSERT_TRUE(ev.src == static_cast<NodeId>(n) ||
+                        ev.dst == static_cast<NodeId>(n));
+        }
+    }
+    // Every event contributes exactly two incidences (src != dst).
+    EXPECT_EQ(total, 2 * seq.size());
+}
+
+TEST(Adjacency, LastKBeforeIsRecentFirstAndBounded)
+{
+    EventSequence seq = tinyDataset();
+    TemporalAdjacency adj(seq);
+    const NodeId n = seq.events[seq.size() / 2].src;
+    auto r = adj.lastKBefore(n, static_cast<EventIdx>(seq.size()), 5);
+    ASSERT_LE(r.size(), 5u);
+    for (size_t i = 1; i < r.size(); ++i)
+        ASSERT_GT(r[i - 1], r[i]); // most recent first
+    // All strictly before the cutoff.
+    auto r2 = adj.lastKBefore(n, 0, 5);
+    EXPECT_TRUE(r2.empty());
+}
+
+TEST(Adjacency, UniformKBeforeRespectsCutoff)
+{
+    EventSequence seq = tinyDataset();
+    TemporalAdjacency adj(seq);
+    Rng rng(3);
+    const NodeId n = seq.events[seq.size() - 1].src;
+    const EventIdx cutoff = static_cast<EventIdx>(seq.size() / 2);
+    for (int rep = 0; rep < 20; ++rep) {
+        for (EventIdx e : adj.uniformKBefore(n, cutoff, 8, rng))
+            ASSERT_LT(e, cutoff);
+    }
+}
+
+TEST(Adjacency, CountBeforeMatchesManualCount)
+{
+    EventSequence seq = tinyDataset();
+    TemporalAdjacency adj(seq);
+    const NodeId n = seq.events[0].src;
+    const EventIdx cutoff = static_cast<EventIdx>(seq.size() / 3);
+    size_t manual = 0;
+    for (size_t i = 0; i < static_cast<size_t>(cutoff); ++i) {
+        manual += seq.events[i].src == n || seq.events[i].dst == n;
+    }
+    EXPECT_EQ(adj.countBefore(n, cutoff), manual);
+}
+
+TEST(Stats, BatchDegreeHistogramAccountsEveryNodeBatchPair)
+{
+    EventSequence seq = tinyDataset();
+    const size_t bs = 50;
+    BatchDegreeHistogram h = batchDegreeHistogram(seq, bs, 5);
+    EXPECT_GT(h.total(), 0u);
+    EXPECT_GT(h.maxDegree, 0u);
+    EXPECT_LE(h.maxDegree, 2 * bs);
+    // Fractions sum to 1.
+    double sum = 0.0;
+    for (size_t i = 0; i < h.counts.size(); ++i)
+        sum += h.fraction(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Stats, MostNodesHaveLowPerBatchDegree)
+{
+    // Figure 3's key observation: the majority of nodes see only a
+    // handful of events per batch.
+    EventSequence seq = tinyDataset(60.0);
+    DatasetSpec spec = wikiSpec(60.0);
+    BatchDegreeHistogram h =
+        batchDegreeHistogram(seq, spec.baseBatch, 5);
+    EXPECT_GT(h.fraction(0), 0.5);
+}
+
+TEST(Stats, ActiveNodeCount)
+{
+    EventSequence seq;
+    seq.numNodes = 10;
+    seq.events = {{0, 1, 1.0}, {0, 2, 2.0}, {1, 2, 3.0}};
+    EXPECT_EQ(activeNodeCount(seq), 3u);
+}
+
+TEST(Stats, RepeatPairFraction)
+{
+    EventSequence seq;
+    seq.numNodes = 4;
+    seq.events = {{0, 1, 1.0}, {0, 1, 2.0}, {2, 3, 3.0}, {0, 1, 4.0}};
+    EXPECT_DOUBLE_EQ(repeatPairFraction(seq), 0.5);
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Metric tests: ROC-AUC (including ties and degenerate label sets),
+ * average precision, MRR and threshold accuracy against hand-computed
+ * values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "train/metrics.hh"
+
+using namespace cascade;
+
+TEST(RocAuc, PerfectSeparation)
+{
+    EXPECT_DOUBLE_EQ(rocAuc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(RocAuc, PerfectInversion)
+{
+    EXPECT_DOUBLE_EQ(rocAuc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(RocAuc, RandomScoresNearHalf)
+{
+    // Alternating labels with identical scores: all ties -> 0.5.
+    EXPECT_DOUBLE_EQ(rocAuc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(RocAuc, HandComputedMixedCase)
+{
+    // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+    // pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) => 3/4.
+    EXPECT_DOUBLE_EQ(rocAuc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(RocAuc, TiesCountHalf)
+{
+    // One tied pos/neg pair: 0.5 credit => AUC 0.5.
+    EXPECT_DOUBLE_EQ(rocAuc({0.7, 0.7}, {1, 0}), 0.5);
+}
+
+TEST(RocAuc, DegenerateSingleClass)
+{
+    EXPECT_DOUBLE_EQ(rocAuc({0.1, 0.9}, {1, 1}), 0.5);
+    EXPECT_DOUBLE_EQ(rocAuc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(AveragePrecision, PerfectRanking)
+{
+    EXPECT_DOUBLE_EQ(
+        averagePrecision({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AveragePrecision, HandComputed)
+{
+    // Ranked: pos, neg, pos, neg. P@1 = 1, P@3 = 2/3 => AP = 5/6.
+    EXPECT_NEAR(averagePrecision({0.9, 0.8, 0.7, 0.6}, {1, 0, 1, 0}),
+                (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(AveragePrecision, NoPositives)
+{
+    EXPECT_DOUBLE_EQ(averagePrecision({0.5, 0.6}, {0, 0}), 0.0);
+}
+
+TEST(MeanReciprocalRank, AllTop)
+{
+    EXPECT_DOUBLE_EQ(
+        meanReciprocalRank({0.9, 0.8}, {0.1, 0.2, 0.1, 0.2}, 2), 1.0);
+}
+
+TEST(MeanReciprocalRank, HandComputed)
+{
+    // Query 1: pos 0.5 beaten by one neg (0.9) => rank 2.
+    // Query 2: pos 0.8 beats both negs => rank 1.
+    EXPECT_DOUBLE_EQ(
+        meanReciprocalRank({0.5, 0.8}, {0.9, 0.1, 0.2, 0.3}, 2),
+        (0.5 + 1.0) / 2.0);
+}
+
+TEST(MeanReciprocalRank, TiedNegCountsAgainst)
+{
+    EXPECT_DOUBLE_EQ(meanReciprocalRank({0.5}, {0.5}, 1), 0.5);
+}
+
+TEST(BinaryAccuracy, HandComputed)
+{
+    EXPECT_DOUBLE_EQ(
+        binaryAccuracy({0.9, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.5);
+    EXPECT_DOUBLE_EQ(binaryAccuracy({}, {}), 0.0);
+}

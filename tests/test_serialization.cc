@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Checkpoint and event-sequence I/O tests: round trips, shape
+ * validation on mismatched models, corrupt-file rejection, and CSV
+ * parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "graph/dataset.hh"
+#include "graph/io.hh"
+#include "tgnn/model.hh"
+#include "tgnn/serialize.hh"
+
+using namespace cascade;
+
+namespace {
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+EventSequence
+smallDataset(uint64_t seed = 3)
+{
+    DatasetSpec spec = wikiSpec(400.0);
+    Rng rng(seed);
+    return generateDataset(spec, rng);
+}
+
+} // namespace
+
+TEST(Serialize, ParameterRoundTrip)
+{
+    Rng rng(1);
+    std::vector<Variable> params = {
+        Variable(Tensor::randn(3, 4, rng), true),
+        Variable(Tensor::randn(1, 7, rng), true),
+    };
+    const std::string path = tmpPath("params.bin");
+    ASSERT_TRUE(saveParameters(params, path));
+
+    std::vector<Variable> loaded = {
+        Variable(Tensor::zeros(3, 4), true),
+        Variable(Tensor::zeros(1, 7), true),
+    };
+    ASSERT_TRUE(loadParameters(loaded, path));
+    for (size_t p = 0; p < params.size(); ++p) {
+        for (size_t i = 0; i < params[p].value().size(); ++i) {
+            EXPECT_FLOAT_EQ(loaded[p].value().data()[i],
+                            params[p].value().data()[i]);
+        }
+    }
+}
+
+TEST(Serialize, RejectsShapeMismatch)
+{
+    Rng rng(2);
+    std::vector<Variable> params = {
+        Variable(Tensor::randn(3, 4, rng), true)};
+    const std::string path = tmpPath("mismatch.bin");
+    ASSERT_TRUE(saveParameters(params, path));
+
+    std::vector<Variable> wrong = {
+        Variable(Tensor::full(4, 3, 7.0f), true)};
+    EXPECT_FALSE(loadParameters(wrong, path));
+    // Target untouched on failure.
+    EXPECT_FLOAT_EQ(wrong[0].value().at(0, 0), 7.0f);
+}
+
+TEST(Serialize, RejectsWrongCountAndGarbage)
+{
+    Rng rng(3);
+    std::vector<Variable> params = {
+        Variable(Tensor::randn(2, 2, rng), true)};
+    const std::string path = tmpPath("count.bin");
+    ASSERT_TRUE(saveParameters(params, path));
+
+    std::vector<Variable> two = {
+        Variable(Tensor::zeros(2, 2), true),
+        Variable(Tensor::zeros(2, 2), true)};
+    EXPECT_FALSE(loadParameters(two, path));
+
+    const std::string garbage = tmpPath("garbage.bin");
+    std::FILE *f = std::fopen(garbage.c_str(), "wb");
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+    EXPECT_FALSE(loadParameters(params, garbage));
+    EXPECT_FALSE(loadParameters(params, tmpPath("missing.bin")));
+}
+
+TEST(Serialize, ModelRoundTripReproducesOutputs)
+{
+    EventSequence data = smallDataset();
+    TemporalAdjacency adj(data);
+    const size_t nodes = data.numNodes;
+
+    TgnnModel trained(tgnConfig(16), nodes, data.featDim(), 4);
+    for (size_t st = 0; st + 32 <= 160; st += 32)
+        trained.step(data, adj, st, st + 32, true);
+    const std::string path = tmpPath("model.bin");
+    ASSERT_TRUE(saveModel(trained, path));
+
+    TgnnModel fresh(tgnConfig(16), nodes, data.featDim(), 99);
+    ASSERT_TRUE(loadModel(fresh, path));
+    fresh.restoreState(trained.saveState());
+
+    std::vector<NodeId> probe = {data.events[0].src,
+                                 data.events[0].dst};
+    Tensor a = trained.embedNodes(probe, 100.0, data, adj, 160);
+    Tensor b = fresh.embedNodes(probe, 100.0, data, adj, 160);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Serialize, RejectsModelConfigMismatch)
+{
+    EventSequence data = smallDataset();
+    TgnnModel tgn(tgnConfig(16), data.numNodes, data.featDim(), 5);
+    const std::string path = tmpPath("tgn.bin");
+    ASSERT_TRUE(saveModel(tgn, path));
+    TgnnModel jodie(jodieConfig(16), data.numNodes, data.featDim(), 5);
+    EXPECT_FALSE(loadModel(jodie, path));
+}
+
+TEST(EventIo, CsvRoundTripLosesOnlyFeatures)
+{
+    EventSequence seq = smallDataset();
+    const std::string path = tmpPath("events.csv");
+    ASSERT_TRUE(saveEventsCsv(seq, path));
+
+    EventSequence loaded;
+    ASSERT_TRUE(loadEventsCsv(loaded, path));
+    ASSERT_EQ(loaded.size(), seq.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(loaded.events[i].src, seq.events[i].src);
+        EXPECT_EQ(loaded.events[i].dst, seq.events[i].dst);
+        EXPECT_DOUBLE_EQ(loaded.events[i].ts, seq.events[i].ts);
+    }
+    EXPECT_EQ(loaded.featDim(), 0u);
+    // numNodes inferred as max id + 1 <= generator universe.
+    EXPECT_LE(loaded.numNodes, seq.numNodes);
+}
+
+TEST(EventIo, CsvRejectsMalformedRows)
+{
+    const std::string path = tmpPath("bad.csv");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fputs("src,dst,ts\n1,2\n", f);
+    std::fclose(f);
+    EventSequence seq;
+    EXPECT_FALSE(loadEventsCsv(seq, path));
+}
+
+TEST(EventIo, BinaryRoundTripKeepsFeatures)
+{
+    EventSequence seq = smallDataset();
+    const std::string path = tmpPath("events.bin");
+    ASSERT_TRUE(saveEventsBinary(seq, path));
+
+    EventSequence loaded;
+    ASSERT_TRUE(loadEventsBinary(loaded, path));
+    ASSERT_EQ(loaded.size(), seq.size());
+    ASSERT_EQ(loaded.numNodes, seq.numNodes);
+    ASSERT_EQ(loaded.featDim(), seq.featDim());
+    for (size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(loaded.events[i].src, seq.events[i].src);
+        EXPECT_DOUBLE_EQ(loaded.events[i].ts, seq.events[i].ts);
+    }
+    for (size_t i = 0; i < seq.features.size(); ++i)
+        EXPECT_FLOAT_EQ(loaded.features.data()[i],
+                        seq.features.data()[i]);
+}
+
+TEST(EventIo, BinaryRejectsGarbage)
+{
+    const std::string path = tmpPath("garbage.bin");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("junk", f);
+    std::fclose(f);
+    EventSequence seq;
+    EXPECT_FALSE(loadEventsBinary(seq, path));
+    EXPECT_FALSE(loadEventsBinary(seq, tmpPath("missing.bin")));
+}

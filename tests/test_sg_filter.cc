@@ -1,0 +1,83 @@
+/**
+ * @file
+ * SG-Filter tests (§4.3): threshold semantics, flag transitions in
+ * both directions, epoch reset, and the Figure 5 ratio counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sg_filter.hh"
+
+using namespace cascade;
+
+TEST(SgFilter, StartsAllUnstable)
+{
+    SgFilter f(5, 0.9);
+    for (uint8_t v : f.stableFlags())
+        EXPECT_EQ(v, 0);
+    EXPECT_EQ(f.stableCount(), 0u);
+}
+
+TEST(SgFilter, ThresholdIsStrict)
+{
+    SgFilter f(3, 0.9);
+    f.update({0, 1, 2}, {0.95, 0.9, 0.85});
+    EXPECT_EQ(f.stableFlags()[0], 1); // above
+    EXPECT_EQ(f.stableFlags()[1], 0); // exactly at threshold: not >
+    EXPECT_EQ(f.stableFlags()[2], 0); // below
+    EXPECT_EQ(f.stableCount(), 1u);
+}
+
+TEST(SgFilter, FlagsFlipBothWays)
+{
+    SgFilter f(2, 0.9);
+    f.update({0}, {0.99});
+    EXPECT_EQ(f.stableFlags()[0], 1);
+    // A later unstable update revokes the flag (§4.3: flags track the
+    // most recent update).
+    f.update({0}, {0.2});
+    EXPECT_EQ(f.stableFlags()[0], 0);
+    EXPECT_EQ(f.stableCount(), 0u);
+}
+
+TEST(SgFilter, ResetClearsFlagsAndCounters)
+{
+    SgFilter f(4, 0.9);
+    f.update({0, 1}, {0.95, 0.99});
+    EXPECT_EQ(f.stableCount(), 2u);
+    EXPECT_GT(f.stableUpdateRatio(), 0.0);
+    f.reset();
+    EXPECT_EQ(f.stableCount(), 0u);
+    EXPECT_DOUBLE_EQ(f.stableUpdateRatio(), 0.0);
+    for (uint8_t v : f.stableFlags())
+        EXPECT_EQ(v, 0);
+}
+
+TEST(SgFilter, StableUpdateRatioCountsUpdatesNotNodes)
+{
+    SgFilter f(2, 0.9);
+    // Node 0 updated three times: stable, stable, unstable.
+    f.update({0}, {0.95});
+    f.update({0}, {0.95});
+    f.update({0}, {0.1});
+    EXPECT_NEAR(f.stableUpdateRatio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(SgFilter, CustomThreshold)
+{
+    SgFilter strict(1, 0.99);
+    strict.update({0}, {0.95});
+    EXPECT_EQ(strict.stableFlags()[0], 0);
+
+    SgFilter loose(1, 0.5);
+    loose.update({0}, {0.6});
+    EXPECT_EQ(loose.stableFlags()[0], 1);
+    EXPECT_DOUBLE_EQ(strict.threshold(), 0.99);
+    EXPECT_DOUBLE_EQ(loose.threshold(), 0.5);
+}
+
+TEST(SgFilter, BytesScaleWithNodes)
+{
+    SgFilter small(10, 0.9), big(1000, 0.9);
+    EXPECT_LT(small.bytes(), big.bytes());
+}

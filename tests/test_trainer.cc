@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Trainer tests: report integrity with every batcher policy, epoch
+ * accounting, device-model integration and validation behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cascade_batcher.hh"
+#include "graph/dataset.hh"
+#include "train/trainer.hh"
+
+using namespace cascade;
+
+namespace {
+
+struct Fixture
+{
+    DatasetSpec spec;
+    EventSequence data;
+    TemporalAdjacency adj;
+    size_t trainEnd;
+
+    explicit Fixture(double scale = 250.0, uint64_t seed = 31)
+        : spec(wikiSpec(scale)),
+          data([&] {
+              Rng rng(seed);
+              return generateDataset(spec, rng);
+          }()),
+          adj(data), trainEnd(data.size() * 4 / 5)
+    {}
+};
+
+TrainOptions
+fastOptions(const DatasetSpec &spec, size_t epochs = 2)
+{
+    TrainOptions o;
+    o.epochs = epochs;
+    o.evalBatch = spec.baseBatch;
+    return o;
+}
+
+} // namespace
+
+TEST(Trainer, ReportFieldsAreConsistent)
+{
+    Fixture f;
+    TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 1);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    DeviceModel dev;
+    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+                               batcher, fastOptions(f.spec), &dev);
+
+    ASSERT_EQ(r.epochs.size(), 2u);
+    const size_t expect_batches =
+        (f.trainEnd + f.spec.baseBatch - 1) / f.spec.baseBatch;
+    EXPECT_EQ(r.epochs[0].batches, expect_batches);
+    EXPECT_EQ(r.totalBatches, 2 * expect_batches);
+    EXPECT_NEAR(r.avgBatchSize,
+                static_cast<double>(f.trainEnd) / expect_batches, 1.0);
+    EXPECT_GT(r.wallSeconds, 0.0);
+    EXPECT_GT(r.modelSeconds, 0.0);
+    EXPECT_GT(r.deviceSeconds, 0.0);
+    EXPECT_GT(r.valLoss, 0.0);
+    EXPECT_GT(r.deviceUtilization, 0.0);
+    EXPECT_EQ(dev.batches(), r.totalBatches);
+}
+
+TEST(Trainer, LossImprovesAcrossEpochs)
+{
+    Fixture f;
+    TgnnModel model(jodieConfig(16), f.spec.numNodes, f.data.featDim(),
+                    2);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+                               batcher, fastOptions(f.spec, 4));
+    EXPECT_LT(r.epochs.back().trainLoss, r.epochs.front().trainLoss);
+}
+
+TEST(Trainer, WorksWithEveryBatcherPolicy)
+{
+    Fixture f;
+    CascadeBatcher::Options copts;
+    copts.baseBatch = f.spec.baseBatch;
+
+    FixedBatcher fixed(f.trainEnd, f.spec.baseBatch);
+    NeutronStreamBatcher ns(f.data, f.spec.baseBatch, f.trainEnd);
+    EtcBatcher etc(f.data, f.spec.baseBatch, f.trainEnd);
+    CascadeBatcher cascade(f.data, f.adj, f.trainEnd, copts);
+
+    for (Batcher *b : std::vector<Batcher *>{&fixed, &ns, &etc,
+                                             &cascade}) {
+        TgnnModel model(tgnConfig(16), f.spec.numNodes,
+                        f.data.featDim(), 3);
+        TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+                                   *b, fastOptions(f.spec, 1));
+        EXPECT_GT(r.totalBatches, 0u) << b->name();
+        EXPECT_GT(r.valLoss, 0.0) << b->name();
+        EXPECT_LT(r.valLoss, 2.0) << b->name();
+    }
+}
+
+TEST(Trainer, CascadeFormsFewerLargerBatchesThanFixed)
+{
+    Fixture f;
+    TgnnModel m1(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 4);
+    FixedBatcher fixed(f.trainEnd, f.spec.baseBatch);
+    TrainReport rf = trainModel(m1, f.data, f.adj, f.trainEnd, fixed,
+                                fastOptions(f.spec));
+
+    TgnnModel m2(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 4);
+    CascadeBatcher::Options copts;
+    copts.baseBatch = f.spec.baseBatch;
+    CascadeBatcher cascade(f.data, f.adj, f.trainEnd, copts);
+    TrainReport rc = trainModel(m2, f.data, f.adj, f.trainEnd, cascade,
+                                fastOptions(f.spec));
+
+    EXPECT_LT(rc.totalBatches, rf.totalBatches);
+    EXPECT_GT(rc.avgBatchSize, rf.avgBatchSize);
+    EXPECT_LT(rc.deviceSeconds, rf.deviceSeconds);
+    EXPECT_GT(rc.preprocessSeconds, 0.0);
+    EXPECT_GT(rc.lookupSeconds, 0.0);
+    EXPECT_GT(rc.stableUpdateRatio, 0.0);
+}
+
+TEST(Trainer, ValidationSkippedWhenDisabled)
+{
+    Fixture f(400.0);
+    TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 5);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    TrainOptions o = fastOptions(f.spec, 1);
+    o.validate = false;
+    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+                               batcher, o);
+    EXPECT_DOUBLE_EQ(r.valLoss, 0.0);
+}
+
+TEST(Trainer, EpochWallTimesSumToTotal)
+{
+    Fixture f(400.0);
+    TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 6);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+                               batcher, fastOptions(f.spec, 3));
+    double sum = 0.0;
+    for (const auto &e : r.epochs)
+        sum += e.wallSeconds;
+    EXPECT_NEAR(sum, r.wallSeconds, 1e-9);
+}

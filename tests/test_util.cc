@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the util substrate: RNG determinism and distribution
+ * sanity, thread-pool/parallelFor correctness, env parsing, timers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "util/env.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+#include "util/timer.hh"
+
+using namespace cascade;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntRangeAndCoverage)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.uniformInt(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ZipfIsSkewed)
+{
+    Rng rng(13);
+    const uint64_t n = 1000;
+    size_t low = 0, total = 20000;
+    for (size_t i = 0; i < total; ++i) {
+        if (rng.zipf(n, 1.0) < n / 10)
+            ++low;
+    }
+    // With alpha=1 the first decile draws far more than 10% of mass.
+    EXPECT_GT(static_cast<double>(low) / total, 0.4);
+}
+
+TEST(Rng, ZipfZeroAlphaIsUniform)
+{
+    Rng rng(17);
+    size_t low = 0, total = 20000;
+    for (size_t i = 0; i < total; ++i) {
+        if (rng.zipf(1000, 0.0) < 100)
+            ++low;
+    }
+    EXPECT_NEAR(static_cast<double>(low) / total, 0.1, 0.02);
+}
+
+TEST(Rng, ZipfStaysInRange)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.zipf(17, 1.2), 17u);
+}
+
+TEST(Rng, ExponentialIsPositiveWithMeanInverseRate)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double e = rng.exponential(4.0);
+        ASSERT_GT(e, 0.0);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / n, 0.25, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(29);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(10000);
+    parallelFor(0, hits.size(),
+                [&](size_t i) { hits[i].fetch_add(1); }, 16);
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges)
+{
+    std::atomic<int> count{0};
+    parallelFor(5, 5, [&](size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 0);
+    parallelFor(5, 6, [&](size_t i) {
+        EXPECT_EQ(i, 5u);
+        count.fetch_add(1);
+    });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForChunks, PartitionsTheRange)
+{
+    std::mutex m;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    parallelForChunks(0, 5000, [&](size_t lo, size_t hi) {
+        std::lock_guard<std::mutex> lock(m);
+        chunks.emplace_back(lo, hi);
+    }, 64);
+    std::sort(chunks.begin(), chunks.end());
+    size_t expect = 0;
+    for (auto [lo, hi] : chunks) {
+        ASSERT_EQ(lo, expect);
+        ASSERT_GT(hi, lo);
+        expect = hi;
+    }
+    EXPECT_EQ(expect, 5000u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(Env, ParsesAndDefaults)
+{
+    ::setenv("CASCADE_TEST_D", "2.5", 1);
+    ::setenv("CASCADE_TEST_L", "42", 1);
+    ::setenv("CASCADE_TEST_S", "hello", 1);
+    EXPECT_DOUBLE_EQ(envDouble("CASCADE_TEST_D", 1.0), 2.5);
+    EXPECT_EQ(envLong("CASCADE_TEST_L", 1), 42);
+    EXPECT_EQ(envString("CASCADE_TEST_S", "x"), "hello");
+    EXPECT_DOUBLE_EQ(envDouble("CASCADE_TEST_MISSING", 1.5), 1.5);
+    EXPECT_EQ(envLong("CASCADE_TEST_MISSING", 3), 3);
+    EXPECT_EQ(envString("CASCADE_TEST_MISSING", "dflt"), "dflt");
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer t;
+    volatile double x = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        x += i;
+    EXPECT_GE(t.seconds(), 0.0);
+    const double first = t.milliseconds();
+    EXPECT_LE(first, t.milliseconds()); // monotone
+    t.reset();
+    EXPECT_LT(t.milliseconds(), first + 1000.0);
+}
+
+TEST(Accumulator, SumsIntervals)
+{
+    Accumulator acc;
+    acc.add(0.5);
+    acc.add(0.25);
+    EXPECT_DOUBLE_EQ(acc.seconds(), 0.75);
+    EXPECT_EQ(acc.count(), 2);
+    acc.reset();
+    EXPECT_DOUBLE_EQ(acc.seconds(), 0.0);
+    EXPECT_EQ(acc.count(), 0);
+}
+
+TEST(TimerGuard, AddsOnDestruction)
+{
+    Accumulator acc;
+    {
+        TimerGuard g(acc);
+    }
+    EXPECT_EQ(acc.count(), 1);
+    EXPECT_GE(acc.seconds(), 0.0);
+}
