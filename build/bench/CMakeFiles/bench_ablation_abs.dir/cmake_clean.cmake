@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_abs.dir/bench_ablation_abs.cpp.o"
+  "CMakeFiles/bench_ablation_abs.dir/bench_ablation_abs.cpp.o.d"
+  "bench_ablation_abs"
+  "bench_ablation_abs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

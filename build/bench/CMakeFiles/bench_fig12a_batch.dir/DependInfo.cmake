@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12a_batch.cpp" "bench/CMakeFiles/bench_fig12a_batch.dir/bench_fig12a_batch.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12a_batch.dir/bench_fig12a_batch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/cascade_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/cascade_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgnn/CMakeFiles/cascade_tgnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cascade_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cascade_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cascade_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cascade_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cascade_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cascade_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12b_largebatch.dir/bench_fig12b_largebatch.cpp.o"
+  "CMakeFiles/bench_fig12b_largebatch.dir/bench_fig12b_largebatch.cpp.o.d"
+  "bench_fig12b_largebatch"
+  "bench_fig12b_largebatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12b_largebatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_largescale.dir/bench_fig14_largescale.cpp.o"
+  "CMakeFiles/bench_fig14_largescale.dir/bench_fig14_largescale.cpp.o.d"
+  "bench_fig14_largescale"
+  "bench_fig14_largescale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_largescale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_dynbatch.dir/bench_fig15_dynbatch.cpp.o"
+  "CMakeFiles/bench_fig15_dynbatch.dir/bench_fig15_dynbatch.cpp.o.d"
+  "bench_fig15_dynbatch"
+  "bench_fig15_dynbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dynbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

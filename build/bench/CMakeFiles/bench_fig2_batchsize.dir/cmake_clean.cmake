@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_batchsize.dir/bench_fig2_batchsize.cpp.o"
+  "CMakeFiles/bench_fig2_batchsize.dir/bench_fig2_batchsize.cpp.o.d"
+  "bench_fig2_batchsize"
+  "bench_fig2_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_stable.dir/bench_fig5_stable.cpp.o"
+  "CMakeFiles/bench_fig5_stable.dir/bench_fig5_stable.cpp.o.d"
+  "bench_fig5_stable"
+  "bench_fig5_stable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_stable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_bench_common.dir/common.cc.o"
+  "CMakeFiles/cascade_bench_common.dir/common.cc.o.d"
+  "libcascade_bench_common.a"
+  "libcascade_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcascade_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_graph_chunked.dir/large_graph_chunked.cpp.o"
+  "CMakeFiles/large_graph_chunked.dir/large_graph_chunked.cpp.o.d"
+  "large_graph_chunked"
+  "large_graph_chunked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_graph_chunked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_recommendation.dir/streaming_recommendation.cpp.o"
+  "CMakeFiles/streaming_recommendation.dir/streaming_recommendation.cpp.o.d"
+  "streaming_recommendation"
+  "streaming_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abs.cc" "src/core/CMakeFiles/cascade_core.dir/abs.cc.o" "gcc" "src/core/CMakeFiles/cascade_core.dir/abs.cc.o.d"
+  "/root/repo/src/core/cascade_batcher.cc" "src/core/CMakeFiles/cascade_core.dir/cascade_batcher.cc.o" "gcc" "src/core/CMakeFiles/cascade_core.dir/cascade_batcher.cc.o.d"
+  "/root/repo/src/core/dependency_table.cc" "src/core/CMakeFiles/cascade_core.dir/dependency_table.cc.o" "gcc" "src/core/CMakeFiles/cascade_core.dir/dependency_table.cc.o.d"
+  "/root/repo/src/core/sg_filter.cc" "src/core/CMakeFiles/cascade_core.dir/sg_filter.cc.o" "gcc" "src/core/CMakeFiles/cascade_core.dir/sg_filter.cc.o.d"
+  "/root/repo/src/core/tg_diffuser.cc" "src/core/CMakeFiles/cascade_core.dir/tg_diffuser.cc.o" "gcc" "src/core/CMakeFiles/cascade_core.dir/tg_diffuser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cascade_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cascade_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cascade_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_core.dir/abs.cc.o"
+  "CMakeFiles/cascade_core.dir/abs.cc.o.d"
+  "CMakeFiles/cascade_core.dir/cascade_batcher.cc.o"
+  "CMakeFiles/cascade_core.dir/cascade_batcher.cc.o.d"
+  "CMakeFiles/cascade_core.dir/dependency_table.cc.o"
+  "CMakeFiles/cascade_core.dir/dependency_table.cc.o.d"
+  "CMakeFiles/cascade_core.dir/sg_filter.cc.o"
+  "CMakeFiles/cascade_core.dir/sg_filter.cc.o.d"
+  "CMakeFiles/cascade_core.dir/tg_diffuser.cc.o"
+  "CMakeFiles/cascade_core.dir/tg_diffuser.cc.o.d"
+  "libcascade_core.a"
+  "libcascade_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjacency.cc" "src/graph/CMakeFiles/cascade_graph.dir/adjacency.cc.o" "gcc" "src/graph/CMakeFiles/cascade_graph.dir/adjacency.cc.o.d"
+  "/root/repo/src/graph/dataset.cc" "src/graph/CMakeFiles/cascade_graph.dir/dataset.cc.o" "gcc" "src/graph/CMakeFiles/cascade_graph.dir/dataset.cc.o.d"
+  "/root/repo/src/graph/event.cc" "src/graph/CMakeFiles/cascade_graph.dir/event.cc.o" "gcc" "src/graph/CMakeFiles/cascade_graph.dir/event.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/cascade_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/cascade_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/cascade_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/cascade_graph.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/cascade_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cascade_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

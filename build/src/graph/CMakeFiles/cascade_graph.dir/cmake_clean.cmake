@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_graph.dir/adjacency.cc.o"
+  "CMakeFiles/cascade_graph.dir/adjacency.cc.o.d"
+  "CMakeFiles/cascade_graph.dir/dataset.cc.o"
+  "CMakeFiles/cascade_graph.dir/dataset.cc.o.d"
+  "CMakeFiles/cascade_graph.dir/event.cc.o"
+  "CMakeFiles/cascade_graph.dir/event.cc.o.d"
+  "CMakeFiles/cascade_graph.dir/io.cc.o"
+  "CMakeFiles/cascade_graph.dir/io.cc.o.d"
+  "CMakeFiles/cascade_graph.dir/stats.cc.o"
+  "CMakeFiles/cascade_graph.dir/stats.cc.o.d"
+  "libcascade_graph.a"
+  "libcascade_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/cascade_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/cascade_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/cascade_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/cascade_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/recurrent.cc" "src/nn/CMakeFiles/cascade_nn.dir/recurrent.cc.o" "gcc" "src/nn/CMakeFiles/cascade_nn.dir/recurrent.cc.o.d"
+  "/root/repo/src/nn/time_encoding.cc" "src/nn/CMakeFiles/cascade_nn.dir/time_encoding.cc.o" "gcc" "src/nn/CMakeFiles/cascade_nn.dir/time_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/cascade_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cascade_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

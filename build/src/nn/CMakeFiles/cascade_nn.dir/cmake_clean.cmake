@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_nn.dir/attention.cc.o"
+  "CMakeFiles/cascade_nn.dir/attention.cc.o.d"
+  "CMakeFiles/cascade_nn.dir/linear.cc.o"
+  "CMakeFiles/cascade_nn.dir/linear.cc.o.d"
+  "CMakeFiles/cascade_nn.dir/recurrent.cc.o"
+  "CMakeFiles/cascade_nn.dir/recurrent.cc.o.d"
+  "CMakeFiles/cascade_nn.dir/time_encoding.cc.o"
+  "CMakeFiles/cascade_nn.dir/time_encoding.cc.o.d"
+  "libcascade_nn.a"
+  "libcascade_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_sim.dir/device_model.cc.o"
+  "CMakeFiles/cascade_sim.dir/device_model.cc.o.d"
+  "libcascade_sim.a"
+  "libcascade_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/cascade_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/cascade_tensor.dir/ops.cc.o"
+  "CMakeFiles/cascade_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/cascade_tensor.dir/optim.cc.o"
+  "CMakeFiles/cascade_tensor.dir/optim.cc.o.d"
+  "CMakeFiles/cascade_tensor.dir/tensor.cc.o"
+  "CMakeFiles/cascade_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/cascade_tensor.dir/variable.cc.o"
+  "CMakeFiles/cascade_tensor.dir/variable.cc.o.d"
+  "libcascade_tensor.a"
+  "libcascade_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

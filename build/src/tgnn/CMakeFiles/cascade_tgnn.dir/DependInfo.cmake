@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tgnn/config.cc" "src/tgnn/CMakeFiles/cascade_tgnn.dir/config.cc.o" "gcc" "src/tgnn/CMakeFiles/cascade_tgnn.dir/config.cc.o.d"
+  "/root/repo/src/tgnn/mailbox.cc" "src/tgnn/CMakeFiles/cascade_tgnn.dir/mailbox.cc.o" "gcc" "src/tgnn/CMakeFiles/cascade_tgnn.dir/mailbox.cc.o.d"
+  "/root/repo/src/tgnn/memory.cc" "src/tgnn/CMakeFiles/cascade_tgnn.dir/memory.cc.o" "gcc" "src/tgnn/CMakeFiles/cascade_tgnn.dir/memory.cc.o.d"
+  "/root/repo/src/tgnn/model.cc" "src/tgnn/CMakeFiles/cascade_tgnn.dir/model.cc.o" "gcc" "src/tgnn/CMakeFiles/cascade_tgnn.dir/model.cc.o.d"
+  "/root/repo/src/tgnn/serialize.cc" "src/tgnn/CMakeFiles/cascade_tgnn.dir/serialize.cc.o" "gcc" "src/tgnn/CMakeFiles/cascade_tgnn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cascade_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cascade_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cascade_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cascade_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_tgnn.dir/config.cc.o"
+  "CMakeFiles/cascade_tgnn.dir/config.cc.o.d"
+  "CMakeFiles/cascade_tgnn.dir/mailbox.cc.o"
+  "CMakeFiles/cascade_tgnn.dir/mailbox.cc.o.d"
+  "CMakeFiles/cascade_tgnn.dir/memory.cc.o"
+  "CMakeFiles/cascade_tgnn.dir/memory.cc.o.d"
+  "CMakeFiles/cascade_tgnn.dir/model.cc.o"
+  "CMakeFiles/cascade_tgnn.dir/model.cc.o.d"
+  "CMakeFiles/cascade_tgnn.dir/serialize.cc.o"
+  "CMakeFiles/cascade_tgnn.dir/serialize.cc.o.d"
+  "libcascade_tgnn.a"
+  "libcascade_tgnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_tgnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_train.dir/batcher.cc.o"
+  "CMakeFiles/cascade_train.dir/batcher.cc.o.d"
+  "CMakeFiles/cascade_train.dir/churn.cc.o"
+  "CMakeFiles/cascade_train.dir/churn.cc.o.d"
+  "CMakeFiles/cascade_train.dir/metrics.cc.o"
+  "CMakeFiles/cascade_train.dir/metrics.cc.o.d"
+  "CMakeFiles/cascade_train.dir/trainer.cc.o"
+  "CMakeFiles/cascade_train.dir/trainer.cc.o.d"
+  "libcascade_train.a"
+  "libcascade_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_util.dir/env.cc.o"
+  "CMakeFiles/cascade_util.dir/env.cc.o.d"
+  "CMakeFiles/cascade_util.dir/parallel.cc.o"
+  "CMakeFiles/cascade_util.dir/parallel.cc.o.d"
+  "CMakeFiles/cascade_util.dir/rng.cc.o"
+  "CMakeFiles/cascade_util.dir/rng.cc.o.d"
+  "libcascade_util.a"
+  "libcascade_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batchers.dir/test_batchers.cc.o"
+  "CMakeFiles/test_batchers.dir/test_batchers.cc.o.d"
+  "test_batchers"
+  "test_batchers.pdb"
+  "test_batchers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

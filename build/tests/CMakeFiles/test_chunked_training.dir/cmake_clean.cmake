@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunked_training.dir/test_chunked_training.cc.o"
+  "CMakeFiles/test_chunked_training.dir/test_chunked_training.cc.o.d"
+  "test_chunked_training"
+  "test_chunked_training.pdb"
+  "test_chunked_training[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunked_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decay_schedules.dir/test_decay_schedules.cc.o"
+  "CMakeFiles/test_decay_schedules.dir/test_decay_schedules.cc.o.d"
+  "test_decay_schedules"
+  "test_decay_schedules.pdb"
+  "test_decay_schedules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decay_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_decay_schedules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dependency_table.dir/test_dependency_table.cc.o"
+  "CMakeFiles/test_dependency_table.dir/test_dependency_table.cc.o.d"
+  "test_dependency_table"
+  "test_dependency_table.pdb"
+  "test_dependency_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dependency_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_mailbox.dir/test_memory_mailbox.cc.o"
+  "CMakeFiles/test_memory_mailbox.dir/test_memory_mailbox.cc.o.d"
+  "test_memory_mailbox"
+  "test_memory_mailbox.pdb"
+  "test_memory_mailbox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

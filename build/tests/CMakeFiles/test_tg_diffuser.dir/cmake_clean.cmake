@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tg_diffuser.dir/test_tg_diffuser.cc.o"
+  "CMakeFiles/test_tg_diffuser.dir/test_tg_diffuser.cc.o.d"
+  "test_tg_diffuser"
+  "test_tg_diffuser.pdb"
+  "test_tg_diffuser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tg_diffuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tg_diffuser.
+# This may be replaced when dependencies are built.

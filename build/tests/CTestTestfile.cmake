@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_autograd[1]_include.cmake")
+include("/root/repo/build/tests/test_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_dependency_table[1]_include.cmake")
+include("/root/repo/build/tests/test_tg_diffuser[1]_include.cmake")
+include("/root/repo/build/tests/test_sg_filter[1]_include.cmake")
+include("/root/repo/build/tests/test_abs[1]_include.cmake")
+include("/root/repo/build/tests/test_batchers[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_mailbox[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_device_model[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_serialization[1]_include.cmake")
+include("/root/repo/build/tests/test_churn[1]_include.cmake")
+include("/root/repo/build/tests/test_ops_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_decay_schedules[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_dedup[1]_include.cmake")
+include("/root/repo/build/tests/test_model_details[1]_include.cmake")
+include("/root/repo/build/tests/test_chunked_training[1]_include.cmake")

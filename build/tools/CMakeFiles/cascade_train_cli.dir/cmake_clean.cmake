@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_train_cli.dir/cascade_train.cpp.o"
+  "CMakeFiles/cascade_train_cli.dir/cascade_train.cpp.o.d"
+  "cascade_train"
+  "cascade_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_train_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
