@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "util/binio.hh"
 #include "util/logging.hh"
 
 namespace cascade {
@@ -92,8 +93,17 @@ size_t
 AdaptiveBatchSensor::clampMaxr(double v) const
 {
     const double lo = std::max(1.0, stats_.mrMin);
-    const double hi = std::max(lo, stats_.mrMax);
+    // A tightened ceiling (numeric-guard rollback) caps Max_r below
+    // the profiled maximum until the end of the run.
+    const double hi = std::max(lo, stats_.mrMax * ceilingScale_);
     return static_cast<size_t>(std::lround(std::clamp(v, lo, hi)));
+}
+
+void
+AdaptiveBatchSensor::tightenCeiling()
+{
+    ceilingScale_ = std::max(0.05, ceilingScale_ * 0.5);
+    maxr_ = clampMaxr(static_cast<double>(maxr_));
 }
 
 void
@@ -154,6 +164,62 @@ AdaptiveBatchSensor::resetEpoch()
     bestLoss_ = 1e30;
     sinceImprovement_ = 0;
     sinceDecision_ = 0;
+}
+
+void
+AdaptiveBatchSensor::saveState(ByteWriter &w) const
+{
+    const Rng::State rs = rng_.state();
+    for (size_t i = 0; i < 4; ++i)
+        w.u64(rs.s[i]);
+    w.f64(rs.cachedGaussian);
+    w.u8(rs.hasCachedGaussian ? 1 : 0);
+    w.f64(stats_.mrMax);
+    w.f64(stats_.mrMean);
+    w.f64(stats_.mrMin);
+    w.u64(stats_.batchCount);
+    w.u64(maxr_);
+    w.f64(ceilingScale_);
+    w.u64(batchIdx_);
+    w.f64(bestLoss_);
+    w.u64(sinceImprovement_);
+    w.u64(sinceDecision_);
+    w.u64(decays_);
+}
+
+bool
+AdaptiveBatchSensor::loadState(ByteReader &r)
+{
+    Rng::State rs;
+    uint8_t has_cached = 0;
+    EnduranceStats stats;
+    uint64_t batch_count = 0, maxr = 0, batch_idx = 0;
+    uint64_t since_improve = 0, since_decision = 0, decays = 0;
+    double ceiling = 1.0, best = 1e30;
+    for (size_t i = 0; i < 4; ++i) {
+        if (!r.u64(rs.s[i]))
+            return false;
+    }
+    if (!r.f64(rs.cachedGaussian) || !r.u8(has_cached) ||
+        !r.f64(stats.mrMax) || !r.f64(stats.mrMean) ||
+        !r.f64(stats.mrMin) || !r.u64(batch_count) || !r.u64(maxr) ||
+        !r.f64(ceiling) || !r.u64(batch_idx) || !r.f64(best) ||
+        !r.u64(since_improve) || !r.u64(since_decision) ||
+        !r.u64(decays)) {
+        return false;
+    }
+    rs.hasCachedGaussian = has_cached != 0;
+    rng_.setState(rs);
+    stats.batchCount = static_cast<size_t>(batch_count);
+    stats_ = stats;
+    maxr_ = static_cast<size_t>(maxr);
+    ceilingScale_ = ceiling;
+    batchIdx_ = static_cast<size_t>(batch_idx);
+    bestLoss_ = best;
+    sinceImprovement_ = static_cast<size_t>(since_improve);
+    sinceDecision_ = static_cast<size_t>(since_decision);
+    decays_ = static_cast<size_t>(decays);
+    return true;
 }
 
 } // namespace cascade

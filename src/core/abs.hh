@@ -31,6 +31,9 @@
 
 namespace cascade {
 
+class ByteWriter;
+class ByteReader;
+
 /** Profiled endurance statistics (Figure 9). */
 struct EnduranceStats
 {
@@ -100,6 +103,25 @@ class AdaptiveBatchSensor
     /** Number of decay events fired (diagnostics). */
     size_t decayCount() const { return decays_; }
 
+    /**
+     * Halve the Max_r ceiling (numeric-guard rollback): after a
+     * divergence the sensor retries with smaller, safer batches. The
+     * tightened ceiling persists across epochs and checkpoints.
+     */
+    void tightenCeiling();
+
+    /** Current ceiling multiplier in (0, 1]; 1 = never tightened. */
+    double ceilingScale() const { return ceilingScale_; }
+
+    /** Serialize schedule position, stats and RNG (checkpointing). */
+    void saveState(ByteWriter &w) const;
+
+    /**
+     * Restore state written by saveState.
+     * @return false on a short payload (state untouched)
+     */
+    bool loadState(ByteReader &r);
+
   private:
     size_t clampMaxr(double v) const;
     void recomputeFromSchedule();
@@ -108,6 +130,7 @@ class AdaptiveBatchSensor
     Rng rng_;
     EnduranceStats stats_;
     size_t maxr_ = 8;
+    double ceilingScale_ = 1.0;
 
     size_t batchIdx_ = 0;
     double bestLoss_ = 1e30;

@@ -1,5 +1,6 @@
 #include "core/cascade_batcher.hh"
 
+#include "util/binio.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -84,6 +85,36 @@ size_t
 CascadeBatcher::stateBytes() const
 {
     return diffuser_->tableBytes() + sgFilter_->bytes();
+}
+
+bool
+CascadeBatcher::saveState(ByteWriter &w) const
+{
+    abs_->saveState(w);
+    sgFilter_->saveState(w);
+    diffuser_->saveState(w);
+    return true;
+}
+
+bool
+CascadeBatcher::loadState(ByteReader &r)
+{
+    if (!abs_->loadState(r) || !sgFilter_->loadState(r) ||
+        !diffuser_->loadState(r)) {
+        return false;
+    }
+    diffuser_->setMaxRevisit(abs_->currentMaxRevisit());
+    return true;
+}
+
+void
+CascadeBatcher::onNumericRollback()
+{
+    abs_->tightenCeiling();
+    diffuser_->setMaxRevisit(abs_->currentMaxRevisit());
+    CASCADE_LOG("ABS ceiling tightened to %.3f of profiled max "
+                "(Max_r now %zu)",
+                abs_->ceilingScale(), abs_->currentMaxRevisit());
 }
 
 } // namespace cascade

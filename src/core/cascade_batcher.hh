@@ -68,6 +68,10 @@ class CascadeBatcher : public Batcher
     void onBatchDone(const BatchFeedback &fb) override;
     double preprocessSeconds() const override;
     size_t stateBytes() const override;
+    bool saveState(ByteWriter &w) const override;
+    bool loadState(ByteReader &r) override;
+    /** Rollback: halve the ABS Max_r ceiling before retrying. */
+    void onNumericRollback() override;
 
     /** @name Component access (benchmarks and tests) */
     /** @{ */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/binio.hh"
 #include "util/logging.hh"
 
 namespace cascade {
@@ -47,6 +48,36 @@ SgFilter::stableUpdateRatio() const
     return updatesTotal_
         ? static_cast<double>(updatesStable_) / updatesTotal_
         : 0.0;
+}
+
+void
+SgFilter::saveState(ByteWriter &w) const
+{
+    w.u64(flags_.size());
+    if (!flags_.empty())
+        w.bytes(flags_.data(), flags_.size());
+    w.u64(stableCount_);
+    w.u64(updatesTotal_);
+    w.u64(updatesStable_);
+}
+
+bool
+SgFilter::loadState(ByteReader &r)
+{
+    uint64_t n = 0;
+    if (!r.u64(n) || n != flags_.size())
+        return false;
+    std::vector<uint8_t> flags(static_cast<size_t>(n), 0);
+    uint64_t stable = 0, total = 0, stable_updates = 0;
+    if ((!flags.empty() && !r.bytes(flags.data(), flags.size())) ||
+        !r.u64(stable) || !r.u64(total) || !r.u64(stable_updates)) {
+        return false;
+    }
+    flags_ = std::move(flags);
+    stableCount_ = static_cast<size_t>(stable);
+    updatesTotal_ = static_cast<size_t>(total);
+    updatesStable_ = static_cast<size_t>(stable_updates);
+    return true;
 }
 
 } // namespace cascade

@@ -19,6 +19,9 @@
 
 namespace cascade {
 
+class ByteWriter;
+class ByteReader;
+
 /** Tracks per-node memory-stability flags. */
 class SgFilter
 {
@@ -53,6 +56,15 @@ class SgFilter
 
     /** Resident bytes of the flag array (Figure 13c's "SF"). */
     size_t bytes() const { return flags_.size() * sizeof(uint8_t); }
+
+    /** Serialize flags and epoch counters (checkpointing). */
+    void saveState(ByteWriter &w) const;
+
+    /**
+     * Restore state written by saveState.
+     * @return false on size mismatch or short payload (untouched)
+     */
+    bool loadState(ByteReader &r);
 
   private:
     double threshold_;

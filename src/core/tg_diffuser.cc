@@ -4,6 +4,7 @@
 #include <limits>
 #include <mutex>
 
+#include "util/binio.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/timer.hh"
@@ -159,6 +160,45 @@ TgDiffuser::resetEpoch()
 {
     curChunk_ = SIZE_MAX;
     std::fill(ptrs_.begin(), ptrs_.end(), 0);
+}
+
+void
+TgDiffuser::saveState(ByteWriter &w) const
+{
+    w.u64(curChunk_ == SIZE_MAX ? UINT64_MAX
+                                : static_cast<uint64_t>(curChunk_));
+    w.u64(maxr_);
+    w.u64(ptrs_.size());
+    if (!ptrs_.empty())
+        w.bytes(ptrs_.data(), ptrs_.size() * sizeof(size_t));
+}
+
+bool
+TgDiffuser::loadState(ByteReader &r)
+{
+    uint64_t chunk = 0, maxr = 0, n = 0;
+    if (!r.u64(chunk) || !r.u64(maxr) || !r.u64(n) ||
+        n != ptrs_.size()) {
+        return false;
+    }
+    if (chunk != UINT64_MAX && chunk >= chunkBounds_.size())
+        return false;
+    std::vector<size_t> ptrs(static_cast<size_t>(n), 0);
+    if (!ptrs.empty() &&
+        !r.bytes(ptrs.data(), ptrs.size() * sizeof(size_t))) {
+        return false;
+    }
+    maxr_ = std::max<uint64_t>(1, maxr);
+    if (chunk == UINT64_MAX) {
+        resetEpoch();
+    } else {
+        // enterChunk builds the table (and prefetches the next) and
+        // zeroes the active pointers; the saved cursors then replace
+        // them so the batch-boundary search resumes mid-epoch.
+        enterChunk(static_cast<size_t>(chunk));
+    }
+    ptrs_ = std::move(ptrs);
+    return true;
 }
 
 size_t

@@ -29,6 +29,9 @@
 
 namespace cascade {
 
+class ByteWriter;
+class ByteReader;
+
 /** Adaptive batch-boundary search over the dependency table. */
 class TgDiffuser
 {
@@ -87,6 +90,19 @@ class TgDiffuser
     {
         return c < tables_.size() ? tables_[c].get() : nullptr;
     }
+
+    /**
+     * Serialize the mid-epoch position: Max_r, current chunk and the
+     * per-node event pointers (Algorithm 3's cursors).
+     */
+    void saveState(ByteWriter &w) const;
+
+    /**
+     * Restore a position written by saveState, rebuilding the active
+     * chunk's table if needed.
+     * @return false on node-count mismatch or short payload
+     */
+    bool loadState(ByteReader &r);
 
   private:
     /** Table for chunk c, building or waiting as needed. */

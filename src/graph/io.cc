@@ -1,23 +1,41 @@
 #include "graph/io.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+
+#include "util/binio.hh"
+#include "util/logging.hh"
 
 namespace cascade {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x43534556; // "CSEV"
-constexpr uint32_t kVersion = 1;
+// v2: CRC32-validated container committed via atomic rename (v1 was a
+// bare fwrite stream with no integrity check).
+constexpr uint32_t kVersion = 2;
 
 struct FileCloser
 {
     void operator()(std::FILE *f) const { if (f) std::fclose(f); }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/** True when the tail of a CSV line is only whitespace (CRLF, blank
+ *  padding from hand-edited or Windows-authored files). */
+bool
+onlyWhitespace(const char *s)
+{
+    for (; *s; ++s) {
+        if (!std::isspace(static_cast<unsigned char>(*s)))
+            return false;
+    }
+    return true;
+}
 
 } // namespace
 
@@ -47,18 +65,24 @@ loadEventsCsv(EventSequence &seq, const std::string &path)
         return false;
     EventSequence out;
     char line[256];
-    bool first = true;
+    size_t lineno = 0;
     NodeId max_node = -1;
     while (std::fgets(line, sizeof(line), f.get())) {
-        if (first) {
-            first = false;
-            if (std::strncmp(line, "src", 3) == 0)
-                continue; // header
-        }
+        ++lineno;
+        if (lineno == 1 && std::strncmp(line, "src", 3) == 0)
+            continue; // header
+        if (onlyWhitespace(line))
+            continue; // blank line (e.g. trailing newline at EOF)
         long long src = 0, dst = 0;
         double ts = 0.0;
-        if (std::sscanf(line, "%lld,%lld,%lf", &src, &dst, &ts) != 3)
+        int consumed = 0;
+        if (std::sscanf(line, " %lld , %lld , %lf%n", &src, &dst, &ts,
+                        &consumed) != 3 ||
+            !onlyWhitespace(line + consumed)) {
+            CASCADE_LOG("%s:%zu: malformed CSV row", path.c_str(),
+                        lineno);
             return false;
+        }
         out.events.push_back({static_cast<NodeId>(src),
                               static_cast<NodeId>(dst), ts});
         max_node = std::max({max_node, static_cast<NodeId>(src),
@@ -72,57 +96,65 @@ loadEventsCsv(EventSequence &seq, const std::string &path)
 bool
 saveEventsBinary(const EventSequence &seq, const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        return false;
-    const uint32_t header[2] = {kMagic, kVersion};
-    const uint64_t dims[3] = {seq.numNodes, seq.events.size(),
-                              seq.features.cols()};
-    if (std::fwrite(header, sizeof(header), 1, f.get()) != 1 ||
-        std::fwrite(dims, sizeof(dims), 1, f.get()) != 1) {
-        return false;
+    ByteWriter w;
+    w.u32(kMagic);
+    w.u32(kVersion);
+    w.u64(seq.numNodes);
+    w.u64(seq.events.size());
+    w.u64(seq.features.cols());
+    if (!seq.events.empty())
+        w.bytes(seq.events.data(), seq.events.size() * sizeof(Event));
+    if (seq.features.size() > 0) {
+        w.bytes(seq.features.data(),
+                seq.features.size() * sizeof(float));
     }
-    if (!seq.events.empty() &&
-        std::fwrite(seq.events.data(), sizeof(Event),
-                    seq.events.size(), f.get()) != seq.events.size()) {
-        return false;
-    }
-    if (seq.features.size() > 0 &&
-        std::fwrite(seq.features.data(), sizeof(float),
-                    seq.features.size(),
-                    f.get()) != seq.features.size()) {
-        return false;
-    }
-    return true;
+    return writeFileAtomic(path, w.buffer());
 }
 
 bool
 loadEventsBinary(EventSequence &seq, const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
+    std::string payload;
+    if (!readFileValidated(path, payload))
         return false;
-    uint32_t header[2] = {0, 0};
-    uint64_t dims[3] = {0, 0, 0};
-    if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
-        header[0] != kMagic || header[1] != kVersion ||
-        std::fread(dims, sizeof(dims), 1, f.get()) != 1) {
+    ByteReader r(payload);
+    uint32_t magic = 0, version = 0;
+    uint64_t num_nodes = 0, num_events = 0, feat_cols = 0;
+    if (!r.u32(magic) || !r.u32(version) || magic != kMagic ||
+        version != kVersion || !r.u64(num_nodes) ||
+        !r.u64(num_events) || !r.u64(feat_cols)) {
+        CASCADE_LOG("%s: not a Cascade binary event file",
+                    path.c_str());
+        return false;
+    }
+    if (num_events > r.remaining() / sizeof(Event)) {
+        CASCADE_LOG("%s: event count exceeds file size", path.c_str());
         return false;
     }
     EventSequence out;
-    out.numNodes = static_cast<size_t>(dims[0]);
-    out.events.resize(static_cast<size_t>(dims[1]));
+    out.numNodes = static_cast<size_t>(num_nodes);
+    out.events.resize(static_cast<size_t>(num_events));
     if (!out.events.empty() &&
-        std::fread(out.events.data(), sizeof(Event), out.events.size(),
-                   f.get()) != out.events.size()) {
+        !r.bytes(out.events.data(),
+                 out.events.size() * sizeof(Event))) {
         return false;
     }
-    const size_t feat_cols = static_cast<size_t>(dims[2]);
     if (feat_cols > 0) {
-        out.features = Tensor(out.events.size(), feat_cols);
-        if (std::fread(out.features.data(), sizeof(float),
-                       out.features.size(),
-                       f.get()) != out.features.size()) {
+        const uint64_t want = num_events * feat_cols;
+        if (num_events != 0 && want / num_events != feat_cols) {
+            CASCADE_LOG("%s: feature dims overflow", path.c_str());
+            return false;
+        }
+        if (want > r.remaining() / sizeof(float)) {
+            CASCADE_LOG("%s: feature block exceeds file size",
+                        path.c_str());
+            return false;
+        }
+        out.features = Tensor(out.events.size(),
+                              static_cast<size_t>(feat_cols));
+        if (want > 0 &&
+            !r.bytes(out.features.data(),
+                     static_cast<size_t>(want) * sizeof(float))) {
             return false;
         }
     }

@@ -15,6 +15,9 @@
 
 namespace cascade {
 
+class ByteWriter;
+class ByteReader;
+
 /** Common optimizer interface. */
 class Optimizer
 {
@@ -55,6 +58,24 @@ class Adam : public Optimizer
     Adam(std::vector<Variable> params, float lr = 1e-3f,
          float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
     void step() override;
+
+    /** Updates applied so far (the bias-correction clock). */
+    long stepCount() const { return t_; }
+
+    /**
+     * Serialize the moment estimates and step count — resuming Adam
+     * without them restarts bias correction and changes the training
+     * trajectory.
+     */
+    void saveState(ByteWriter &w) const;
+
+    /**
+     * Restore moments/step count written by saveState. All tensors
+     * are staged and shape-checked against the current parameters
+     * before anything is applied.
+     * @return false on mismatch or short payload (state untouched)
+     */
+    bool loadState(ByteReader &r);
 
   private:
     float lr_, beta1_, beta2_, eps_;

@@ -1,0 +1,46 @@
+#include "tensor/tensor_io.hh"
+
+namespace cascade {
+
+void
+writeTensor(ByteWriter &w, const Tensor &t)
+{
+    w.u64(t.rows());
+    w.u64(t.cols());
+    if (t.size() > 0)
+        w.bytes(t.data(), t.size() * sizeof(float));
+}
+
+bool
+readTensor(ByteReader &r, Tensor &out)
+{
+    uint64_t rows = 0, cols = 0;
+    if (!r.u64(rows) || !r.u64(cols))
+        return false;
+    // Reject shapes whose payload could not possibly fit in what is
+    // left of the stream (corrupt length fields).
+    if (cols != 0 && rows > r.remaining() / (cols * sizeof(float)))
+        return false;
+    Tensor t(static_cast<size_t>(rows), static_cast<size_t>(cols));
+    if (t.size() > 0 && !r.bytes(t.data(), t.size() * sizeof(float)))
+        return false;
+    out = std::move(t);
+    return true;
+}
+
+bool
+readTensorExpect(ByteReader &r, size_t rows, size_t cols, Tensor &out)
+{
+    uint64_t frows = 0, fcols = 0;
+    if (!r.u64(frows) || !r.u64(fcols) || frows != rows ||
+        fcols != cols) {
+        return false;
+    }
+    Tensor t(rows, cols);
+    if (t.size() > 0 && !r.bytes(t.data(), t.size() * sizeof(float)))
+        return false;
+    out = std::move(t);
+    return true;
+}
+
+} // namespace cascade

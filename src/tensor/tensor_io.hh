@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Tensor (de)serialization over the binio byte streams.
+ *
+ * The on-wire form is rows (u64), cols (u64), then row-major float
+ * data — the building block of every checkpoint section. Readers come
+ * in two flavors: free-form (dataset features, whose shape the file
+ * defines) and shape-checked (parameters and optimizer moments, whose
+ * shape the in-memory target dictates and a mismatch means the file
+ * belongs to a differently configured model).
+ */
+
+#ifndef CASCADE_TENSOR_TENSOR_IO_HH
+#define CASCADE_TENSOR_TENSOR_IO_HH
+
+#include "tensor/tensor.hh"
+#include "util/binio.hh"
+
+namespace cascade {
+
+/** Append rows, cols and data to the writer. */
+void writeTensor(ByteWriter &w, const Tensor &t);
+
+/** Read a tensor of any shape. @return false on a short payload */
+bool readTensor(ByteReader &r, Tensor &out);
+
+/**
+ * Read a tensor that must be exactly rows x cols.
+ * @return false on shape mismatch or short payload (out untouched)
+ */
+bool readTensorExpect(ByteReader &r, size_t rows, size_t cols,
+                      Tensor &out);
+
+} // namespace cascade
+
+#endif // CASCADE_TENSOR_TENSOR_IO_HH

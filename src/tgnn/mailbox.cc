@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/binio.hh"
 #include "util/logging.hh"
 
 namespace cascade {
@@ -65,6 +66,69 @@ void
 Mailbox::reset()
 {
     boxes_.clear();
+}
+
+void
+Mailbox::saveState(ByteWriter &w) const
+{
+    w.u64(slots_);
+    w.u64(msgDim_);
+    w.u64(boxes_.size());
+    for (const auto &[node, box] : boxes_) {
+        w.u64(static_cast<uint64_t>(node));
+        w.u64(box.next);
+        w.u64(box.count);
+        w.u64(box.ring.size());
+        for (const Slot &slot : box.ring) {
+            // Slots never written still have an empty payload.
+            w.u8(slot.payload.empty() ? 0 : 1);
+            if (!slot.payload.empty()) {
+                w.bytes(slot.payload.data(),
+                        msgDim_ * sizeof(float));
+            }
+            w.f64(slot.ts);
+        }
+    }
+}
+
+bool
+Mailbox::loadState(ByteReader &r)
+{
+    uint64_t slots = 0, dim = 0, nboxes = 0;
+    if (!r.u64(slots) || slots != slots_ || !r.u64(dim) ||
+        dim != msgDim_ || !r.u64(nboxes)) {
+        return false;
+    }
+    std::unordered_map<NodeId, NodeBox> boxes;
+    boxes.reserve(static_cast<size_t>(nboxes));
+    for (uint64_t i = 0; i < nboxes; ++i) {
+        uint64_t node = 0, next = 0, count = 0, ring = 0;
+        if (!r.u64(node) || !r.u64(next) || !r.u64(count) ||
+            !r.u64(ring) || ring > slots_ || next >= slots_ + 1) {
+            return false;
+        }
+        NodeBox box;
+        box.next = static_cast<size_t>(next);
+        box.count = static_cast<size_t>(count);
+        box.ring.resize(static_cast<size_t>(ring));
+        for (Slot &slot : box.ring) {
+            uint8_t present = 0;
+            if (!r.u8(present))
+                return false;
+            if (present) {
+                slot.payload.resize(msgDim_);
+                if (!r.bytes(slot.payload.data(),
+                             msgDim_ * sizeof(float))) {
+                    return false;
+                }
+            }
+            if (!r.f64(slot.ts))
+                return false;
+        }
+        boxes.emplace(static_cast<NodeId>(node), std::move(box));
+    }
+    boxes_ = std::move(boxes);
+    return true;
 }
 
 size_t

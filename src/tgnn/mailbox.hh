@@ -22,6 +22,9 @@
 
 namespace cascade {
 
+class ByteWriter;
+class ByteReader;
+
 /** Ring buffer of the most recent messages per node. */
 class Mailbox
 {
@@ -64,6 +67,16 @@ class Mailbox
 
     /** Approximate resident bytes (Figure 13c accounting). */
     size_t bytes() const;
+
+    /** Serialize every node's ring buffer (checkpointing). */
+    void saveState(ByteWriter &w) const;
+
+    /**
+     * Restore state written by saveState; staged and dimension-
+     * checked before anything is applied.
+     * @return false on mismatch or short payload (state untouched)
+     */
+    bool loadState(ByteReader &r);
 
   private:
     struct Slot

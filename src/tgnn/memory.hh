@@ -17,6 +17,9 @@
 
 namespace cascade {
 
+class ByteWriter;
+class ByteReader;
+
 /** Dense per-node memory vectors with last-update timestamps. */
 class MemoryStore
 {
@@ -66,6 +69,16 @@ class MemoryStore
 
     /** Approximate resident bytes (Figure 13c accounting). */
     size_t bytes() const;
+
+    /** Serialize memories and update timestamps (checkpointing). */
+    void saveState(ByteWriter &w) const;
+
+    /**
+     * Restore state written by saveState; staged and dimension-
+     * checked before anything is applied.
+     * @return false on mismatch or short payload (state untouched)
+     */
+    bool loadState(ByteReader &r);
 
   private:
     Tensor mem_;

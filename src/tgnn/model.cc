@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/ops.hh"
+#include "tgnn/serialize.hh"
 #include "util/logging.hh"
 
 namespace cascade {
@@ -106,6 +107,60 @@ TgnnModel::parameters() const
         params.push_back(jodieDecay_);
     append(decoder_->parameters());
     return params;
+}
+
+void
+TgnnModel::saveTrainingState(ByteWriter &w) const
+{
+    writeParametersBlob(w, parameters());
+    optimizer_->saveState(w);
+    const Rng::State rs = rng_.state();
+    for (size_t i = 0; i < 4; ++i)
+        w.u64(rs.s[i]);
+    w.f64(rs.cachedGaussian);
+    w.u8(rs.hasCachedGaussian ? 1 : 0);
+    memory_.saveState(w);
+    mailbox_.saveState(w);
+}
+
+bool
+TgnnModel::loadTrainingState(ByteReader &r)
+{
+    // Stage every section before applying any of it: a checkpoint for
+    // a differently configured model must leave this one untouched.
+    std::vector<Variable> params = parameters();
+    std::vector<Tensor> staged_params;
+    if (!readParametersStaged(r, params, staged_params))
+        return false;
+
+    Adam staged_opt = *optimizer_;
+    if (!staged_opt.loadState(r))
+        return false;
+
+    Rng::State rs;
+    uint8_t has_cached = 0;
+    for (size_t i = 0; i < 4; ++i) {
+        if (!r.u64(rs.s[i]))
+            return false;
+    }
+    if (!r.f64(rs.cachedGaussian) || !r.u8(has_cached))
+        return false;
+    rs.hasCachedGaussian = has_cached != 0;
+
+    MemoryStore staged_mem = memory_;
+    if (!staged_mem.loadState(r))
+        return false;
+    Mailbox staged_mail = mailbox_;
+    if (!staged_mail.loadState(r))
+        return false;
+
+    for (size_t i = 0; i < params.size(); ++i)
+        params[i].valueMutable() = std::move(staged_params[i]);
+    *optimizer_ = std::move(staged_opt);
+    rng_.setState(rs);
+    memory_ = std::move(staged_mem);
+    mailbox_ = std::move(staged_mail);
+    return true;
 }
 
 size_t
@@ -443,6 +498,15 @@ TgnnModel::step(const EventSequence &data, const TemporalAdjacency &adj,
     if (train) {
         optimizer_->zeroGrad();
         loss.backward();
+        double grad_sq = 0.0;
+        for (const auto &p : parameters()) {
+            const Tensor &g = p.grad();
+            for (size_t i = 0; i < g.size(); ++i) {
+                grad_sq += static_cast<double>(g.data()[i]) *
+                           g.data()[i];
+            }
+        }
+        result.gradNorm = std::sqrt(grad_sq);
         optimizer_->step();
     }
 

@@ -62,6 +62,11 @@ struct StepResult
     size_t sampledNeighbors = 0;
     /** Fraction of events whose true edge outscored its negative. */
     double rankAccuracy = 0.0;
+    /**
+     * L2 norm of the parameter gradients after backward (training
+     * steps only; 0 in eval). The NumericGuard's explosion signal.
+     */
+    double gradNorm = 0.0;
 };
 
 /** A Table 1 TGNN instance bound to a node universe. */
@@ -140,6 +145,20 @@ class TgnnModel
 
     /** All trainable parameters. */
     std::vector<Variable> parameters() const;
+
+    /**
+     * Serialize everything a bit-identical mid-run resume needs:
+     * parameters, Adam moments, the sampling RNG, node memory and
+     * the mailbox.
+     */
+    void saveTrainingState(ByteWriter &w) const;
+
+    /**
+     * Restore state written by saveTrainingState. Every section is
+     * staged and validated before any model state is overwritten.
+     * @return false on mismatch/corruption (model untouched)
+     */
+    bool loadTrainingState(ByteReader &r);
 
     /** Approximate model parameter bytes (Figure 13c). */
     size_t parameterBytes() const;

@@ -1,9 +1,8 @@
 #include "tgnn/serialize.hh"
 
 #include <cstdint>
-#include <cstdio>
-#include <memory>
 
+#include "tensor/tensor_io.hh"
 #include "tgnn/model.hh"
 
 namespace cascade {
@@ -11,88 +10,74 @@ namespace cascade {
 namespace {
 
 constexpr uint32_t kMagic = 0x43534b50;  // "CSKP"
-constexpr uint32_t kVersion = 1;
-
-struct FileCloser
-{
-    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-bool
-writeU32(std::FILE *f, uint32_t v)
-{
-    return std::fwrite(&v, sizeof(v), 1, f) == 1;
-}
-
-bool
-readU32(std::FILE *f, uint32_t &v)
-{
-    return std::fread(&v, sizeof(v), 1, f) == 1;
-}
+// v2: CRC32 footer + atomic commit via util/binio.
+constexpr uint32_t kVersion = 2;
 
 } // namespace
+
+void
+writeParametersBlob(ByteWriter &w, const std::vector<Variable> &params)
+{
+    w.u32(static_cast<uint32_t>(params.size()));
+    for (const auto &p : params)
+        writeTensor(w, p.value());
+}
+
+bool
+readParametersStaged(ByteReader &r, const std::vector<Variable> &params,
+                     std::vector<Tensor> &staged)
+{
+    uint32_t count = 0;
+    if (!r.u32(count) || count != params.size())
+        return false;
+    staged.clear();
+    staged.reserve(count);
+    for (const auto &p : params) {
+        Tensor t;
+        if (!readTensorExpect(r, p.value().rows(), p.value().cols(), t))
+            return false;
+        staged.push_back(std::move(t));
+    }
+    return true;
+}
+
+bool
+readParametersBlob(ByteReader &r, std::vector<Variable> params)
+{
+    // Read everything into staging first: a half-applied checkpoint
+    // would be worse than a failed load.
+    std::vector<Tensor> staged;
+    if (!readParametersStaged(r, params, staged))
+        return false;
+    for (size_t i = 0; i < params.size(); ++i)
+        params[i].valueMutable() = std::move(staged[i]);
+    return true;
+}
 
 bool
 saveParameters(const std::vector<Variable> &params,
                const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        return false;
-    if (!writeU32(f.get(), kMagic) || !writeU32(f.get(), kVersion) ||
-        !writeU32(f.get(), static_cast<uint32_t>(params.size()))) {
-        return false;
-    }
-    for (const auto &p : params) {
-        const Tensor &t = p.value();
-        if (!writeU32(f.get(), static_cast<uint32_t>(t.rows())) ||
-            !writeU32(f.get(), static_cast<uint32_t>(t.cols()))) {
-            return false;
-        }
-        if (t.size() > 0 &&
-            std::fwrite(t.data(), sizeof(float), t.size(), f.get()) !=
-                t.size()) {
-            return false;
-        }
-    }
-    return true;
+    ByteWriter w;
+    w.u32(kMagic);
+    w.u32(kVersion);
+    writeParametersBlob(w, params);
+    return writeFileAtomic(path, w.buffer());
 }
 
 bool
 loadParameters(std::vector<Variable> params, const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
+    std::string payload;
+    if (!readFileValidated(path, payload))
         return false;
-    uint32_t magic = 0, version = 0, count = 0;
-    if (!readU32(f.get(), magic) || magic != kMagic ||
-        !readU32(f.get(), version) || version != kVersion ||
-        !readU32(f.get(), count) || count != params.size()) {
+    ByteReader r(payload);
+    uint32_t magic = 0, version = 0;
+    if (!r.u32(magic) || magic != kMagic || !r.u32(version) ||
+        version != kVersion) {
         return false;
     }
-
-    // Read everything into staging first: a half-applied checkpoint
-    // would be worse than a failed load.
-    std::vector<Tensor> staged;
-    staged.reserve(count);
-    for (const auto &p : params) {
-        uint32_t rows = 0, cols = 0;
-        if (!readU32(f.get(), rows) || !readU32(f.get(), cols) ||
-            rows != p.value().rows() || cols != p.value().cols()) {
-            return false;
-        }
-        Tensor t(rows, cols);
-        if (t.size() > 0 &&
-            std::fread(t.data(), sizeof(float), t.size(), f.get()) !=
-                t.size()) {
-            return false;
-        }
-        staged.push_back(std::move(t));
-    }
-    for (size_t i = 0; i < params.size(); ++i)
-        params[i].valueMutable() = std::move(staged[i]);
-    return true;
+    return readParametersBlob(r, std::move(params));
 }
 
 bool

@@ -4,10 +4,18 @@
  *
  * Parameters are written in a small self-describing binary format:
  * magic, version, tensor count, then per tensor (rows, cols, data).
- * Loading validates shapes against the target model's registry, so a
- * checkpoint can only be restored into an identically configured
- * model — mismatches fail loudly instead of silently corrupting
- * weights.
+ * Since format version 2 every artifact is committed atomically
+ * (tmp file + fsync + rename) and carries a CRC32 footer that is
+ * validated before any deserialization, so truncated or bit-flipped
+ * files are rejected loudly. Loading validates shapes against the
+ * target model's registry, so a checkpoint can only be restored into
+ * an identically configured model — mismatches fail loudly instead of
+ * silently corrupting weights.
+ *
+ * The blob-level helpers (writeParametersBlob / readParametersBlob)
+ * are the building blocks the full TrainingCheckpoint
+ * (train/checkpoint.hh) composes with optimizer, memory, mailbox and
+ * batcher state.
  */
 
 #ifndef CASCADE_TGNN_SERIALIZE_HH
@@ -17,13 +25,35 @@
 #include <vector>
 
 #include "tensor/variable.hh"
+#include "util/binio.hh"
 
 namespace cascade {
 
 class TgnnModel;
 
+/** Append a parameter list (count + tensors) to a byte stream. */
+void writeParametersBlob(ByteWriter &w, const std::vector<Variable> &params);
+
 /**
- * Write a parameter list to a file.
+ * Read a parameter blob into an existing registry. Everything is
+ * staged and shape-checked before any parameter is overwritten.
+ * @return false on count/shape mismatch or short payload (registry
+ *         untouched)
+ */
+bool readParametersBlob(ByteReader &r, std::vector<Variable> params);
+
+/**
+ * Stage a parameter blob without applying it: validates count and
+ * shapes against `params` and fills `staged` with the tensors. Used
+ * by multi-section loads that must validate everything before
+ * mutating anything.
+ */
+bool readParametersStaged(ByteReader &r,
+                          const std::vector<Variable> &params,
+                          std::vector<Tensor> &staged);
+
+/**
+ * Write a parameter list to a file (atomic, CRC-protected).
  * @return false on I/O failure
  */
 bool saveParameters(const std::vector<Variable> &params,
@@ -31,8 +61,9 @@ bool saveParameters(const std::vector<Variable> &params,
 
 /**
  * Read parameters from a file into an existing registry.
- * @return false on I/O failure, wrong magic/version, or any shape
- *         mismatch (the registry is untouched in that case)
+ * @return false on I/O failure, corruption (bad CRC / truncation),
+ *         wrong magic/version, or any shape mismatch (the registry is
+ *         untouched in every failure case)
  */
 bool loadParameters(std::vector<Variable> params,
                     const std::string &path);

@@ -20,6 +20,9 @@
 
 namespace cascade {
 
+class ByteWriter;
+class ByteReader;
+
 /** Runtime feedback a policy may use (loss plateau, memory drift). */
 struct BatchFeedback
 {
@@ -66,6 +69,34 @@ class Batcher
 
     /** Fraction of stable memory updates this epoch (Figure 5). */
     virtual double stableUpdateRatio() const { return 0.0; }
+
+    /**
+     * Serialize mutable policy state for a training checkpoint.
+     * Stateless policies (fixed batching, window policies whose
+     * boundaries depend only on the cursor) write nothing.
+     */
+    virtual bool saveState(ByteWriter &w) const
+    {
+        (void)w;
+        return true;
+    }
+
+    /**
+     * Restore state written by saveState.
+     * @return false on mismatch/corruption (policy untouched)
+     */
+    virtual bool loadState(ByteReader &r)
+    {
+        (void)r;
+        return true;
+    }
+
+    /**
+     * Numeric-guard rollback notification: the trainer rewound to the
+     * last good checkpoint after divergence. Adaptive policies should
+     * retry with more conservative batches.
+     */
+    virtual void onNumericRollback() {}
 };
 
 /** TGL: fixed-size batches (the paper's baseline, §5.1). */

@@ -1,0 +1,133 @@
+#include "train/checkpoint.hh"
+
+#include "util/binio.hh"
+#include "util/logging.hh"
+
+namespace cascade {
+namespace {
+
+constexpr uint32_t kMagic = 0x4353434b; // "CSCK"
+constexpr uint32_t kVersion = 1;
+
+} // namespace
+
+std::string
+encodeCheckpoint(const TgnnModel &model, const Batcher &batcher,
+                 const TrainerCursor &cursor)
+{
+    ByteWriter w;
+    w.u32(kMagic);
+    w.u32(kVersion);
+
+    w.u64(cursor.epoch);
+    w.u64(cursor.st);
+    w.u64(cursor.batchIndex);
+    w.u64(cursor.globalBatch);
+    w.u64(cursor.totalBatches);
+    w.u64(cursor.totalEvents);
+    w.u64(cursor.epochEvents);
+    w.f64(cursor.lossSum);
+    w.u64(cursor.completed.size());
+    for (const EpochStats &es : cursor.completed) {
+        w.f64(es.trainLoss);
+        w.u64(es.batches);
+        w.f64(es.avgBatchSize);
+        w.f64(es.wallSeconds);
+        w.f64(es.deviceSeconds);
+        w.f64(es.stableUpdateRatio);
+    }
+
+    w.str(batcher.name());
+    ByteWriter bw;
+    batcher.saveState(bw);
+    w.str(bw.buffer());
+    ByteWriter mw;
+    model.saveTrainingState(mw);
+    w.str(mw.buffer());
+    return w.buffer();
+}
+
+bool
+decodeCheckpoint(const std::string &payload, TgnnModel &model,
+                 Batcher &batcher, TrainerCursor &cursor)
+{
+    ByteReader r(payload);
+    uint32_t magic = 0, version = 0;
+    if (!r.u32(magic) || !r.u32(version)) {
+        CASCADE_LOG("checkpoint: payload too short for header");
+        return false;
+    }
+    if (magic != kMagic || version != kVersion) {
+        CASCADE_LOG("checkpoint: bad magic/version %08x/%u", magic,
+                    version);
+        return false;
+    }
+
+    TrainerCursor cur;
+    uint64_t epochs = 0;
+    if (!r.u64(cur.epoch) || !r.u64(cur.st) || !r.u64(cur.batchIndex) ||
+        !r.u64(cur.globalBatch) || !r.u64(cur.totalBatches) ||
+        !r.u64(cur.totalEvents) || !r.u64(cur.epochEvents) ||
+        !r.f64(cur.lossSum) || !r.u64(epochs)) {
+        CASCADE_LOG("checkpoint: truncated cursor section");
+        return false;
+    }
+    if (epochs > cur.epoch) {
+        CASCADE_LOG("checkpoint: inconsistent epoch counts");
+        return false;
+    }
+    cur.completed.resize(static_cast<size_t>(epochs));
+    for (EpochStats &es : cur.completed) {
+        uint64_t batches = 0;
+        if (!r.f64(es.trainLoss) || !r.u64(batches) ||
+            !r.f64(es.avgBatchSize) || !r.f64(es.wallSeconds) ||
+            !r.f64(es.deviceSeconds) || !r.f64(es.stableUpdateRatio)) {
+            CASCADE_LOG("checkpoint: truncated epoch stats");
+            return false;
+        }
+        es.batches = static_cast<size_t>(batches);
+    }
+
+    std::string name;
+    ByteReader batcher_blob(nullptr, 0), model_blob(nullptr, 0);
+    if (!r.str(name) || !r.sub(batcher_blob) || !r.sub(model_blob)) {
+        CASCADE_LOG("checkpoint: truncated state blobs");
+        return false;
+    }
+    if (name != batcher.name()) {
+        CASCADE_LOG("checkpoint: batching policy is '%s' but the "
+                    "checkpoint was written by '%s'",
+                    batcher.name().c_str(), name.c_str());
+        return false;
+    }
+
+    // Apply the model first: loadTrainingState stages every section
+    // internally, so a config mismatch (the common failure) rejects
+    // before anything mutates.
+    if (!model.loadTrainingState(model_blob)) {
+        CASCADE_LOG("checkpoint: model state does not match this "
+                    "model configuration");
+        return false;
+    }
+    if (!batcher.loadState(batcher_blob)) {
+        CASCADE_LOG("checkpoint: batcher state does not match this "
+                    "policy/dataset");
+        return false;
+    }
+    cursor = std::move(cur);
+    return true;
+}
+
+bool
+saveCheckpointFile(const std::string &path, const std::string &payload)
+{
+    return writeFileAtomic(path, payload);
+}
+
+bool
+loadCheckpointFile(const std::string &path, std::string &payload)
+{
+    return readFileValidated(path, payload);
+}
+
+} // namespace cascade

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Full training checkpoints (crash-consistent resume).
+ *
+ * A TrainingCheckpoint captures everything a bit-identical mid-run
+ * resume needs: model parameters, Adam moments, the model RNG, node
+ * memory and mailbox (TgnnModel::saveTrainingState), the batching
+ * policy's adaptive state (Batcher::saveState — for Cascade that is
+ * the ABS schedule, SG-Filter flags and TG-Diffuser cursors) and the
+ * trainer's own cursor (epoch, batch position, running loss sums and
+ * finished-epoch stats). Restarting from a checkpoint replays the
+ * exact trajectory the uninterrupted run would have taken; only
+ * wall-clock measurements differ.
+ *
+ * On-disk framing (written through util/binio.hh, so the file also
+ * carries a CRC32 footer and is committed atomically):
+ *
+ *   u32 magic "CSCK"   u32 version
+ *   cursor: u64 epoch, st, batchIndex, globalBatch, totalBatches,
+ *           totalEvents, epochEvents; f64 lossSum
+ *   u64 #completed epochs, then per epoch the EpochStats fields
+ *   str batcher name (validated against the live policy on load)
+ *   str batcher state blob
+ *   str model state blob
+ *
+ * Decoding stages every section before applying any: a truncated,
+ * corrupt or mismatched checkpoint leaves the model, optimizer and
+ * batcher untouched.
+ */
+
+#ifndef CASCADE_TRAIN_CHECKPOINT_HH
+#define CASCADE_TRAIN_CHECKPOINT_HH
+
+#include <string>
+#include <vector>
+
+#include "tgnn/model.hh"
+#include "train/batcher.hh"
+#include "train/trainer.hh"
+
+namespace cascade {
+
+/** Mid-run position of the training loop. */
+struct TrainerCursor
+{
+    uint64_t epoch = 0;       ///< current epoch index
+    uint64_t st = 0;          ///< next batch's first event
+    uint64_t batchIndex = 0;  ///< batches finished this epoch
+    uint64_t globalBatch = 0; ///< batches finished across epochs
+    uint64_t totalBatches = 0;
+    uint64_t totalEvents = 0;
+    uint64_t epochEvents = 0;
+    double lossSum = 0.0;     ///< running event-weighted loss (exact)
+    std::vector<EpochStats> completed;
+};
+
+/** Serialize model + batcher + cursor into a checkpoint payload. */
+std::string encodeCheckpoint(const TgnnModel &model,
+                             const Batcher &batcher,
+                             const TrainerCursor &cursor);
+
+/**
+ * Apply a payload produced by encodeCheckpoint. Validates the magic,
+ * version and batcher identity and stages all state before any of it
+ * is applied.
+ * @return false on corruption or mismatch (targets untouched)
+ */
+bool decodeCheckpoint(const std::string &payload, TgnnModel &model,
+                      Batcher &batcher, TrainerCursor &cursor);
+
+/** Commit a checkpoint payload to disk (atomic, CRC-protected). */
+bool saveCheckpointFile(const std::string &path,
+                        const std::string &payload);
+
+/** Read back a checkpoint payload, rejecting corrupt files. */
+bool loadCheckpointFile(const std::string &path, std::string &payload);
+
+} // namespace cascade
+
+#endif // CASCADE_TRAIN_CHECKPOINT_HH

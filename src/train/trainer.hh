@@ -13,6 +13,7 @@
 #ifndef CASCADE_TRAIN_TRAINER_HH
 #define CASCADE_TRAIN_TRAINER_HH
 
+#include <string>
 #include <vector>
 
 #include "graph/adjacency.hh"
@@ -20,6 +21,7 @@
 #include "sim/device_model.hh"
 #include "tgnn/model.hh"
 #include "train/batcher.hh"
+#include "train/numeric_guard.hh"
 
 namespace cascade {
 
@@ -51,6 +53,15 @@ struct TrainReport
     double deviceUtilization = 0.0;
     double stableUpdateRatio = 0.0;///< last epoch (0 if policy lacks it)
 
+    /** Numeric-guard trips observed (not reset by rollbacks). */
+    size_t guardTrips = 0;
+    /** Rollbacks to the last good checkpoint. */
+    size_t rollbacks = 0;
+    /** This run resumed from a checkpoint file. */
+    bool resumed = false;
+    /** A (simulated) crash cut training short; resume to finish. */
+    bool interrupted = false;
+
     /** End-to-end modeled latency: preprocessing + device time. */
     double
     totalDeviceSeconds() const
@@ -68,6 +79,16 @@ struct TrainOptions
     size_t evalBatch = 100;
     /** Validate after training (needs a validation range). */
     bool validate = true;
+
+    /** Checkpoint file; empty = no on-disk checkpointing. */
+    std::string checkpointPath;
+    /** Snapshot cadence in global batches (also the rollback grain). */
+    size_t checkpointEvery = 50;
+    /** Resume from resumePath (falls back to checkpointPath). */
+    bool resume = false;
+    std::string resumePath;
+    /** Per-batch loss/gradient health checks. */
+    NumericGuardOptions guard;
 };
 
 /**

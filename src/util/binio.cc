@@ -1,0 +1,219 @@
+#include "util/binio.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/fault.hh"
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace cascade {
+
+namespace {
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/** Lazily built CRC32 lookup table. */
+const uint32_t *
+crcTable()
+{
+    static uint32_t table[256];
+    static bool built = false;
+    if (!built) {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        built = true;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    const uint32_t *table = crcTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void
+ByteWriter::u8(uint8_t v)
+{
+    buf_.push_back(static_cast<char>(v));
+}
+
+void
+ByteWriter::u32(uint32_t v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+ByteWriter::u64(uint64_t v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+ByteWriter::f32(float v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+ByteWriter::f64(double v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+ByteWriter::bytes(const void *data, size_t len)
+{
+    buf_.append(static_cast<const char *>(data), len);
+}
+
+void
+ByteWriter::str(const std::string &s)
+{
+    u64(s.size());
+    bytes(s.data(), s.size());
+}
+
+bool
+ByteReader::u8(uint8_t &v)
+{
+    return bytes(&v, sizeof(v));
+}
+
+bool
+ByteReader::u32(uint32_t &v)
+{
+    return bytes(&v, sizeof(v));
+}
+
+bool
+ByteReader::u64(uint64_t &v)
+{
+    return bytes(&v, sizeof(v));
+}
+
+bool
+ByteReader::f32(float &v)
+{
+    return bytes(&v, sizeof(v));
+}
+
+bool
+ByteReader::f64(double &v)
+{
+    return bytes(&v, sizeof(v));
+}
+
+bool
+ByteReader::bytes(void *out, size_t len)
+{
+    if (len > len_ - pos_)
+        return false;
+    std::memcpy(out, p_ + pos_, len);
+    pos_ += len;
+    return true;
+}
+
+bool
+ByteReader::str(std::string &s)
+{
+    uint64_t n = 0;
+    if (!u64(n) || n > len_ - pos_)
+        return false;
+    s.assign(p_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return true;
+}
+
+bool
+ByteReader::sub(ByteReader &out)
+{
+    uint64_t n = 0;
+    if (!u64(n) || n > len_ - pos_)
+        return false;
+    out = ByteReader(p_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return true;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &payload)
+{
+    if (fault::onFileWrite(path))
+        return false;
+
+    const std::string tmp = path + ".tmp";
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    const uint32_t crc = crc32(payload.data(), payload.size());
+    bool ok = payload.empty() ||
+        std::fwrite(payload.data(), 1, payload.size(), f.get()) ==
+            payload.size();
+    ok = ok && std::fwrite(&crc, sizeof(crc), 1, f.get()) == 1;
+    ok = ok && std::fflush(f.get()) == 0;
+#ifndef _WIN32
+    // Durability: the data must hit the disk before the rename makes
+    // it visible, or a power loss could expose a hollow rename.
+    ok = ok && ::fsync(::fileno(f.get())) == 0;
+#endif
+    f.reset();
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFileValidated(const std::string &path, std::string &payload)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return false;
+    const long size = std::ftell(f.get());
+    if (size < static_cast<long>(sizeof(uint32_t)) ||
+        std::fseek(f.get(), 0, SEEK_SET) != 0) {
+        return false;
+    }
+    std::string data(static_cast<size_t>(size), '\0');
+    if (!data.empty() &&
+        std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
+        return false;
+    }
+    const size_t body = data.size() - sizeof(uint32_t);
+    uint32_t stored = 0;
+    std::memcpy(&stored, data.data() + body, sizeof(stored));
+    if (crc32(data.data(), body) != stored)
+        return false;
+    data.resize(body);
+    payload = std::move(data);
+    return true;
+}
+
+} // namespace cascade

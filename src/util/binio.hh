@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Crash-consistent binary artifact I/O.
+ *
+ * Every binary artifact the framework persists (model checkpoints,
+ * training checkpoints, binary event datasets) goes through this
+ * layer: the payload is assembled in memory with a ByteWriter, then
+ * committed with writeFileAtomic — tmp file + fsync + rename, with a
+ * CRC32 footer — so a crash mid-write can never leave a torn file
+ * behind, and silent corruption (truncation, bit flips) is detected
+ * on load instead of being deserialized into garbage weights.
+ */
+
+#ifndef CASCADE_UTIL_BINIO_HH
+#define CASCADE_UTIL_BINIO_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cascade {
+
+/** CRC32 (IEEE 802.3 polynomial, the zlib convention). */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
+/** Little-endian append-only buffer for binary artifacts. */
+class ByteWriter
+{
+  public:
+    void u8(uint8_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void f32(float v);
+    void f64(double v);
+    void bytes(const void *data, size_t len);
+    /** Length-prefixed string (u64 length + raw bytes). */
+    void str(const std::string &s);
+
+    const std::string &buffer() const { return buf_; }
+    size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked cursor over a binary payload. Every read returns
+ * false on exhaustion instead of reading past the end, so corrupt
+ * length fields fail loudly rather than fault.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const void *data, size_t len)
+        : p_(static_cast<const char *>(data)), len_(len)
+    {}
+    explicit ByteReader(const std::string &buf)
+        : ByteReader(buf.data(), buf.size())
+    {}
+
+    bool u8(uint8_t &v);
+    bool u32(uint32_t &v);
+    bool u64(uint64_t &v);
+    bool f32(float &v);
+    bool f64(double &v);
+    bool bytes(void *out, size_t len);
+    bool str(std::string &s);
+    /** Carve out a length-prefixed sub-payload as its own reader. */
+    bool sub(ByteReader &out);
+
+    size_t remaining() const { return len_ - pos_; }
+    bool atEnd() const { return pos_ == len_; }
+
+  private:
+    const char *p_;
+    size_t len_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Commit a payload to `path` crash-consistently: write payload plus a
+ * 4-byte CRC32 footer to `path.tmp`, fsync, then rename over `path`.
+ * The destination either keeps its old content or holds the complete
+ * new artifact — never a torn mix. Honors fault-injected write
+ * failures (util/fault.hh).
+ * @return false on any I/O failure (the tmp file is removed)
+ */
+bool writeFileAtomic(const std::string &path, const std::string &payload);
+
+/**
+ * Read a file written by writeFileAtomic, validating the CRC32
+ * footer. @return false if the file is missing, shorter than the
+ * footer, or the checksum does not match; `payload` is only assigned
+ * on success.
+ */
+bool readFileValidated(const std::string &path, std::string &payload);
+
+} // namespace cascade
+
+#endif // CASCADE_UTIL_BINIO_HH

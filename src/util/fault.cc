@@ -1,0 +1,121 @@
+#include "util/fault.hh"
+
+#include <limits>
+
+#include "util/env.hh"
+
+namespace cascade {
+namespace fault {
+
+namespace {
+
+struct State
+{
+    Config cfg;
+    long writeCalls = 0;
+    bool writeArmed = false;
+    bool nanArmed = false;
+    bool crashArmed = false;
+    size_t injected = 0;
+    bool initialized = false;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+void
+arm(State &s)
+{
+    s.writeCalls = 0;
+    s.writeArmed = s.cfg.failWriteNth > 0;
+    s.nanArmed = s.cfg.nanBatch >= 0;
+    s.crashArmed = s.cfg.crashBatch >= 0;
+    s.injected = 0;
+    s.initialized = true;
+}
+
+/** First-use initialization from the environment (CLI runs). */
+State &
+ensureInit()
+{
+    State &s = state();
+    if (!s.initialized) {
+        s.cfg.failWriteNth =
+            envLong("CASCADE_FAULT_WRITE_FAIL_NTH", 0);
+        s.cfg.nanBatch = envLong("CASCADE_FAULT_NAN_BATCH", -1);
+        s.cfg.crashBatch = envLong("CASCADE_FAULT_CRASH_BATCH", -1);
+        arm(s);
+    }
+    return s;
+}
+
+} // namespace
+
+void
+configure(const Config &config)
+{
+    State &s = state();
+    s.cfg = config;
+    arm(s);
+}
+
+void
+reset()
+{
+    configure(Config{});
+}
+
+bool
+onFileWrite(const std::string &path)
+{
+    (void)path;
+    State &s = ensureInit();
+    if (!s.writeArmed)
+        return false;
+    if (++s.writeCalls == s.cfg.failWriteNth) {
+        s.writeArmed = false;
+        ++s.injected;
+        return true;
+    }
+    return false;
+}
+
+bool
+maybeInjectNan(uint64_t globalBatch, double &loss)
+{
+    State &s = ensureInit();
+    if (!s.nanArmed ||
+        globalBatch != static_cast<uint64_t>(s.cfg.nanBatch)) {
+        return false;
+    }
+    s.nanArmed = false;
+    ++s.injected;
+    loss = std::numeric_limits<double>::quiet_NaN();
+    return true;
+}
+
+bool
+crashAfter(uint64_t globalBatch)
+{
+    State &s = ensureInit();
+    if (!s.crashArmed ||
+        globalBatch != static_cast<uint64_t>(s.cfg.crashBatch)) {
+        return false;
+    }
+    s.crashArmed = false;
+    ++s.injected;
+    return true;
+}
+
+size_t
+injectedCount()
+{
+    return ensureInit().injected;
+}
+
+} // namespace fault
+} // namespace cascade

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic fault injection for resilience testing.
+ *
+ * A process-wide injector with seeded, countable trigger points that
+ * the trainer and the binary-I/O layer consult. Faults are configured
+ * either programmatically (tests) or from the environment (CLI runs):
+ *
+ *   CASCADE_FAULT_WRITE_FAIL_NTH=N  fail the Nth atomic file write
+ *                                   (1-based; every later write
+ *                                   succeeds again)
+ *   CASCADE_FAULT_NAN_BATCH=K       replace global batch K's training
+ *                                   loss with NaN (one-shot)
+ *   CASCADE_FAULT_CRASH_BATCH=K     simulate a crash right after
+ *                                   global batch K completes
+ *                                   (one-shot; the trainer returns an
+ *                                   interrupted report)
+ *
+ * All triggers are one-shot by design: after a numeric-guard rollback
+ * the same batch index is replayed, and a re-firing fault would turn
+ * every recovery test into an infinite loop.
+ */
+
+#ifndef CASCADE_UTIL_FAULT_HH
+#define CASCADE_UTIL_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cascade {
+namespace fault {
+
+/** Injection plan; negative batch indices / zero counts disarm. */
+struct Config
+{
+    /** Fail the Nth writeFileAtomic call (1-based); 0 = never. */
+    long failWriteNth = 0;
+    /** Global batch whose loss becomes NaN; -1 = never. */
+    long nanBatch = -1;
+    /** Global batch after which training "crashes"; -1 = never. */
+    long crashBatch = -1;
+};
+
+/** Install a plan and rearm all triggers (tests). */
+void configure(const Config &config);
+
+/** Disarm everything and zero the counters. */
+void reset();
+
+/**
+ * True when this atomic file write should fail. Counts every call;
+ * fires once when the count reaches failWriteNth.
+ */
+bool onFileWrite(const std::string &path);
+
+/**
+ * Inject NaN into `loss` when `globalBatch` matches the plan.
+ * @return true if the injection fired
+ */
+bool maybeInjectNan(uint64_t globalBatch, double &loss);
+
+/** True when training should simulate a crash after `globalBatch`. */
+bool crashAfter(uint64_t globalBatch);
+
+/** Total faults injected since the last configure/reset. */
+size_t injectedCount();
+
+} // namespace fault
+} // namespace cascade
+
+#endif // CASCADE_UTIL_FAULT_HH

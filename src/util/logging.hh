@@ -35,6 +35,13 @@ fatalImpl(const char *file, int line, const char *msg)
 #define CASCADE_PANIC(msg) ::cascade::panicImpl(__FILE__, __LINE__, msg)
 #define CASCADE_FATAL(msg) ::cascade::fatalImpl(__FILE__, __LINE__, msg)
 
+/** Non-fatal diagnostic (recoverable faults, parse errors, resumes). */
+#define CASCADE_LOG(...)                                                   \
+    do {                                                                   \
+        std::fprintf(stderr, "cascade: " __VA_ARGS__);                     \
+        std::fputc('\n', stderr);                                          \
+    } while (0)
+
 /** Cheap always-on invariant check (unlike assert, survives NDEBUG). */
 #define CASCADE_CHECK(cond, msg)                                           \
     do {                                                                   \

@@ -123,6 +123,26 @@ Rng::zipf(uint64_t n, double alpha)
     return v < n ? v : n - 1;
 }
 
+Rng::State
+Rng::state() const
+{
+    State st;
+    for (size_t i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.cachedGaussian = cachedGaussian_;
+    st.hasCachedGaussian = hasCachedGaussian_;
+    return st;
+}
+
+void
+Rng::setState(const State &state)
+{
+    for (size_t i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    cachedGaussian_ = state.cachedGaussian;
+    hasCachedGaussian_ = state.hasCachedGaussian;
+}
+
 double
 Rng::exponential(double rate)
 {

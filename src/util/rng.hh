@@ -56,6 +56,20 @@ class Rng
     /** Exponential with given rate (inter-arrival times). */
     double exponential(double rate);
 
+    /**
+     * Complete generator state, exposed so checkpoints can resume a
+     * training run on a bit-identical random trajectory (negative
+     * sampling, neighbor sampling, profiling draws).
+     */
+    struct State
+    {
+        uint64_t s[4] = {0, 0, 0, 0};
+        double cachedGaussian = 0.0;
+        bool hasCachedGaussian = false;
+    };
+    State state() const;
+    void setState(const State &state);
+
   private:
     uint64_t s_[4];
     double cachedGaussian_;

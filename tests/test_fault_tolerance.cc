@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Fault-tolerance tests: crash-consistent checkpoint/resume with a
+ * bit-identical trajectory, numeric-guard rollback and recovery,
+ * fault-injected checkpoint write failures, and corrupt/mismatched
+ * checkpoint rejection without mutating the live run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cascade_batcher.hh"
+#include "graph/dataset.hh"
+#include "train/checkpoint.hh"
+#include "train/numeric_guard.hh"
+#include "train/trainer.hh"
+#include "util/binio.hh"
+#include "util/fault.hh"
+
+using namespace cascade;
+
+namespace {
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+struct Fixture
+{
+    DatasetSpec spec;
+    EventSequence data;
+    TemporalAdjacency adj;
+    size_t trainEnd;
+
+    explicit Fixture(double scale = 250.0, uint64_t seed = 31)
+        : spec(wikiSpec(scale)),
+          data([&] {
+              Rng rng(seed);
+              return generateDataset(spec, rng);
+          }()),
+          adj(data), trainEnd(data.size() * 4 / 5)
+    {}
+};
+
+TgnnModel
+freshModel(const Fixture &f, uint64_t seed = 7)
+{
+    return TgnnModel(tgnConfig(16), f.spec.numNodes, f.data.featDim(),
+                     seed);
+}
+
+CascadeBatcher
+freshCascade(const Fixture &f)
+{
+    CascadeBatcher::Options copts;
+    copts.baseBatch = f.spec.baseBatch;
+    copts.seed = 11;
+    return CascadeBatcher(f.data, f.adj, f.trainEnd, copts);
+}
+
+TrainOptions
+baseOptions(const Fixture &f, size_t epochs = 2)
+{
+    TrainOptions o;
+    o.epochs = epochs;
+    o.evalBatch = f.spec.baseBatch;
+    return o;
+}
+
+/** Deep copies of the current parameter tensors. */
+std::vector<Tensor>
+snapshotParams(const TgnnModel &model)
+{
+    std::vector<Tensor> out;
+    for (const Variable &v : model.parameters())
+        out.push_back(v.value());
+    return out;
+}
+
+void
+expectParamsEqual(const TgnnModel &model,
+                  const std::vector<Tensor> &snap)
+{
+    const std::vector<Variable> params = model.parameters();
+    ASSERT_EQ(params.size(), snap.size());
+    for (size_t p = 0; p < params.size(); ++p) {
+        for (size_t i = 0; i < snap[p].size(); ++i) {
+            ASSERT_FLOAT_EQ(params[p].value().data()[i],
+                            snap[p].data()[i]);
+        }
+    }
+}
+
+/** RAII: disarm fault injection no matter how the test exits. */
+struct FaultScope
+{
+    explicit FaultScope(const fault::Config &c) { fault::configure(c); }
+    ~FaultScope() { fault::reset(); }
+};
+
+} // namespace
+
+TEST(NumericGuard, TripsOnBadNumbersAndTracksRetries)
+{
+    NumericGuardOptions o;
+    o.maxRetries = 2;
+    NumericGuard g(o);
+    EXPECT_TRUE(g.admit(0.7, 1.0));
+    EXPECT_FALSE(g.admit(std::nan(""), 1.0));
+    EXPECT_NE(g.lastReason().find("non-finite loss"),
+              std::string::npos);
+    EXPECT_FALSE(g.exhausted());
+    EXPECT_FALSE(g.admit(0.7, 1e9)); // gradient explosion
+    EXPECT_FALSE(g.admit(1e6, 1.0)); // loss explosion
+    EXPECT_TRUE(g.exhausted());      // 3 consecutive > maxRetries=2
+    EXPECT_EQ(g.trips(), 3u);
+    // A healthy step resets the consecutive counter, not the total.
+    NumericGuard g2(o);
+    EXPECT_FALSE(g2.admit(std::nan(""), 1.0));
+    EXPECT_TRUE(g2.admit(0.7, 1.0));
+    EXPECT_FALSE(g2.exhausted());
+    EXPECT_EQ(g2.trips(), 1u);
+}
+
+TEST(NumericGuard, DisabledGuardAdmitsAnything)
+{
+    NumericGuardOptions o;
+    o.enabled = false;
+    NumericGuard g(o);
+    EXPECT_TRUE(g.admit(std::nan(""), std::nan("")));
+    EXPECT_EQ(g.trips(), 0u);
+}
+
+TEST(Checkpoint, CursorRoundTrip)
+{
+    Fixture f(400.0);
+    TgnnModel model = freshModel(f);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+
+    TrainerCursor cur;
+    cur.epoch = 2;
+    cur.st = 123;
+    cur.batchIndex = 4;
+    cur.globalBatch = 17;
+    cur.totalBatches = 17;
+    cur.totalEvents = 1700;
+    cur.epochEvents = 400;
+    cur.lossSum = 0.62518;
+    cur.completed.resize(2);
+    cur.completed[1].trainLoss = 0.5;
+    cur.completed[1].batches = 6;
+
+    const std::string payload = encodeCheckpoint(model, batcher, cur);
+    TrainerCursor back;
+    ASSERT_TRUE(decodeCheckpoint(payload, model, batcher, back));
+    EXPECT_EQ(back.epoch, cur.epoch);
+    EXPECT_EQ(back.st, cur.st);
+    EXPECT_EQ(back.batchIndex, cur.batchIndex);
+    EXPECT_EQ(back.globalBatch, cur.globalBatch);
+    EXPECT_EQ(back.totalEvents, cur.totalEvents);
+    EXPECT_EQ(back.lossSum, cur.lossSum);
+    ASSERT_EQ(back.completed.size(), 2u);
+    EXPECT_EQ(back.completed[1].trainLoss, 0.5);
+    EXPECT_EQ(back.completed[1].batches, 6u);
+}
+
+TEST(Checkpoint, CorruptOrMismatchedPayloadLeavesTargetsUntouched)
+{
+    Fixture f(400.0);
+    TgnnModel model = freshModel(f);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    TrainerCursor cur;
+    const std::string payload = encodeCheckpoint(model, batcher, cur);
+
+    const std::vector<Tensor> before = snapshotParams(model);
+    TrainerCursor out;
+    out.epoch = 99;
+
+    // Truncation at various depths.
+    for (size_t keep : {size_t(3), size_t(20), payload.size() - 1}) {
+        EXPECT_FALSE(decodeCheckpoint(payload.substr(0, keep), model,
+                                      batcher, out));
+    }
+    // Wrong magic.
+    std::string bad = payload;
+    bad[0] = 'X';
+    EXPECT_FALSE(decodeCheckpoint(bad, model, batcher, out));
+    // Wrong batching policy.
+    NeutronStreamBatcher other(f.data, f.spec.baseBatch, f.trainEnd);
+    EXPECT_FALSE(decodeCheckpoint(payload, model, other, out));
+    // Wrong model shape.
+    TgnnModel wide(tgnConfig(32), f.spec.numNodes, f.data.featDim(), 7);
+    EXPECT_FALSE(decodeCheckpoint(payload, wide, batcher, out));
+
+    expectParamsEqual(model, before);
+    EXPECT_EQ(out.epoch, 99u); // cursor untouched by failed decodes
+}
+
+TEST(Checkpoint, FileLevelCorruptionIsRejected)
+{
+    Fixture f(400.0);
+    TgnnModel model = freshModel(f);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    TrainerCursor cur;
+    const std::string payload = encodeCheckpoint(model, batcher, cur);
+    const std::string path = tmpPath("ckpt_corrupt.bin");
+    ASSERT_TRUE(saveCheckpointFile(path, payload));
+
+    std::string loaded;
+    ASSERT_TRUE(loadCheckpointFile(path, loaded));
+    EXPECT_EQ(loaded, payload);
+
+    // Flip one payload byte on disk: the CRC32 footer catches it.
+    std::string raw;
+    ASSERT_TRUE(readFileValidated(path, raw));
+    std::FILE *fp = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(fp, nullptr);
+    std::fseek(fp, 40, SEEK_SET);
+    const int c = std::fgetc(fp);
+    std::fseek(fp, 40, SEEK_SET);
+    std::fputc(c ^ 0x40, fp);
+    std::fclose(fp);
+    EXPECT_FALSE(loadCheckpointFile(path, loaded));
+    EXPECT_FALSE(loadCheckpointFile(tmpPath("ckpt_missing.bin"),
+                                    loaded));
+}
+
+TEST(FaultTolerance, CrashAndResumeIsBitIdenticalFixedBatcher)
+{
+    Fixture f;
+    const std::string path = tmpPath("ckpt_fixed.bin");
+    fault::reset();
+
+    // Uninterrupted reference run.
+    TgnnModel ref = freshModel(f);
+    FixedBatcher rb(f.trainEnd, f.spec.baseBatch);
+    TrainReport want = trainModel(ref, f.data, f.adj, f.trainEnd, rb,
+                                  baseOptions(f));
+    ASSERT_GE(want.totalBatches, 6u);
+
+    // Same run, crashing mid-epoch past at least one snapshot.
+    TrainOptions copts = baseOptions(f);
+    copts.checkpointPath = path;
+    copts.checkpointEvery = 2;
+    TgnnModel crashed = freshModel(f);
+    FixedBatcher cb(f.trainEnd, f.spec.baseBatch);
+    {
+        fault::Config fc;
+        fc.crashBatch =
+            static_cast<long>(want.totalBatches / 2 + 1);
+        FaultScope scope(fc);
+        TrainReport r = trainModel(crashed, f.data, f.adj, f.trainEnd,
+                                   cb, copts);
+        ASSERT_TRUE(r.interrupted);
+        EXPECT_LT(r.totalBatches, want.totalBatches);
+    }
+
+    // Resume in a fresh process-equivalent: new model, new batcher.
+    TrainOptions ropts = copts;
+    ropts.resume = true;
+    TgnnModel resumed = freshModel(f);
+    FixedBatcher nb(f.trainEnd, f.spec.baseBatch);
+    TrainReport got = trainModel(resumed, f.data, f.adj, f.trainEnd,
+                                 nb, ropts);
+    EXPECT_TRUE(got.resumed);
+    EXPECT_FALSE(got.interrupted);
+
+    // Bit-identical trajectory: exact loss equality, no tolerance.
+    EXPECT_EQ(got.valLoss, want.valLoss);
+    ASSERT_EQ(got.epochs.size(), want.epochs.size());
+    for (size_t e = 0; e < want.epochs.size(); ++e) {
+        EXPECT_EQ(got.epochs[e].trainLoss, want.epochs[e].trainLoss);
+        EXPECT_EQ(got.epochs[e].batches, want.epochs[e].batches);
+    }
+    EXPECT_EQ(got.totalBatches, want.totalBatches);
+}
+
+TEST(FaultTolerance, CrashAndResumeIsBitIdenticalCascade)
+{
+    Fixture f;
+    const std::string path = tmpPath("ckpt_cascade.bin");
+    fault::reset();
+
+    TgnnModel ref = freshModel(f);
+    CascadeBatcher rb = freshCascade(f);
+    TrainReport want = trainModel(ref, f.data, f.adj, f.trainEnd, rb,
+                                  baseOptions(f));
+    ASSERT_GE(want.totalBatches, 4u);
+
+    TrainOptions copts = baseOptions(f);
+    copts.checkpointPath = path;
+    copts.checkpointEvery = 1;
+    TgnnModel crashed = freshModel(f);
+    CascadeBatcher cb = freshCascade(f);
+    {
+        fault::Config fc;
+        fc.crashBatch =
+            static_cast<long>(want.totalBatches / 2);
+        FaultScope scope(fc);
+        TrainReport r = trainModel(crashed, f.data, f.adj, f.trainEnd,
+                                   cb, copts);
+        ASSERT_TRUE(r.interrupted);
+    }
+
+    TrainOptions ropts = copts;
+    ropts.resume = true;
+    TgnnModel resumed = freshModel(f);
+    CascadeBatcher nb = freshCascade(f);
+    TrainReport got = trainModel(resumed, f.data, f.adj, f.trainEnd,
+                                 nb, ropts);
+    EXPECT_TRUE(got.resumed);
+
+    // The adaptive policy's schedule (ABS decays, SG-Filter flags,
+    // diffuser cursors) must resume exactly too, or the batch
+    // boundaries — and with them every loss — drift.
+    EXPECT_EQ(got.valLoss, want.valLoss);
+    ASSERT_EQ(got.epochs.size(), want.epochs.size());
+    for (size_t e = 0; e < want.epochs.size(); ++e) {
+        EXPECT_EQ(got.epochs[e].trainLoss, want.epochs[e].trainLoss);
+        EXPECT_EQ(got.epochs[e].batches, want.epochs[e].batches);
+        EXPECT_EQ(got.epochs[e].avgBatchSize,
+                  want.epochs[e].avgBatchSize);
+    }
+    EXPECT_EQ(got.totalBatches, want.totalBatches);
+}
+
+TEST(FaultTolerance, NanInjectionRollsBackAndRecovers)
+{
+    Fixture f;
+    fault::Config fc;
+    fc.nanBatch = 3;
+    FaultScope scope(fc);
+
+    TrainOptions opts = baseOptions(f);
+    opts.checkpointEvery = 2; // rollback grain
+    TgnnModel model = freshModel(f);
+    CascadeBatcher batcher = freshCascade(f);
+    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+                               batcher, opts);
+
+    EXPECT_EQ(r.guardTrips, 1u);
+    EXPECT_EQ(r.rollbacks, 1u);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_TRUE(std::isfinite(r.valLoss));
+    for (const EpochStats &es : r.epochs)
+        EXPECT_TRUE(std::isfinite(es.trainLoss));
+    // The rollback tightened the Max_r ceiling.
+    EXPECT_LT(batcher.abs().ceilingScale(), 1.0);
+}
+
+TEST(FaultTolerance, CheckpointWriteFailureDoesNotKillTraining)
+{
+    Fixture f(400.0);
+    const std::string path = tmpPath("ckpt_failwrite.bin");
+    std::remove(path.c_str());
+    fault::Config fc;
+    fc.failWriteNth = 1; // first snapshot write fails, rest succeed
+    FaultScope scope(fc);
+
+    TrainOptions opts = baseOptions(f, 1);
+    opts.checkpointPath = path;
+    opts.checkpointEvery = 1;
+    TgnnModel model = freshModel(f);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+                               batcher, opts);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_GE(fault::injectedCount(), 1u);
+    // Later snapshots still committed a valid checkpoint.
+    std::string payload;
+    EXPECT_TRUE(loadCheckpointFile(path, payload));
+}
+
+TEST(FaultTolerance, GuardExhaustionFailsLoudly)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    Fixture f(400.0);
+    TrainOptions opts = baseOptions(f, 1);
+    opts.guard.lossLimit = -1.0; // every batch "explodes"
+    opts.guard.maxRetries = 2;
+    EXPECT_EXIT(
+        {
+            TgnnModel model = freshModel(f);
+            FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+            trainModel(model, f.data, f.adj, f.trainEnd, batcher,
+                       opts);
+        },
+        ::testing::ExitedWithCode(1), "retry budget");
+}

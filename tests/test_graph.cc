@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <unordered_set>
 
 #include "graph/adjacency.hh"
 #include "graph/dataset.hh"
+#include "graph/io.hh"
 #include "graph/stats.hh"
 
 using namespace cascade;
@@ -269,4 +272,52 @@ TEST(Stats, RepeatPairFraction)
     seq.numNodes = 4;
     seq.events = {{0, 1, 1.0}, {0, 1, 2.0}, {2, 3, 3.0}, {0, 1, 4.0}};
     EXPECT_DOUBLE_EQ(repeatPairFraction(seq), 0.5);
+}
+
+TEST(DatasetIo, BinaryCorruptionRejectedWithoutMutatingSequence)
+{
+    EventSequence seq = tinyDataset();
+    const std::string path =
+        std::string(::testing::TempDir()) + "graph_events.bin";
+    ASSERT_TRUE(saveEventsBinary(seq, path));
+
+    // Truncate mid-payload: the CRC32 footer rejects the file and the
+    // in-memory target sequence keeps its contents.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string blob;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        blob.append(buf, n);
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(blob.data(), 1, blob.size() / 2, f);
+    std::fclose(f);
+
+    EventSequence target = tinyDataset(200.0, 7);
+    const size_t events_before = target.size();
+    const NodeId src_before = target.events[0].src;
+    EXPECT_FALSE(loadEventsBinary(target, path));
+    EXPECT_EQ(target.size(), events_before);
+    EXPECT_EQ(target.events[0].src, src_before);
+
+    // Single flipped byte: also rejected, target still untouched.
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    blob[blob.size() / 3] ^= 0x20;
+    std::fwrite(blob.data(), 1, blob.size(), f);
+    std::fclose(f);
+    EXPECT_FALSE(loadEventsBinary(target, path));
+    EXPECT_EQ(target.size(), events_before);
+
+    // The intact blob still round-trips (sanity for the helpers).
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    blob[blob.size() / 3] ^= 0x20;
+    std::fwrite(blob.data(), 1, blob.size(), f);
+    std::fclose(f);
+    ASSERT_TRUE(loadEventsBinary(target, path));
+    EXPECT_EQ(target.size(), seq.size());
 }

@@ -14,6 +14,8 @@
 #include "graph/io.hh"
 #include "tgnn/model.hh"
 #include "tgnn/serialize.hh"
+#include "util/binio.hh"
+#include "util/fault.hh"
 
 using namespace cascade;
 
@@ -31,6 +33,39 @@ smallDataset(uint64_t seed = 3)
     DatasetSpec spec = wikiSpec(400.0);
     Rng rng(seed);
     return generateDataset(spec, rng);
+}
+
+/** Truncate a file to `keep` bytes. */
+void
+truncateFile(const std::string &path, long keep)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string data;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        data.append(buf, n);
+    std::fclose(f);
+    ASSERT_GT(data.size(), static_cast<size_t>(keep));
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(data.data(), 1, static_cast<size_t>(keep), f);
+    std::fclose(f);
+}
+
+/** XOR one byte at `offset` in place. */
+void
+flipByte(const std::string &path, long offset)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, offset, SEEK_SET);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    std::fseek(f, offset, SEEK_SET);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
 }
 
 } // namespace
@@ -92,6 +127,90 @@ TEST(Serialize, RejectsWrongCountAndGarbage)
     std::fclose(f);
     EXPECT_FALSE(loadParameters(params, garbage));
     EXPECT_FALSE(loadParameters(params, tmpPath("missing.bin")));
+}
+
+TEST(Serialize, RejectsTruncatedFile)
+{
+    Rng rng(7);
+    std::vector<Variable> params = {
+        Variable(Tensor::randn(4, 4, rng), true)};
+    const std::string path = tmpPath("trunc.bin");
+    ASSERT_TRUE(saveParameters(params, path));
+
+    for (long keep : {2L, 10L, 40L}) {
+        truncateFile(path, keep);
+        std::vector<Variable> target = {
+            Variable(Tensor::full(4, 4, 5.0f), true)};
+        EXPECT_FALSE(loadParameters(target, path));
+        EXPECT_FLOAT_EQ(target[0].value().at(0, 0), 5.0f);
+        ASSERT_TRUE(saveParameters(params, path)); // restore
+    }
+}
+
+TEST(Serialize, RejectsFlippedBit)
+{
+    Rng rng(8);
+    std::vector<Variable> params = {
+        Variable(Tensor::randn(4, 4, rng), true)};
+    const std::string path = tmpPath("flip.bin");
+    ASSERT_TRUE(saveParameters(params, path));
+
+    // A single flipped bit anywhere — payload or the CRC footer
+    // itself — must be caught.
+    for (long off : {0L, 16L, 70L, -1L}) {
+        ASSERT_TRUE(saveParameters(params, path));
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        std::fclose(f);
+        flipByte(path, off < 0 ? size - 1 : off);
+        std::vector<Variable> target = {
+            Variable(Tensor::full(4, 4, 5.0f), true)};
+        EXPECT_FALSE(loadParameters(target, path));
+        EXPECT_FLOAT_EQ(target[0].value().at(0, 0), 5.0f);
+    }
+}
+
+TEST(Serialize, RejectsWrongMagicWithValidCrc)
+{
+    // A CRC-valid artifact of the wrong kind: the format check, not
+    // just the integrity check, must reject it.
+    ByteWriter w;
+    w.u32(0x58585858); // "XXXX"
+    w.u32(2);
+    w.u64(1);
+    const std::string path = tmpPath("wrongmagic.bin");
+    ASSERT_TRUE(writeFileAtomic(path, w.buffer()));
+    std::vector<Variable> target = {
+        Variable(Tensor::full(2, 2, 5.0f), true)};
+    EXPECT_FALSE(loadParameters(target, path));
+    EXPECT_FLOAT_EQ(target[0].value().at(0, 0), 5.0f);
+}
+
+TEST(Serialize, AtomicWriteLeavesOldFileOnInjectedFailure)
+{
+    Rng rng(9);
+    std::vector<Variable> old_params = {
+        Variable(Tensor::randn(2, 3, rng), true)};
+    const std::string path = tmpPath("atomic.bin");
+    ASSERT_TRUE(saveParameters(old_params, path));
+
+    fault::Config fc;
+    fc.failWriteNth = 1;
+    fault::configure(fc);
+    std::vector<Variable> new_params = {
+        Variable(Tensor::randn(2, 3, rng), true)};
+    EXPECT_FALSE(saveParameters(new_params, path));
+    fault::reset();
+
+    // The failed write never touched the committed artifact.
+    std::vector<Variable> loaded = {
+        Variable(Tensor::zeros(2, 3), true)};
+    ASSERT_TRUE(loadParameters(loaded, path));
+    for (size_t i = 0; i < loaded[0].value().size(); ++i) {
+        EXPECT_FLOAT_EQ(loaded[0].value().data()[i],
+                        old_params[0].value().data()[i]);
+    }
 }
 
 TEST(Serialize, ModelRoundTripReproducesOutputs)
@@ -186,4 +305,59 @@ TEST(EventIo, BinaryRejectsGarbage)
     EventSequence seq;
     EXPECT_FALSE(loadEventsBinary(seq, path));
     EXPECT_FALSE(loadEventsBinary(seq, tmpPath("missing.bin")));
+}
+
+TEST(EventIo, BinaryRejectsTruncationAndBitFlips)
+{
+    EventSequence seq = smallDataset();
+    const std::string path = tmpPath("events_corrupt.bin");
+
+    ASSERT_TRUE(saveEventsBinary(seq, path));
+    truncateFile(path, 64);
+    EventSequence target;
+    target.numNodes = 77; // sentinel: must survive the failed load
+    EXPECT_FALSE(loadEventsBinary(target, path));
+    EXPECT_EQ(target.numNodes, 77u);
+    EXPECT_TRUE(target.events.empty());
+
+    ASSERT_TRUE(saveEventsBinary(seq, path));
+    flipByte(path, 48); // inside the event payload
+    EXPECT_FALSE(loadEventsBinary(target, path));
+    EXPECT_EQ(target.numNodes, 77u);
+}
+
+TEST(EventIo, CsvAcceptsCrlfAndTrailingWhitespace)
+{
+    const std::string path = tmpPath("crlf.csv");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    // Windows line endings, padding and a trailing blank line.
+    std::fputs("src,dst,ts\r\n", f);
+    std::fputs("1,2,3.5\r\n", f);
+    std::fputs(" 4 , 5 , 6.25 \n", f);
+    std::fputs("\n", f);
+    std::fclose(f);
+
+    EventSequence seq;
+    ASSERT_TRUE(loadEventsCsv(seq, path));
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_EQ(seq.events[0].src, 1);
+    EXPECT_EQ(seq.events[0].dst, 2);
+    EXPECT_DOUBLE_EQ(seq.events[0].ts, 3.5);
+    EXPECT_EQ(seq.events[1].src, 4);
+    EXPECT_DOUBLE_EQ(seq.events[1].ts, 6.25);
+    EXPECT_EQ(seq.numNodes, 6u);
+}
+
+TEST(EventIo, CsvRejectsHalfParsedTokens)
+{
+    // "3.5x" would silently parse as 3.5 under plain sscanf; the
+    // full-token check must reject the row instead.
+    const std::string path = tmpPath("halftoken.csv");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fputs("src,dst,ts\n1,2,3.5x\n", f);
+    std::fclose(f);
+    EventSequence seq;
+    seq.numNodes = 77;
+    EXPECT_FALSE(loadEventsCsv(seq, path));
+    EXPECT_EQ(seq.numNodes, 77u);
 }

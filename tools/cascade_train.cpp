@@ -16,9 +16,20 @@
  *                 [--scale <divisor>] [--epochs <n>] [--dim <n>]
  *                 [--theta <t>] [--seed <n>] [--save <model.bin>]
  *                 [--csv <results.csv>]
+ *                 [--checkpoint <ckpt.bin>] [--checkpoint-every <n>]
+ *                 [--resume]
+ *
+ * With --checkpoint the trainer snapshots its full state (parameters,
+ * optimizer moments, memories, batcher schedule, cursor) every
+ * --checkpoint-every batches; --resume restarts from that file and
+ * reproduces the uninterrupted run bit for bit. Fault injection for
+ * resilience testing is driven by the CASCADE_FAULT_* environment
+ * variables (util/fault.hh).
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -46,6 +57,9 @@ struct CliOptions
     uint64_t seed = 42;
     std::string savePath;
     std::string csvPath;
+    std::string checkpointPath;
+    size_t checkpointEvery = 50;
+    bool resume = false;
 };
 
 void
@@ -55,8 +69,40 @@ usage(const char *argv0)
                  "usage: %s [--dataset D] [--model M] [--policy P]\n"
                  "          [--scale S] [--epochs N] [--dim N]\n"
                  "          [--theta T] [--seed N] [--save FILE]\n"
-                 "          [--csv FILE]\n",
+                 "          [--csv FILE] [--checkpoint FILE]\n"
+                 "          [--checkpoint-every N] [--resume]\n",
                  argv0);
+}
+
+/**
+ * Strict numeric parsers: the whole token must be a number. A typo
+ * like `--epochs 3x` or `--scale ""` names the offending flag and
+ * exits instead of silently training with a half-parsed value.
+ */
+double
+parseDouble(const char *flag, const char *s)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "%s: invalid number '%s'\n", flag, s);
+        std::exit(2);
+    }
+    return v;
+}
+
+uint64_t
+parseUint(const char *flag, const char *s)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE || *s == '-') {
+        std::fprintf(stderr, "%s: invalid count '%s'\n", flag, s);
+        std::exit(2);
+    }
+    return v;
 }
 
 bool
@@ -77,19 +123,27 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         else if (arg == "--policy" && (v = next()))
             opts.policy = v;
         else if (arg == "--scale" && (v = next()))
-            opts.scale = std::strtod(v, nullptr);
+            opts.scale = parseDouble("--scale", v);
         else if (arg == "--epochs" && (v = next()))
-            opts.epochs = std::strtoul(v, nullptr, 10);
+            opts.epochs =
+                static_cast<size_t>(parseUint("--epochs", v));
         else if (arg == "--dim" && (v = next()))
-            opts.dim = std::strtoul(v, nullptr, 10);
+            opts.dim = static_cast<size_t>(parseUint("--dim", v));
         else if (arg == "--theta" && (v = next()))
-            opts.theta = std::strtod(v, nullptr);
+            opts.theta = parseDouble("--theta", v);
         else if (arg == "--seed" && (v = next()))
-            opts.seed = std::strtoull(v, nullptr, 10);
+            opts.seed = parseUint("--seed", v);
         else if (arg == "--save" && (v = next()))
             opts.savePath = v;
         else if (arg == "--csv" && (v = next()))
             opts.csvPath = v;
+        else if (arg == "--checkpoint" && (v = next()))
+            opts.checkpointPath = v;
+        else if (arg == "--checkpoint-every" && (v = next()))
+            opts.checkpointEvery =
+                static_cast<size_t>(parseUint("--checkpoint-every", v));
+        else if (arg == "--resume")
+            opts.resume = true;
         else
             return false;
     }
@@ -184,19 +238,31 @@ main(int argc, char **argv)
     TrainOptions toptions;
     toptions.epochs = opts.epochs;
     toptions.evalBatch = spec.baseBatch;
+    toptions.checkpointPath = opts.checkpointPath;
+    toptions.checkpointEvery = opts.checkpointEvery;
+    toptions.resume = opts.resume;
+    if (opts.resume && opts.checkpointPath.empty()) {
+        std::fprintf(stderr, "--resume needs --checkpoint FILE\n");
+        return 2;
+    }
     DeviceModel device(scaledDeviceParams(spec.baseBatch));
     TrainReport r = trainModel(model, data, adj, train_end, *batcher,
                                toptions, &device);
 
+    if (r.interrupted) {
+        std::fprintf(stderr,
+                     "training interrupted; rerun with --resume\n");
+        return 3;
+    }
     std::printf("dataset=%s model=%s policy=%s events=%zu "
                 "epochs=%zu batches=%zu avg_batch=%.1f "
                 "wall_s=%.3f device_s=%.4f prep_s=%.4f "
-                "util=%.3f val_loss=%.4f\n",
+                "util=%.3f val_loss=%.4f guard_trips=%zu\n",
                 opts.dataset.c_str(), opts.model.c_str(),
                 opts.policy.c_str(), data.size(), opts.epochs,
                 r.totalBatches, r.avgBatchSize, r.wallSeconds,
                 r.deviceSeconds, r.preprocessSeconds,
-                r.deviceUtilization, r.valLoss);
+                r.deviceUtilization, r.valLoss, r.guardTrips);
 
     if (!opts.csvPath.empty()) {
         std::FILE *f = std::fopen(opts.csvPath.c_str(), "a");

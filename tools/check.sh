@@ -1,0 +1,16 @@
+#!/bin/sh
+# Run the test suite under ASan+UBSan via the `sanitize` preset:
+#   tools/check.sh            # configure + build + ctest, sanitized
+#   tools/check.sh <regex>    # only tests matching the regex
+# The sanitized tree lives in build-sanitize/ and never touches the
+# regular build/.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$(nproc)"
+if [ $# -gt 0 ]; then
+    ctest --preset sanitize -R "$1"
+else
+    ctest --preset sanitize -j "$(nproc)"
+fi
