@@ -5,11 +5,17 @@
  * training — measured on real CPU wall time. Expected shape: table
  * building is negligible (<1%), lookup is the dominant overhead
  * (paper: ~16%), training dominates overall (§5.4).
+ *
+ * The phase times come from the training session's metrics registry:
+ * the `stage.lookup.seconds` / `stage.model.seconds` histograms and
+ * the `diffuser.preprocess_seconds` gauge, i.e. the same instruments
+ * `cascade_train --metrics-out` dumps.
  */
 
 #include <cstdio>
 
 #include "common.hh"
+#include "obs/metrics.hh"
 
 using namespace cascade;
 using namespace cascade::bench;
@@ -29,15 +35,24 @@ main()
         for (const char *model : {"APAN", "JODIE", "TGN"}) {
             RunOverrides ovr;
             ovr.validate = false;
-            TrainReport r =
-                runPolicy(*ds, model, Policy::Cascade, cfg, ovr);
-            const double total = r.preprocessSeconds +
-                r.lookupSeconds + r.modelSeconds;
+            obs::MetricsRegistry metrics;
+            runPolicy(*ds, model, Policy::Cascade, cfg, ovr, &metrics);
+
+            const obs::Histogram *lookup =
+                metrics.findHistogram("stage.lookup.seconds");
+            const obs::Histogram *train =
+                metrics.findHistogram("stage.model.seconds");
+            const obs::Gauge *prep =
+                metrics.findGauge("diffuser.preprocess_seconds");
+            const double lookup_s = lookup ? lookup->sum() : 0.0;
+            const double train_s = train ? train->sum() : 0.0;
+            const double prep_s = prep ? prep->value() : 0.0;
+            const double total = prep_s + lookup_s + train_s;
             std::printf("%-10s %-6s %9.2f%%  %6.2f%%  %8.2f%%\n",
                         spec.name.c_str(), model,
-                        100.0 * r.preprocessSeconds / total,
-                        100.0 * r.lookupSeconds / total,
-                        100.0 * r.modelSeconds / total);
+                        100.0 * prep_s / total,
+                        100.0 * lookup_s / total,
+                        100.0 * train_s / total);
             std::fflush(stdout);
         }
     }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "train/batcher.hh"
+#include "train/session.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 
@@ -96,7 +97,8 @@ policyName(Policy p)
 
 TrainReport
 runPolicy(DatasetHandle &ds, const std::string &model_name, Policy policy,
-          const BenchConfig &cfg, const RunOverrides &ovr)
+          const BenchConfig &cfg, const RunOverrides &ovr,
+          obs::MetricsRegistry *metrics)
 {
     const bool dedup =
         policy == Policy::TgLite || policy == Policy::CascadeLite;
@@ -146,8 +148,9 @@ runPolicy(DatasetHandle &ds, const std::string &model_name, Policy policy,
     options.validate = ovr.validate;
 
     DeviceModel device(scaledDeviceParams(ds.spec.baseBatch));
-    return trainModel(model, ds.data, ds.adj, ds.trainEnd, *batcher,
-                      options, &device);
+    TrainingSession session(model, ds.data, ds.adj, ds.trainEnd,
+                            *batcher, options, &device, metrics);
+    return session.run();
 }
 
 void

@@ -28,6 +28,7 @@
 
 #include "core/cascade_batcher.hh"
 #include "graph/dataset.hh"
+#include "obs/metrics.hh"
 #include "sim/device_model.hh"
 #include "tgnn/model.hh"
 #include "train/trainer.hh"
@@ -116,10 +117,15 @@ struct RunOverrides
     bool validate = true;
 };
 
-/** One full training run of a model under a policy. */
+/**
+ * One full training run of a model under a policy. Pass a registry to
+ * additionally collect the session's per-stage histograms and
+ * component instruments (`stage.*.seconds`, `diffuser.*`, ...).
+ */
 TrainReport runPolicy(DatasetHandle &ds, const std::string &model_name,
                       Policy policy, const BenchConfig &cfg,
-                      const RunOverrides &ovr = RunOverrides{});
+                      const RunOverrides &ovr = RunOverrides{},
+                      obs::MetricsRegistry *metrics = nullptr);
 
 /** Printf a table header followed by a separator line. */
 void printHeader(const std::string &title, const std::string &columns);

@@ -1,5 +1,6 @@
 #include "core/cascade_batcher.hh"
 
+#include "obs/metrics.hh"
 #include "util/binio.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
@@ -105,6 +106,26 @@ CascadeBatcher::loadState(ByteReader &r)
     }
     diffuser_->setMaxRevisit(abs_->currentMaxRevisit());
     return true;
+}
+
+void
+CascadeBatcher::bindMetrics(obs::MetricsRegistry &registry)
+{
+    diffuser_->bindMetrics(registry);
+    if (opts_.enableSgFilter)
+        sgFilter_->bindMetrics(registry);
+    abs_->bindMetrics(registry);
+    registry.gauge("batcher.profile_seconds").set(profileSeconds_);
+    registry.gauge("batcher.state_bytes")
+        .set(static_cast<double>(stateBytes()));
+}
+
+void
+CascadeBatcher::unbindMetrics()
+{
+    diffuser_->unbindMetrics();
+    sgFilter_->unbindMetrics();
+    abs_->unbindMetrics();
 }
 
 void

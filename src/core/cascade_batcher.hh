@@ -73,6 +73,11 @@ class CascadeBatcher : public Batcher
     /** Rollback: halve the ABS Max_r ceiling before retrying. */
     void onNumericRollback() override;
 
+    /** Bind the diffuser/filter/sensor instruments into `registry`. */
+    void bindMetrics(obs::MetricsRegistry &registry) override;
+    /** Drop the bound instruments (registry about to go away). */
+    void unbindMetrics() override;
+
     /** @name Component access (benchmarks and tests) */
     /** @{ */
     const TgDiffuser &diffuser() const { return *diffuser_; }

@@ -4,6 +4,7 @@
 #include <limits>
 #include <mutex>
 
+#include "obs/metrics.hh"
 #include "util/binio.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -47,6 +48,24 @@ TgDiffuser::setMaxRevisit(size_t maxr)
     maxr_ = std::max<size_t>(1, maxr);
 }
 
+void
+TgDiffuser::bindMetrics(obs::MetricsRegistry &registry)
+{
+    lookupHist_ = &registry.histogram("stage.lookup.seconds");
+    prepGauge_ = &registry.gauge("diffuser.preprocess_seconds");
+    tableBytesGauge_ = &registry.gauge("diffuser.table_bytes");
+    prepGauge_->set(prepSeconds_);
+    tableBytesGauge_->set(static_cast<double>(tableBytes()));
+}
+
+void
+TgDiffuser::unbindMetrics()
+{
+    lookupHist_ = nullptr;
+    prepGauge_ = nullptr;
+    tableBytesGauge_ = nullptr;
+}
+
 const DependencyTable &
 TgDiffuser::ensureChunk(size_t c)
 {
@@ -59,12 +78,18 @@ TgDiffuser::ensureChunk(size_t c)
         tables_[c] = pending_.get();
         pendingChunk_ = SIZE_MAX;
         prepSeconds_ += t.seconds();
-        return *tables_[c];
+    } else {
+        Timer t;
+        tables_[c] =
+            std::make_unique<DependencyTable>(DependencyTable::build(
+                seq_, adj_, chunkBounds_[c].first,
+                chunkBounds_[c].second));
+        prepSeconds_ += t.seconds();
     }
-    Timer t;
-    tables_[c] = std::make_unique<DependencyTable>(DependencyTable::build(
-        seq_, adj_, chunkBounds_[c].first, chunkBounds_[c].second));
-    prepSeconds_ += t.seconds();
+    if (prepGauge_)
+        prepGauge_->set(prepSeconds_);
+    if (tableBytesGauge_)
+        tableBytesGauge_->set(static_cast<double>(tableBytes()));
     return *tables_[c];
 }
 
@@ -151,7 +176,10 @@ TgDiffuser::lastTolerableEnd(size_t st, const std::vector<uint8_t> &stable)
             ++ptr;
     }, 512);
 
-    lookupSeconds_ += timer.seconds();
+    const double dt = timer.seconds();
+    lookupSeconds_ += dt;
+    if (lookupHist_)
+        lookupHist_->record(dt);
     return ed;
 }
 

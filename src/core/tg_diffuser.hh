@@ -32,6 +32,12 @@ namespace cascade {
 class ByteWriter;
 class ByteReader;
 
+namespace obs {
+class MetricsRegistry;
+class Histogram;
+class Gauge;
+}
+
 /** Adaptive batch-boundary search over the dependency table. */
 class TgDiffuser
 {
@@ -78,6 +84,16 @@ class TgDiffuser
 
     /** Accumulated Algorithm 3 lookup seconds. */
     double lookupSeconds() const { return lookupSeconds_; }
+
+    /**
+     * Publish lookup/preprocess measurements as named instruments
+     * (`stage.lookup.seconds` histogram, `diffuser.*` gauges). The
+     * accessors above remain views over the same numbers.
+     */
+    void bindMetrics(obs::MetricsRegistry &registry);
+
+    /** Drop the bound instruments (registry about to go away). */
+    void unbindMetrics();
 
     /** Dependency-table bytes across built chunks (Figure 13c). */
     size_t tableBytes() const;
@@ -128,6 +144,11 @@ class TgDiffuser
 
     double prepSeconds_ = 0.0;
     double lookupSeconds_ = 0.0;
+
+    /** Bound instruments (null until bindMetrics). */
+    obs::Histogram *lookupHist_ = nullptr;
+    obs::Gauge *prepGauge_ = nullptr;
+    obs::Gauge *tableBytesGauge_ = nullptr;
 };
 
 } // namespace cascade

@@ -1,0 +1,223 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hh" // jsonEscape
+
+namespace cascade {
+namespace obs {
+
+namespace {
+
+/** Per-thread open-span bookkeeping for one recorder. */
+struct ThreadState
+{
+    int tid = 0;
+    int depth = 0;
+};
+
+std::mutex stateMutex;
+std::map<std::pair<const TraceRecorder *, std::thread::id>, ThreadState>
+    threadStates;
+
+ThreadState &
+stateFor(const TraceRecorder *rec, int *next_tid)
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    auto key = std::make_pair(rec, std::this_thread::get_id());
+    auto it = threadStates.find(key);
+    if (it == threadStates.end()) {
+        ThreadState st;
+        st.tid = (*next_tid)++;
+        it = threadStates.emplace(key, st).first;
+    }
+    return it->second;
+}
+
+void
+dropStatesFor(const TraceRecorder *rec)
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    for (auto it = threadStates.begin(); it != threadStates.end();) {
+        if (it->first.first == rec)
+            it = threadStates.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder(size_t max_events)
+    : epoch_(Clock::now()), maxEvents_(max_events)
+{}
+
+TraceRecorder::~TraceRecorder()
+{
+    dropStatesFor(this);
+}
+
+double
+TraceRecorder::nowMicros() const
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     epoch_)
+        .count();
+}
+
+TraceRecorder::Span::Span(Span &&other) noexcept
+    : rec_(other.rec_), name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      startMicros_(other.startMicros_), depth_(other.depth_)
+{
+    other.rec_ = nullptr;
+}
+
+TraceRecorder::Span &
+TraceRecorder::Span::operator=(Span &&other) noexcept
+{
+    if (this != &other) {
+        end();
+        rec_ = other.rec_;
+        name_ = std::move(other.name_);
+        category_ = std::move(other.category_);
+        startMicros_ = other.startMicros_;
+        depth_ = other.depth_;
+        other.rec_ = nullptr;
+    }
+    return *this;
+}
+
+void
+TraceRecorder::Span::end()
+{
+    if (!rec_)
+        return;
+    TraceRecorder *rec = rec_;
+    rec_ = nullptr;
+
+    TraceEvent ev;
+    ev.name = std::move(name_);
+    ev.category = std::move(category_);
+    ev.tsMicros = startMicros_;
+    ev.durMicros = rec->nowMicros() - startMicros_;
+    ev.depth = depth_;
+    {
+        std::lock_guard<std::mutex> lock(rec->m_);
+        ThreadState &st = stateFor(rec, &rec->nextTid_);
+        ev.tid = st.tid;
+        if (st.depth > 0)
+            --st.depth;
+    }
+    rec->record(std::move(ev));
+}
+
+TraceRecorder::Span
+TraceRecorder::span(std::string name, std::string category)
+{
+    Span s;
+    s.rec_ = this;
+    s.name_ = std::move(name);
+    s.category_ = std::move(category);
+    s.startMicros_ = nowMicros();
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        ThreadState &st = stateFor(this, &nextTid_);
+        s.depth_ = st.depth;
+        ++st.depth;
+        maxDepth_ = std::max(maxDepth_, s.depth_);
+    }
+    return s;
+}
+
+void
+TraceRecorder::record(TraceEvent ev)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent>
+TraceRecorder::events() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return events_;
+}
+
+size_t
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return events_.size();
+}
+
+size_t
+TraceRecorder::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return dropped_;
+}
+
+int
+TraceRecorder::maxDepth() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return maxDepth_;
+}
+
+std::string
+TraceRecorder::toJson() const
+{
+    const std::vector<TraceEvent> evs = events();
+    std::string out = "{\"displayTimeUnit\": \"ms\", "
+                      "\"traceEvents\": [";
+    char buf[128];
+    bool first = true;
+    for (const TraceEvent &ev : evs) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "  {\"name\": \"" + jsonEscape(ev.name) +
+               "\", \"cat\": \"" + jsonEscape(ev.category) + "\"";
+        std::snprintf(buf, sizeof buf,
+                      ", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                      "\"pid\": 1, \"tid\": %d",
+                      ev.tsMicros, ev.durMicros, ev.tid);
+        out += buf;
+        out += ", \"args\": {\"depth\": " + std::to_string(ev.depth) +
+               "}}";
+    }
+    out += first ? "]}\n" : "\n]}\n";
+    return out;
+}
+
+bool
+TraceRecorder::writeJsonFile(const std::string &path) const
+{
+    const std::string json = toJson();
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    if (std::fclose(f) != 0 || !ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace cascade

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "tensor/ops.hh"
 #include "tgnn/serialize.hh"
 #include "util/logging.hh"
@@ -176,6 +177,28 @@ size_t
 TgnnModel::stateBytes() const
 {
     return memory_.bytes() + mailbox_.bytes();
+}
+
+void
+TgnnModel::bindMetrics(obs::MetricsRegistry &registry)
+{
+    stepsCtr_ = &registry.counter("model.steps");
+    eventsCtr_ = &registry.counter("model.events");
+    workRowsCtr_ = &registry.counter("model.work_rows");
+    neighborsCtr_ = &registry.counter("model.sampled_neighbors");
+    registry.gauge("model.parameter_bytes")
+        .set(static_cast<double>(parameterBytes()));
+    registry.gauge("model.state_bytes")
+        .set(static_cast<double>(stateBytes()));
+}
+
+void
+TgnnModel::unbindMetrics()
+{
+    stepsCtr_ = nullptr;
+    eventsCtr_ = nullptr;
+    workRowsCtr_ = nullptr;
+    neighborsCtr_ = nullptr;
 }
 
 void
@@ -554,6 +577,12 @@ TgnnModel::step(const EventSequence &data, const TemporalAdjacency &adj,
             fill(e.src, e.dst);
             fill(e.dst, e.src);
         }
+    }
+    if (stepsCtr_) {
+        stepsCtr_->add(1);
+        eventsCtr_->add(result.numEvents);
+        workRowsCtr_->add(result.workRows);
+        neighborsCtr_->add(result.sampledNeighbors);
     }
     return result;
 }

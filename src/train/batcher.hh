@@ -23,6 +23,10 @@ namespace cascade {
 class ByteWriter;
 class ByteReader;
 
+namespace obs {
+class MetricsRegistry;
+}
+
 /** Runtime feedback a policy may use (loss plateau, memory drift). */
 struct BatchFeedback
 {
@@ -97,6 +101,26 @@ class Batcher
      * retry with more conservative batches.
      */
     virtual void onNumericRollback() {}
+
+    /**
+     * Attach the run's metrics registry. Policies with internal
+     * accumulators (lookup seconds, stable-update tallies, Max_r)
+     * publish them as named instruments; the bespoke accessors above
+     * stay as thin views over the same measurements. The registry
+     * must outlive the binding: call unbindMetrics() before the
+     * registry is destroyed if the batcher outlives it.
+     */
+    virtual void bindMetrics(obs::MetricsRegistry &registry)
+    {
+        (void)registry;
+    }
+
+    /**
+     * Drop any instruments bound by bindMetrics. Safe when nothing
+     * is bound. TrainingSession calls this from its destructor so a
+     * batcher may outlive the session-owned registry.
+     */
+    virtual void unbindMetrics() {}
 };
 
 /** TGL: fixed-size batches (the paper's baseline, §5.1). */

@@ -1,5 +1,6 @@
 #include "train/checkpoint.hh"
 
+#include "obs/metrics.hh"
 #include "util/binio.hh"
 #include "util/logging.hh"
 
@@ -119,9 +120,20 @@ decodeCheckpoint(const std::string &payload, TgnnModel &model,
 }
 
 bool
-saveCheckpointFile(const std::string &path, const std::string &payload)
+saveCheckpointFile(const std::string &path, const std::string &payload,
+                   obs::MetricsRegistry *metrics)
 {
-    return writeFileAtomic(path, payload);
+    const bool ok = writeFileAtomic(path, payload);
+    if (metrics) {
+        if (ok) {
+            metrics->counter("checkpoint.saves").add(1);
+            metrics->counter("checkpoint.bytes_written")
+                .add(payload.size());
+        } else {
+            metrics->counter("checkpoint.save_failures").add(1);
+        }
+    }
+    return ok;
 }
 
 bool

@@ -40,6 +40,10 @@
 
 namespace cascade {
 
+namespace obs {
+class MetricsRegistry;
+}
+
 /** Mid-run position of the training loop. */
 struct TrainerCursor
 {
@@ -68,9 +72,13 @@ std::string encodeCheckpoint(const TgnnModel &model,
 bool decodeCheckpoint(const std::string &payload, TgnnModel &model,
                       Batcher &batcher, TrainerCursor &cursor);
 
-/** Commit a checkpoint payload to disk (atomic, CRC-protected). */
+/**
+ * Commit a checkpoint payload to disk (atomic, CRC-protected). With a
+ * registry, counts saves/failures/bytes (`checkpoint.*` instruments).
+ */
 bool saveCheckpointFile(const std::string &path,
-                        const std::string &payload);
+                        const std::string &payload,
+                        obs::MetricsRegistry *metrics = nullptr);
 
 /** Read back a checkpoint payload, rejecting corrupt files. */
 bool loadCheckpointFile(const std::string &path, std::string &payload);

@@ -1,0 +1,395 @@
+#include "train/session.hh"
+
+#include <algorithm>
+
+#include "util/fault.hh"
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace cascade {
+
+namespace {
+
+/**
+ * One stage execution: a trace span plus a sample in the stage's
+ * seconds histogram, both closed on scope exit.
+ */
+class StageScope
+{
+  public:
+    StageScope(obs::Histogram &hist, obs::TraceRecorder &trace,
+               const char *name)
+        : hist_(hist), span_(trace.span(name, "stage"))
+    {}
+
+    ~StageScope()
+    {
+        span_.end();
+        hist_.record(timer_.seconds());
+    }
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    obs::Histogram &hist_;
+    Timer timer_;
+    obs::TraceRecorder::Span span_;
+};
+
+} // namespace
+
+TrainingSession::TrainingSession(TgnnModel &model,
+                                 const EventSequence &data,
+                                 const TemporalAdjacency &adj,
+                                 size_t train_end, Batcher &batcher,
+                                 const TrainOptions &options,
+                                 DeviceModel *device,
+                                 obs::MetricsRegistry *metrics,
+                                 obs::TraceRecorder *trace)
+    : model_(model), data_(data), adj_(adj), trainEnd_(train_end),
+      batcher_(batcher), options_(options), device_(device),
+      guard_(options.guard)
+{
+    CASCADE_CHECK(trainEnd_ > 0 && trainEnd_ <= data_.size(),
+                  "TrainingSession: bad train range");
+    if (!device_) {
+        ownedDevice_ = std::make_unique<DeviceModel>();
+        device_ = ownedDevice_.get();
+    }
+    if (metrics) {
+        metrics_ = metrics;
+    } else {
+        ownedMetrics_ = std::make_unique<obs::MetricsRegistry>();
+        metrics_ = ownedMetrics_.get();
+    }
+    if (trace) {
+        trace_ = trace;
+    } else {
+        ownedTrace_ = std::make_unique<obs::TraceRecorder>();
+        trace_ = ownedTrace_.get();
+    }
+
+    // Components publish their bespoke accumulators as named
+    // instruments; their accessors stay views over the same numbers.
+    batcher_.bindMetrics(*metrics_);
+    guard_.bindMetrics(*metrics_);
+    device_->bindMetrics(*metrics_);
+    model_.bindMetrics(*metrics_);
+}
+
+TrainingSession::~TrainingSession()
+{
+    // The bound components may outlive this session's (possibly
+    // owned) registry; drop their instrument pointers so later use
+    // (evalLoss, another session) never touches freed memory.
+    model_.unbindMetrics();
+    batcher_.unbindMetrics();
+    guard_.unbindMetrics();
+    device_->unbindMetrics();
+}
+
+void
+TrainingSession::initOrResume()
+{
+    Timer t;
+    auto span = trace_->span("init", "session");
+    if (options_.resume) {
+        const std::string &path = options_.resumePath.empty()
+            ? options_.checkpointPath : options_.resumePath;
+        CASCADE_CHECK(!path.empty(),
+                      "TrainingSession: resume requested without a "
+                      "checkpoint path");
+        std::string payload;
+        if (!loadCheckpointFile(path, payload)) {
+            CASCADE_LOG("cannot read checkpoint %s", path.c_str());
+            CASCADE_FATAL("checkpoint file missing or corrupt");
+        }
+        if (!decodeCheckpoint(payload, model_, batcher_, cur_))
+            CASCADE_FATAL("checkpoint does not match this run");
+        CASCADE_LOG("resumed at epoch %llu batch %llu (event %llu)",
+                    (unsigned long long)cur_.epoch,
+                    (unsigned long long)cur_.batchIndex,
+                    (unsigned long long)cur_.st);
+        lastGood_ = std::move(payload);
+        report_.resumed = true;
+        metrics_->counter("session.resumes").add(1);
+    } else {
+        // Rollback target for trips before the first cadence
+        // snapshot: the pristine start-of-run state.
+        lastGood_ = encodeCheckpoint(model_, batcher_, cur_);
+    }
+    span.end();
+    metrics_->gauge("session.init_seconds").set(t.seconds());
+}
+
+TrainingSession::BatchOutcome
+TrainingSession::runBatch()
+{
+    auto batch_span = trace_->span("batch", "batch");
+    const size_t st = static_cast<size_t>(cur_.st);
+
+    // Stage `boundary`: the batch-formation decision. For Cascade
+    // policies the TG-Diffuser records its Algorithm 3 `lookup`
+    // sub-stage into `stage.lookup.seconds` from inside this span.
+    size_t ed = 0;
+    {
+        StageScope stage(metrics_->histogram("stage.boundary.seconds"),
+                         *trace_, "boundary");
+        ed = batcher_.next(st);
+    }
+    CASCADE_CHECK(ed > st && ed <= trainEnd_,
+                  "batcher returned a bad range");
+
+    // Stage `model`: forward/backward/update.
+    StepResult r;
+    {
+        StageScope stage(metrics_->histogram("stage.model.seconds"),
+                         *trace_, "model");
+        r = model_.step(data_, adj_, st, ed, true);
+    }
+    const uint64_t gb = cur_.globalBatch;
+    if (fault::maybeInjectNan(gb, r.loss)) {
+        CASCADE_LOG("fault injection: NaN loss at batch %llu",
+                    (unsigned long long)gb);
+    }
+
+    // Stage `guard`: numeric admission; a trip restores the last good
+    // snapshot. The tripped batch contributes nothing: no device
+    // charge, no feedback, no loss accounting.
+    {
+        StageScope stage(metrics_->histogram("stage.guard.seconds"),
+                         *trace_, "guard");
+        if (!guard_.admit(r.loss, r.gradNorm)) {
+            CASCADE_LOG("numeric guard tripped at batch %llu: %s",
+                        (unsigned long long)gb,
+                        guard_.lastReason().c_str());
+            if (guard_.exhausted()) {
+                CASCADE_FATAL("numeric guard: retry budget "
+                              "exhausted; training keeps "
+                              "diverging after rollbacks");
+            }
+            CASCADE_CHECK(decodeCheckpoint(lastGood_, model_, batcher_,
+                                           cur_),
+                          "rollback snapshot failed to apply");
+            batcher_.onNumericRollback();
+            metrics_->counter("train.rollbacks").add(1);
+            CASCADE_LOG("rolled back to epoch %llu batch %llu",
+                        (unsigned long long)cur_.epoch,
+                        (unsigned long long)cur_.batchIndex);
+            return BatchOutcome::RolledBack;
+        }
+    }
+
+    // Stage `feedback`: device charge plus the policy's runtime
+    // feedback (SG-Filter flags, ABS loss schedule).
+    {
+        StageScope stage(metrics_->histogram("stage.feedback.seconds"),
+                         *trace_, "feedback");
+        device_->charge(r.numEvents, r.workRows, r.sampledNeighbors);
+
+        BatchFeedback fb;
+        fb.batchIndex = static_cast<size_t>(cur_.batchIndex);
+        fb.st = st;
+        fb.ed = ed;
+        fb.loss = r.loss;
+        fb.updatedNodes = &r.updatedNodes;
+        fb.memCosine = &r.memCosine;
+        batcher_.onBatchDone(fb);
+    }
+
+    cur_.lossSum += r.loss * r.numEvents;
+    cur_.epochEvents += r.numEvents;
+    cur_.totalEvents += r.numEvents;
+    ++cur_.batchIndex;
+    ++cur_.totalBatches;
+    ++cur_.globalBatch;
+    cur_.st = ed;
+    metrics_->counter("train.batches").add(1);
+    metrics_->counter("train.events").add(r.numEvents);
+    metrics_->histogram("train.batch_size")
+        .record(static_cast<double>(r.numEvents));
+
+    if (observer_) {
+        BatchRecord rec;
+        rec.globalBatch = gb;
+        rec.epoch = static_cast<size_t>(cur_.epoch);
+        rec.st = st;
+        rec.ed = ed;
+        rec.loss = r.loss;
+        rec.numEvents = r.numEvents;
+        observer_(rec);
+    }
+
+    snapshotIfDue();
+
+    if (fault::crashAfter(gb)) {
+        CASCADE_LOG("fault injection: simulated crash after "
+                    "batch %llu",
+                    (unsigned long long)gb);
+        report_.interrupted = true;
+        return BatchOutcome::Crashed;
+    }
+    return BatchOutcome::Admitted;
+}
+
+void
+TrainingSession::snapshotIfDue()
+{
+    if (options_.checkpointEvery == 0 ||
+        cur_.globalBatch % options_.checkpointEvery != 0) {
+        return;
+    }
+    // Stage `checkpoint`: cadence snapshot (also the rollback grain).
+    StageScope stage(metrics_->histogram("stage.checkpoint.seconds"),
+                     *trace_, "checkpoint");
+    lastGood_ = encodeCheckpoint(model_, batcher_, cur_);
+    metrics_->counter("checkpoint.snapshots").add(1);
+    if (!options_.checkpointPath.empty() &&
+        !saveCheckpointFile(options_.checkpointPath, lastGood_,
+                            metrics_)) {
+        // Checkpointing is best-effort durability; a full disk must
+        // not kill a healthy run.
+        CASCADE_LOG("checkpoint write to %s failed; "
+                    "training continues",
+                    options_.checkpointPath.c_str());
+    }
+}
+
+void
+TrainingSession::finishEpoch(double epoch_wall, double dev_before)
+{
+    EpochStats es;
+    es.batches = static_cast<size_t>(cur_.batchIndex);
+    es.trainLoss =
+        cur_.epochEvents ? cur_.lossSum / cur_.epochEvents : 0.0;
+    es.avgBatchSize = cur_.batchIndex
+        ? static_cast<double>(cur_.epochEvents) / cur_.batchIndex
+        : 0.0;
+    es.wallSeconds = epoch_wall;
+    es.deviceSeconds = device_->totalSeconds() - dev_before;
+    es.stableUpdateRatio = batcher_.stableUpdateRatio();
+    cur_.completed.push_back(es);
+    report_.stableUpdateRatio = batcher_.stableUpdateRatio();
+    metrics_->counter("train.epochs").add(1);
+    metrics_->histogram("epoch.wall_seconds").record(epoch_wall);
+
+    ++cur_.epoch;
+    cur_.st = 0;
+    cur_.batchIndex = 0;
+    cur_.lossSum = 0.0;
+    cur_.epochEvents = 0;
+}
+
+void
+TrainingSession::assembleReport()
+{
+    report_.epochs = cur_.completed;
+    report_.totalBatches = static_cast<size_t>(cur_.totalBatches);
+    // Wall time only covers this process's work: epochs restored from
+    // a checkpoint keep the wall time they measured before the crash.
+    report_.wallSeconds = 0.0;
+    for (const EpochStats &es : report_.epochs)
+        report_.wallSeconds += es.wallSeconds;
+    report_.deviceSeconds = device_->totalSeconds();
+    report_.deviceUtilization = device_->utilization();
+    report_.avgBatchSize = cur_.totalBatches
+        ? static_cast<double>(cur_.totalEvents) / cur_.totalBatches
+        : 0.0;
+
+    // Measurement fields come out of the registry the stages and the
+    // bound components recorded into; the batcher accessors serve as
+    // the views for instruments only Cascade policies publish.
+    report_.modelSeconds =
+        metrics_->histogram("stage.model.seconds").sum();
+    report_.guardTrips =
+        static_cast<size_t>(metrics_->counter("guard.trips").value());
+    report_.rollbacks = static_cast<size_t>(
+        metrics_->counter("train.rollbacks").value());
+    report_.lookupSeconds = batcher_.lookupSeconds();
+    // Preprocessing that happened lazily during training (pipelined
+    // chunk builds) shows up as the delta against the initial charge.
+    report_.preprocessSeconds = batcher_.preprocessSeconds();
+
+    // Stage `eval`: the post-training validation pass.
+    if (!report_.interrupted && options_.validate &&
+        trainEnd_ < data_.size()) {
+        StageScope stage(metrics_->histogram("stage.eval.seconds"),
+                         *trace_, "eval");
+        report_.valLoss = model_.evalLoss(data_, adj_, trainEnd_,
+                                          data_.size(),
+                                          options_.evalBatch);
+    }
+
+    // Summary gauges so a --metrics-out dump is self-contained.
+    metrics_->gauge("train.wall_seconds").set(report_.wallSeconds);
+    metrics_->gauge("train.avg_batch_size").set(report_.avgBatchSize);
+    metrics_->gauge("train.stable_update_ratio")
+        .set(report_.stableUpdateRatio);
+    metrics_->gauge("train.val_loss").set(report_.valLoss);
+    metrics_->gauge("train.lookup_seconds").set(report_.lookupSeconds);
+    metrics_->gauge("train.preprocess_seconds")
+        .set(report_.preprocessSeconds);
+    metrics_->gauge("device.total_seconds")
+        .set(report_.deviceSeconds);
+}
+
+TrainReport
+TrainingSession::run()
+{
+    CASCADE_CHECK(!ran_, "TrainingSession::run: already ran");
+    ran_ = true;
+
+    initOrResume();
+
+    auto run_span = trace_->span("train", "session");
+    while (cur_.epoch < options_.epochs) {
+        if (cur_.st == 0 && cur_.batchIndex == 0) {
+            // Fresh epoch. Both resets are deterministic, so a replay
+            // after rollback (or a resume) retraces the exact
+            // trajectory of the uninterrupted run.
+            model_.resetState();
+            batcher_.reset();
+        }
+        auto epoch_span = trace_->span("epoch", "session");
+        Timer epoch_timer;
+        const double dev_before = device_->totalSeconds();
+        bool rolled_back = false;
+
+        while (cur_.st < trainEnd_) {
+            const BatchOutcome out = runBatch();
+            if (out == BatchOutcome::RolledBack) {
+                rolled_back = true;
+                break;
+            }
+            if (out == BatchOutcome::Crashed)
+                break;
+        }
+        if (rolled_back)
+            continue; // re-enter the loop at the restored cursor
+        if (report_.interrupted)
+            break;
+
+        finishEpoch(epoch_timer.seconds(), dev_before);
+    }
+    run_span.end();
+
+    // Final checkpoint (before validation advances the memories) so a
+    // finished run can be extended with more epochs later.
+    if (!report_.interrupted && !options_.checkpointPath.empty() &&
+        options_.checkpointEvery > 0) {
+        auto span = trace_->span("final-checkpoint", "session");
+        if (!saveCheckpointFile(options_.checkpointPath,
+                                encodeCheckpoint(model_, batcher_,
+                                                 cur_),
+                                metrics_)) {
+            CASCADE_LOG("final checkpoint write to %s failed",
+                        options_.checkpointPath.c_str());
+        }
+    }
+
+    assembleReport();
+    return report_;
+}
+
+} // namespace cascade

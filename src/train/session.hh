@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Staged training session (the decomposed trainer).
+ *
+ * The seed's `trainModel()` was one free function that hand-rolled
+ * batching, guard/rollback, checkpointing and a bespoke timing scheme
+ * smeared across three layers. TrainingSession makes the stages of one
+ * global batch explicit and observable:
+ *
+ *   boundary   — Batcher::next (batch-boundary decision; for Cascade
+ *                this contains the Algorithm 3 `lookup` sub-stage,
+ *                recorded by the TG-Diffuser itself)
+ *   model      — TgnnModel::step (forward/backward/update)
+ *   guard      — NumericGuard admission + rollback restore on a trip
+ *   feedback   — Batcher::onBatchDone (SG-Filter + ABS refresh) and
+ *                the device-model charge
+ *   checkpoint — cadence snapshot encode + best-effort file write
+ *
+ * plus a post-training `eval` stage. Every stage runs under a trace
+ * span (epoch > batch > stage, chrome://tracing JSON via
+ * obs::TraceRecorder) and records its seconds into a
+ * `stage.<name>.seconds` histogram in the session's MetricsRegistry;
+ * the TrainReport is assembled *from* the registry afterwards instead
+ * of being mutated inline. Explicit stages are the precondition for
+ * the ROADMAP's pipelining work: Cascade_EX overlap and MSPipe-style
+ * staleness scheduling reorder exactly these stages.
+ *
+ * The decomposition is behavior-preserving: stage order and state
+ * transitions replicate the seed trainer exactly, so per-batch loss
+ * sequences and batch boundaries are bit-identical (guarded by the
+ * golden-trajectory test) and checkpoint/resume trajectories are
+ * unchanged.
+ */
+
+#ifndef CASCADE_TRAIN_SESSION_HH
+#define CASCADE_TRAIN_SESSION_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "train/checkpoint.hh"
+#include "train/trainer.hh"
+
+namespace cascade {
+
+/** One finished batch, as seen by observers. */
+struct BatchRecord
+{
+    uint64_t globalBatch = 0; ///< index across epochs and rollbacks
+    size_t epoch = 0;
+    size_t st = 0;            ///< first event (inclusive)
+    size_t ed = 0;            ///< one past the last event
+    double loss = 0.0;
+    size_t numEvents = 0;
+};
+
+/** Staged, observable training loop over one (model, batcher) pair. */
+class TrainingSession
+{
+  public:
+    /**
+     * Wire a session; nothing runs until run(). All references must
+     * outlive the session. `device`, `metrics` and `trace` may be
+     * null: the session then uses private instances (reachable via
+     * metrics()/trace() afterwards).
+     */
+    TrainingSession(TgnnModel &model, const EventSequence &data,
+                    const TemporalAdjacency &adj, size_t train_end,
+                    Batcher &batcher, const TrainOptions &options,
+                    DeviceModel *device = nullptr,
+                    obs::MetricsRegistry *metrics = nullptr,
+                    obs::TraceRecorder *trace = nullptr);
+
+    /**
+     * Unbinds the instruments the constructor bound into the
+     * registry. Model, batcher and device routinely outlive the
+     * session (and, when owned, its registry) — e.g. evalLoss after
+     * training — so they must not be left holding dangling
+     * instrument pointers.
+     */
+    ~TrainingSession();
+
+    TrainingSession(const TrainingSession &) = delete;
+    TrainingSession &operator=(const TrainingSession &) = delete;
+
+    /**
+     * Called after every admitted batch (golden-trajectory tests,
+     * live progress UIs, future pipeline schedulers). Rolled-back
+     * batches do not reach the observer, mirroring how they
+     * contribute nothing to the run.
+     */
+    void
+    setBatchObserver(std::function<void(const BatchRecord &)> observer)
+    {
+        observer_ = std::move(observer);
+    }
+
+    /** Execute the full run (or resume); at most once per session. */
+    TrainReport run();
+
+    /** The session's metrics registry (bound into every component). */
+    obs::MetricsRegistry &metrics() { return *metrics_; }
+    const obs::MetricsRegistry &metrics() const { return *metrics_; }
+
+    /** The session's trace recorder (one span per stage). */
+    obs::TraceRecorder &trace() { return *trace_; }
+    const obs::TraceRecorder &trace() const { return *trace_; }
+
+  private:
+    /** Per-batch outcome deciding the loop's next move. */
+    enum class BatchOutcome
+    {
+        Admitted,  ///< batch counted; cursor advanced
+        RolledBack,///< guard trip; cursor restored to the snapshot
+        Crashed    ///< injected crash; run ends interrupted
+    };
+
+    /** Stage: resume from disk or capture the pristine snapshot. */
+    void initOrResume();
+
+    /** One global batch through every stage. */
+    BatchOutcome runBatch();
+
+    /** Stage `checkpoint`: cadence snapshot + best-effort write. */
+    void snapshotIfDue();
+
+    /** Close the epoch's accounting (EpochStats). */
+    void finishEpoch(double epoch_wall, double dev_before);
+
+    /** Stage `eval` + TrainReport assembly from the registry. */
+    void assembleReport();
+
+    // --- wiring -----------------------------------------------------
+    TgnnModel &model_;
+    const EventSequence &data_;
+    const TemporalAdjacency &adj_;
+    size_t trainEnd_;
+    Batcher &batcher_;
+    TrainOptions options_;
+    DeviceModel *device_;
+
+    std::unique_ptr<DeviceModel> ownedDevice_;
+    std::unique_ptr<obs::MetricsRegistry> ownedMetrics_;
+    std::unique_ptr<obs::TraceRecorder> ownedTrace_;
+    obs::MetricsRegistry *metrics_;
+    obs::TraceRecorder *trace_;
+
+    // --- run state --------------------------------------------------
+    NumericGuard guard_;
+    TrainerCursor cur_;
+    std::string lastGood_; ///< in-memory rollback target
+    TrainReport report_;
+    std::function<void(const BatchRecord &)> observer_;
+    bool ran_ = false;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_TRAIN_SESSION_HH

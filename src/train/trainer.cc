@@ -1,11 +1,6 @@
 #include "train/trainer.hh"
 
-#include <algorithm>
-
-#include "train/checkpoint.hh"
-#include "util/fault.hh"
-#include "util/logging.hh"
-#include "util/timer.hh"
+#include "train/session.hh"
 
 namespace cascade {
 
@@ -15,197 +10,9 @@ trainModel(TgnnModel &model, const EventSequence &data,
            Batcher &batcher, const TrainOptions &options,
            DeviceModel *device)
 {
-    CASCADE_CHECK(train_end > 0 && train_end <= data.size(),
-                  "trainModel: bad train range");
-    TrainReport report;
-
-    Accumulator model_time;
-    DeviceModel local_device;
-    DeviceModel &dev = device ? *device : local_device;
-
-    NumericGuard guard(options.guard);
-    TrainerCursor cur;
-    // In-memory rollback target; refreshed at every cadence snapshot.
-    std::string last_good;
-
-    if (options.resume) {
-        const std::string &path = options.resumePath.empty()
-            ? options.checkpointPath : options.resumePath;
-        CASCADE_CHECK(!path.empty(),
-                      "trainModel: resume requested without a "
-                      "checkpoint path");
-        std::string payload;
-        if (!loadCheckpointFile(path, payload)) {
-            CASCADE_LOG("cannot read checkpoint %s", path.c_str());
-            CASCADE_FATAL("checkpoint file missing or corrupt");
-        }
-        if (!decodeCheckpoint(payload, model, batcher, cur))
-            CASCADE_FATAL("checkpoint does not match this run");
-        CASCADE_LOG("resumed at epoch %llu batch %llu (event %llu)",
-                    (unsigned long long)cur.epoch,
-                    (unsigned long long)cur.batchIndex,
-                    (unsigned long long)cur.st);
-        last_good = std::move(payload);
-        report.resumed = true;
-    } else {
-        // Rollback target for trips before the first cadence
-        // snapshot: the pristine start-of-run state.
-        last_good = encodeCheckpoint(model, batcher, cur);
-    }
-
-    while (cur.epoch < options.epochs) {
-        if (cur.st == 0 && cur.batchIndex == 0) {
-            // Fresh epoch. Both resets are deterministic, so a replay
-            // after rollback (or a resume) retraces the exact
-            // trajectory of the uninterrupted run.
-            model.resetState();
-            batcher.reset();
-        }
-        Timer epoch_timer;
-        const double dev_before = dev.totalSeconds();
-        bool rolled_back = false;
-
-        while (cur.st < train_end) {
-            const size_t st = static_cast<size_t>(cur.st);
-            const size_t ed = batcher.next(st);
-            CASCADE_CHECK(ed > st && ed <= train_end,
-                          "batcher returned a bad range");
-
-            StepResult r;
-            {
-                TimerGuard tg(model_time);
-                r = model.step(data, adj, st, ed, true);
-            }
-            const uint64_t gb = cur.globalBatch;
-            if (fault::maybeInjectNan(gb, r.loss)) {
-                CASCADE_LOG("fault injection: NaN loss at batch %llu",
-                            (unsigned long long)gb);
-            }
-
-            if (!guard.admit(r.loss, r.gradNorm)) {
-                // The tripped batch contributes nothing: no device
-                // charge, no feedback, no loss accounting.
-                ++report.guardTrips;
-                CASCADE_LOG("numeric guard tripped at batch %llu: %s",
-                            (unsigned long long)gb,
-                            guard.lastReason().c_str());
-                if (guard.exhausted()) {
-                    CASCADE_FATAL("numeric guard: retry budget "
-                                  "exhausted; training keeps "
-                                  "diverging after rollbacks");
-                }
-                CASCADE_CHECK(decodeCheckpoint(last_good, model,
-                                               batcher, cur),
-                              "rollback snapshot failed to apply");
-                batcher.onNumericRollback();
-                ++report.rollbacks;
-                CASCADE_LOG("rolled back to epoch %llu batch %llu",
-                            (unsigned long long)cur.epoch,
-                            (unsigned long long)cur.batchIndex);
-                rolled_back = true;
-                break;
-            }
-
-            dev.charge(r.numEvents, r.workRows, r.sampledNeighbors);
-
-            BatchFeedback fb;
-            fb.batchIndex = static_cast<size_t>(cur.batchIndex);
-            fb.st = st;
-            fb.ed = ed;
-            fb.loss = r.loss;
-            fb.updatedNodes = &r.updatedNodes;
-            fb.memCosine = &r.memCosine;
-            batcher.onBatchDone(fb);
-
-            cur.lossSum += r.loss * r.numEvents;
-            cur.epochEvents += r.numEvents;
-            cur.totalEvents += r.numEvents;
-            ++cur.batchIndex;
-            ++cur.totalBatches;
-            ++cur.globalBatch;
-            cur.st = ed;
-
-            if (options.checkpointEvery > 0 &&
-                cur.globalBatch % options.checkpointEvery == 0) {
-                last_good = encodeCheckpoint(model, batcher, cur);
-                if (!options.checkpointPath.empty() &&
-                    !saveCheckpointFile(options.checkpointPath,
-                                        last_good)) {
-                    // Checkpointing is best-effort durability; a full
-                    // disk must not kill a healthy run.
-                    CASCADE_LOG("checkpoint write to %s failed; "
-                                "training continues",
-                                options.checkpointPath.c_str());
-                }
-            }
-            if (fault::crashAfter(gb)) {
-                CASCADE_LOG("fault injection: simulated crash after "
-                            "batch %llu",
-                            (unsigned long long)gb);
-                report.interrupted = true;
-                break;
-            }
-        }
-        if (rolled_back)
-            continue; // re-enter the loop at the restored cursor
-        if (report.interrupted)
-            break;
-
-        EpochStats es;
-        es.batches = static_cast<size_t>(cur.batchIndex);
-        es.trainLoss =
-            cur.epochEvents ? cur.lossSum / cur.epochEvents : 0.0;
-        es.avgBatchSize = cur.batchIndex
-            ? static_cast<double>(cur.epochEvents) / cur.batchIndex
-            : 0.0;
-        es.wallSeconds = epoch_timer.seconds();
-        es.deviceSeconds = dev.totalSeconds() - dev_before;
-        es.stableUpdateRatio = batcher.stableUpdateRatio();
-        cur.completed.push_back(es);
-        report.stableUpdateRatio = batcher.stableUpdateRatio();
-
-        ++cur.epoch;
-        cur.st = 0;
-        cur.batchIndex = 0;
-        cur.lossSum = 0.0;
-        cur.epochEvents = 0;
-    }
-
-    // Final checkpoint (before validation advances the memories) so a
-    // finished run can be extended with more epochs later.
-    if (!report.interrupted && !options.checkpointPath.empty() &&
-        options.checkpointEvery > 0) {
-        if (!saveCheckpointFile(options.checkpointPath,
-                                encodeCheckpoint(model, batcher, cur))) {
-            CASCADE_LOG("final checkpoint write to %s failed",
-                        options.checkpointPath.c_str());
-        }
-    }
-
-    report.epochs = cur.completed;
-    report.totalBatches = static_cast<size_t>(cur.totalBatches);
-    // Wall time only covers this process's work: epochs restored from
-    // a checkpoint keep the wall time they measured before the crash.
-    report.wallSeconds = 0.0;
-    for (const EpochStats &es : report.epochs)
-        report.wallSeconds += es.wallSeconds;
-    report.deviceSeconds = dev.totalSeconds();
-    report.deviceUtilization = dev.utilization();
-    report.lookupSeconds = batcher.lookupSeconds();
-    report.modelSeconds = model_time.seconds();
-    // Preprocessing that happened lazily during training (pipelined
-    // chunk builds) shows up as the delta against the initial charge.
-    report.preprocessSeconds = batcher.preprocessSeconds();
-    report.avgBatchSize = cur.totalBatches
-        ? static_cast<double>(cur.totalEvents) / cur.totalBatches
-        : 0.0;
-
-    if (!report.interrupted && options.validate &&
-        train_end < data.size()) {
-        report.valLoss = model.evalLoss(data, adj, train_end,
-                                        data.size(), options.evalBatch);
-    }
-    return report;
+    TrainingSession session(model, data, adj, train_end, batcher,
+                            options, device);
+    return session.run();
 }
 
 } // namespace cascade

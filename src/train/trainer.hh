@@ -8,6 +8,11 @@
  * building / batch lookup / model compute — Figure 13b), batch-size
  * statistics (Figure 12a), the stable-update ratio (Figure 5) and the
  * final validation loss at the preset base batch size (Figures 11/16).
+ *
+ * trainModel() is a thin wrapper over TrainingSession
+ * (train/session.hh), which decomposes each global batch into named,
+ * observable stages. Use TrainingSession directly to attach a
+ * MetricsRegistry / TraceRecorder or a per-batch observer.
  */
 
 #ifndef CASCADE_TRAIN_TRAINER_HH
@@ -74,8 +79,14 @@ struct TrainReport
 struct TrainOptions
 {
     size_t epochs = 4;
-    /** Validation batch size (the paper evaluates at the preset 900,
-     *  scaled). */
+    /**
+     * Validation batch size. The paper evaluates at its preset base
+     * batch (900); scaled datasets carry the scaled equivalent in
+     * DatasetSpec::baseBatch, whose unscaled default is 100 — hence
+     * the default here. Callers must plumb the *same* value used for
+     * the batcher (e.g. CascadeBatcher::Options::baseBatch) so
+     * training and validation batch sizes agree.
+     */
     size_t evalBatch = 100;
     /** Validate after training (needs a validation range). */
     bool validate = true;

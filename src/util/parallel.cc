@@ -7,7 +7,7 @@ namespace cascade {
 
 namespace {
 
-std::unique_ptr<ThreadPool> globalPool;
+std::shared_ptr<ThreadPool> globalPool;
 std::mutex globalPoolMutex;
 size_t requestedThreads = 0;
 
@@ -75,17 +75,23 @@ ThreadPool::workerLoop()
     }
 }
 
-ThreadPool &
-ThreadPool::global()
+std::shared_ptr<ThreadPool>
+ThreadPool::globalShared()
 {
     std::lock_guard<std::mutex> lock(globalPoolMutex);
     if (!globalPool) {
         size_t n = requestedThreads;
         if (n == 0)
             n = std::max<size_t>(1, std::thread::hardware_concurrency());
-        globalPool = std::make_unique<ThreadPool>(n);
+        globalPool = std::make_shared<ThreadPool>(n);
     }
-    return *globalPool;
+    return globalPool;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    return *globalShared();
 }
 
 void
@@ -93,6 +99,11 @@ ThreadPool::setGlobalThreads(size_t threads)
 {
     std::lock_guard<std::mutex> lock(globalPoolMutex);
     requestedThreads = threads;
+    // Drop our reference only: callers that pinned the old pool via
+    // globalShared() keep it alive until their work drains, at which
+    // point its destructor joins the workers. A plain reset of an
+    // exclusive owner here would destroy a pool another thread is
+    // still submitting to.
     globalPool.reset();
 }
 
@@ -116,8 +127,10 @@ parallelForChunks(size_t begin, size_t end,
     if (end <= begin)
         return;
     const size_t n = end - begin;
-    auto &pool = ThreadPool::global();
-    const size_t workers = pool.threads();
+    // Pin the pool for the whole call so a concurrent
+    // setGlobalThreads() cannot destroy it under us.
+    const std::shared_ptr<ThreadPool> pool = ThreadPool::globalShared();
+    const size_t workers = pool->threads();
     if (n <= grain || workers <= 1) {
         body(begin, end);
         return;
@@ -126,9 +139,9 @@ parallelForChunks(size_t begin, size_t end,
     const size_t step = (n + chunks - 1) / chunks;
     for (size_t lo = begin; lo < end; lo += step) {
         const size_t hi = std::min(end, lo + step);
-        pool.submit([&body, lo, hi] { body(lo, hi); });
+        pool->submit([&body, lo, hi] { body(lo, hi); });
     }
-    pool.wait();
+    pool->wait();
 }
 
 } // namespace cascade

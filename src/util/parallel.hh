@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -47,10 +48,29 @@ class ThreadPool
     /** Number of worker threads. */
     size_t threads() const { return workers_.size(); }
 
-    /** Process-wide shared pool. */
+    /**
+     * Process-wide shared pool. The reference stays valid until the
+     * *next* setGlobalThreads() call; code that may race with a resize
+     * must pin the pool with globalShared() instead.
+     */
     static ThreadPool &global();
 
-    /** Resize the global pool (takes effect for subsequent calls). */
+    /**
+     * Shared handle to the process-wide pool. Holding the returned
+     * pointer keeps that pool's workers alive across a concurrent
+     * setGlobalThreads(), so in-flight parallelFor calls finish on the
+     * pool they started with.
+     */
+    static std::shared_ptr<ThreadPool> globalShared();
+
+    /**
+     * Resize the global pool. Safe to call at any time, including
+     * after the lazily-started pool has run work: the old pool keeps
+     * serving callers that already pinned it and is drained and
+     * joined once the last of them finishes; subsequent global() /
+     * globalShared() calls lazily start a pool with the new size.
+     * `threads == 0` restores the hardware-concurrency default.
+     */
     static void setGlobalThreads(size_t threads);
 
   private:

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Golden-trajectory tests: the staged TrainingSession must be
+ * behavior-preserving against the seed trainer's semantics.
+ *
+ * A local reference loop re-implements the seed `trainModel()` batch
+ * loop (reset → next → step → feedback → advance, per epoch) with no
+ * stages, no observability and no checkpointing; the session must
+ * produce the exact same batch boundaries and bit-identical per-batch
+ * losses for both a static policy (FixedBatcher) and the feedback-
+ * driven Cascade policy, where any reordering of the stages would
+ * change the trajectory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cascade_batcher.hh"
+#include "graph/dataset.hh"
+#include "train/session.hh"
+#include "train/trainer.hh"
+
+using namespace cascade;
+
+namespace {
+
+struct Fixture
+{
+    DatasetSpec spec;
+    EventSequence data;
+    TemporalAdjacency adj;
+    size_t trainEnd;
+
+    explicit Fixture(double scale = 250.0, uint64_t seed = 31)
+        : spec(wikiSpec(scale)),
+          data([&] {
+              Rng rng(seed);
+              return generateDataset(spec, rng);
+          }()),
+          adj(data), trainEnd(data.size() * 4 / 5)
+    {}
+};
+
+struct GoldenBatch
+{
+    size_t st = 0;
+    size_t ed = 0;
+    double loss = 0.0;
+    size_t numEvents = 0;
+};
+
+/**
+ * Reference implementation of the seed training loop: the exact order
+ * of operations trainModel() used before the stage decomposition,
+ * with every trajectory-relevant step (epoch resets, boundary query,
+ * model step, batcher feedback) and nothing else.
+ */
+std::vector<GoldenBatch>
+referenceTrajectory(TgnnModel &model, const EventSequence &data,
+                    const TemporalAdjacency &adj, size_t train_end,
+                    Batcher &batcher, size_t epochs)
+{
+    std::vector<GoldenBatch> out;
+    for (size_t epoch = 0; epoch < epochs; ++epoch) {
+        model.resetState();
+        batcher.reset();
+        size_t st = 0;
+        size_t batch_index = 0;
+        while (st < train_end) {
+            const size_t ed = batcher.next(st);
+            StepResult r = model.step(data, adj, st, ed, true);
+
+            BatchFeedback fb;
+            fb.batchIndex = batch_index;
+            fb.st = st;
+            fb.ed = ed;
+            fb.loss = r.loss;
+            fb.updatedNodes = &r.updatedNodes;
+            fb.memCosine = &r.memCosine;
+            batcher.onBatchDone(fb);
+
+            out.push_back({st, ed, r.loss, r.numEvents});
+            ++batch_index;
+            st = ed;
+        }
+    }
+    return out;
+}
+
+std::vector<GoldenBatch>
+sessionTrajectory(TgnnModel &model, const EventSequence &data,
+                  const TemporalAdjacency &adj, size_t train_end,
+                  Batcher &batcher, size_t epochs)
+{
+    TrainOptions o;
+    o.epochs = epochs;
+    o.validate = false;
+    std::vector<GoldenBatch> out;
+    TrainingSession session(model, data, adj, train_end, batcher, o);
+    session.setBatchObserver([&](const BatchRecord &rec) {
+        out.push_back({rec.st, rec.ed, rec.loss, rec.numEvents});
+    });
+    session.run();
+    return out;
+}
+
+void
+expectIdentical(const std::vector<GoldenBatch> &golden,
+                const std::vector<GoldenBatch> &staged)
+{
+    ASSERT_EQ(golden.size(), staged.size());
+    for (size_t i = 0; i < golden.size(); ++i) {
+        SCOPED_TRACE("batch " + std::to_string(i));
+        EXPECT_EQ(golden[i].st, staged[i].st);
+        EXPECT_EQ(golden[i].ed, staged[i].ed);
+        EXPECT_EQ(golden[i].numEvents, staged[i].numEvents);
+        // Bit-identical, not approximately equal: the decomposition
+        // must not move a single floating-point operation.
+        EXPECT_EQ(golden[i].loss, staged[i].loss);
+    }
+}
+
+} // namespace
+
+TEST(GoldenTrajectory, FixedBatcherMatchesSeedSemantics)
+{
+    Fixture f;
+    const size_t epochs = 2;
+
+    TgnnModel ref_model(tgnConfig(16), f.spec.numNodes,
+                        f.data.featDim(), 7);
+    FixedBatcher ref_batcher(f.trainEnd, f.spec.baseBatch);
+    const std::vector<GoldenBatch> golden = referenceTrajectory(
+        ref_model, f.data, f.adj, f.trainEnd, ref_batcher, epochs);
+    ASSERT_FALSE(golden.empty());
+
+    TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(),
+                    7);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    const std::vector<GoldenBatch> staged = sessionTrajectory(
+        model, f.data, f.adj, f.trainEnd, batcher, epochs);
+
+    expectIdentical(golden, staged);
+    // Same trajectory => same final model state => same eval loss.
+    EXPECT_EQ(ref_model.evalLoss(f.data, f.adj, f.trainEnd,
+                                 f.data.size(), f.spec.baseBatch),
+              model.evalLoss(f.data, f.adj, f.trainEnd, f.data.size(),
+                             f.spec.baseBatch));
+}
+
+TEST(GoldenTrajectory, CascadePolicyMatchesSeedSemantics)
+{
+    Fixture f;
+    const size_t epochs = 2;
+    CascadeBatcher::Options copts;
+    copts.baseBatch = f.spec.baseBatch;
+    copts.seed = 11;
+
+    TgnnModel ref_model(tgnConfig(16), f.spec.numNodes,
+                        f.data.featDim(), 7);
+    CascadeBatcher ref_batcher(f.data, f.adj, f.trainEnd, copts);
+    const std::vector<GoldenBatch> golden = referenceTrajectory(
+        ref_model, f.data, f.adj, f.trainEnd, ref_batcher, epochs);
+    ASSERT_FALSE(golden.empty());
+
+    TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(),
+                    7);
+    CascadeBatcher batcher(f.data, f.adj, f.trainEnd, copts);
+    const std::vector<GoldenBatch> staged = sessionTrajectory(
+        model, f.data, f.adj, f.trainEnd, batcher, epochs);
+
+    // Cascade's boundaries depend on the SG-Filter/ABS feedback of
+    // every earlier batch, so agreement here pins the whole staged
+    // ordering, not just the per-batch arithmetic.
+    expectIdentical(golden, staged);
+}
+
+TEST(GoldenTrajectory, WrapperAndSessionAgree)
+{
+    Fixture f;
+    TrainOptions o;
+    o.epochs = 2;
+    o.evalBatch = f.spec.baseBatch;
+
+    TgnnModel m1(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 9);
+    FixedBatcher b1(f.trainEnd, f.spec.baseBatch);
+    TrainReport r1 = trainModel(m1, f.data, f.adj, f.trainEnd, b1, o);
+
+    TgnnModel m2(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 9);
+    FixedBatcher b2(f.trainEnd, f.spec.baseBatch);
+    TrainingSession session(m2, f.data, f.adj, f.trainEnd, b2, o);
+    TrainReport r2 = session.run();
+
+    EXPECT_EQ(r1.totalBatches, r2.totalBatches);
+    ASSERT_EQ(r1.epochs.size(), r2.epochs.size());
+    for (size_t e = 0; e < r1.epochs.size(); ++e) {
+        EXPECT_EQ(r1.epochs[e].batches, r2.epochs[e].batches);
+        EXPECT_EQ(r1.epochs[e].trainLoss, r2.epochs[e].trainLoss);
+    }
+    EXPECT_EQ(r1.valLoss, r2.valLoss);
+}

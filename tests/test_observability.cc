@@ -1,0 +1,509 @@
+/**
+ * @file
+ * Observability-layer tests: metrics-registry semantics, trace-span
+ * nesting, JSON well-formedness of both exports (validated by parsing
+ * them back), and the TrainingSession's stage accounting — per-stage
+ * seconds must reconcile with the report's wall seconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "graph/dataset.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "train/batcher.hh"
+#include "train/session.hh"
+
+using namespace cascade;
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON validator. Accepts exactly the JSON
+ * grammar (objects, arrays, strings with escapes, numbers, true/false/
+ * null); returns false on trailing garbage or any syntax error. Enough
+ * to prove the exports are loadable by a real parser.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &s) : s_(s) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') { ++pos_; return true; }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') { ++pos_; return true; }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c == '"') { ++pos_; return true; }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s_[pos_])))
+                            return false;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!digits())
+            return false;
+        if (peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    digits()
+    {
+        const size_t start = pos_;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+struct Fixture
+{
+    DatasetSpec spec;
+    EventSequence data;
+    TemporalAdjacency adj;
+    size_t trainEnd;
+
+    explicit Fixture(double scale = 250.0, uint64_t seed = 31)
+        : spec(wikiSpec(scale)),
+          data([&] {
+              Rng rng(seed);
+              return generateDataset(spec, rng);
+          }()),
+          adj(data), trainEnd(data.size() * 4 / 5)
+    {}
+};
+
+} // namespace
+
+TEST(Metrics, CounterSemantics)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &c = reg.counter("x");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Same name resolves to the same instrument.
+    reg.counter("x").add(8);
+    EXPECT_EQ(c.value(), 50u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeSemantics)
+{
+    obs::MetricsRegistry reg;
+    obs::Gauge &g = reg.gauge("util");
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(0.75);
+    g.set(0.5); // last write wins
+    EXPECT_DOUBLE_EQ(reg.gauge("util").value(), 0.5);
+}
+
+TEST(Metrics, HistogramSemantics)
+{
+    obs::MetricsRegistry reg;
+    obs::Histogram &h = reg.histogram("lat");
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+
+    h.record(1e-5);
+    h.record(2e-5);
+    h.record(0.3);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 1e-5 + 2e-5 + 0.3);
+    EXPECT_DOUBLE_EQ(h.min(), 1e-5);
+    EXPECT_DOUBLE_EQ(h.max(), 0.3);
+    EXPECT_NEAR(h.mean(), h.sum() / 3.0, 1e-12);
+
+    const std::vector<uint64_t> buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), obs::Histogram::kBuckets);
+    uint64_t total = 0;
+    for (uint64_t b : buckets)
+        total += b;
+    EXPECT_EQ(total, 3u); // every sample lands in exactly one bucket
+
+    // Samples beyond the largest bound fall into the overflow bucket.
+    h.record(1e9);
+    EXPECT_EQ(h.buckets().back(), 1u);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketBoundsAreSortedAndCoverStageTimes)
+{
+    const std::vector<double> &bounds = obs::Histogram::bucketBounds();
+    ASSERT_FALSE(bounds.empty());
+    for (size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+    EXPECT_LE(bounds.front(), 1e-7);
+    EXPECT_GE(bounds.back(), 1e3);
+}
+
+TEST(Metrics, FindDoesNotCreate)
+{
+    obs::MetricsRegistry reg;
+    EXPECT_EQ(reg.findCounter("missing"), nullptr);
+    EXPECT_EQ(reg.findGauge("missing"), nullptr);
+    EXPECT_EQ(reg.findHistogram("missing"), nullptr);
+    reg.counter("present").add(3);
+    ASSERT_NE(reg.findCounter("present"), nullptr);
+    EXPECT_EQ(reg.findCounter("present")->value(), 3u);
+}
+
+TEST(Metrics, SnapshotIsSortedAndComplete)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("b.count").add(2);
+    reg.counter("a.count").add(1);
+    reg.gauge("z.gauge").set(9.0);
+    reg.histogram("h.hist").record(0.5);
+
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].first, "a.count");
+    EXPECT_EQ(snap.counters[1].first, "b.count");
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.gauges[0].second, 9.0);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].count, 1u);
+    EXPECT_EQ(snap.histograms[0].buckets.size(),
+              obs::Histogram::kBuckets);
+}
+
+TEST(Metrics, JsonExportIsWellFormed)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("stage.count").add(7);
+    reg.gauge("weird \"name\"\n").set(-1.25e-3);
+    reg.histogram("stage.model.seconds").record(0.001);
+    reg.histogram("stage.model.seconds").record(12.5);
+
+    const std::string json = reg.toJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("stage.model.seconds"), std::string::npos);
+}
+
+TEST(Metrics, JsonFileSinkWritesParseableFile)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("c").add(1);
+    const std::string path = "test_obs_metrics.json";
+    obs::JsonFileSink sink(path);
+    ASSERT_TRUE(sink.write(reg));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string content;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        content.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_TRUE(JsonChecker(content).valid()) << content;
+}
+
+TEST(Trace, SpansNestPerThread)
+{
+    obs::TraceRecorder rec;
+    {
+        auto outer = rec.span("outer", "test");
+        {
+            auto inner = rec.span("inner", "test");
+        }
+        auto sibling = rec.span("sibling", "test");
+        sibling.end();
+        sibling.end(); // idempotent
+    }
+    const std::vector<obs::TraceEvent> evs = rec.events();
+    ASSERT_EQ(evs.size(), 3u);
+    // Spans record at close, innermost first.
+    EXPECT_EQ(evs[0].name, "inner");
+    EXPECT_EQ(evs[0].depth, 1);
+    EXPECT_EQ(evs[1].name, "sibling");
+    EXPECT_EQ(evs[1].depth, 1);
+    EXPECT_EQ(evs[2].name, "outer");
+    EXPECT_EQ(evs[2].depth, 0);
+    EXPECT_EQ(rec.maxDepth(), 1);
+    for (const obs::TraceEvent &e : evs) {
+        EXPECT_GE(e.tsMicros, 0.0);
+        EXPECT_GE(e.durMicros, 0.0);
+    }
+    // The nested span opened after and closed before its parent.
+    EXPECT_GE(evs[0].tsMicros, evs[2].tsMicros);
+    EXPECT_LE(evs[0].tsMicros + evs[0].durMicros,
+              evs[2].tsMicros + evs[2].durMicros + 1.0);
+}
+
+TEST(Trace, ThreadsGetDistinctTids)
+{
+    obs::TraceRecorder rec;
+    {
+        auto main_span = rec.span("main", "test");
+        std::thread t([&] { auto s = rec.span("worker", "test"); });
+        t.join();
+    }
+    const std::vector<obs::TraceEvent> evs = rec.events();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_NE(evs[0].tid, evs[1].tid);
+    // Each thread starts its own depth at 0.
+    EXPECT_EQ(evs[0].depth, 0);
+    EXPECT_EQ(evs[1].depth, 0);
+}
+
+TEST(Trace, RetentionCapCountsDrops)
+{
+    obs::TraceRecorder rec(4);
+    for (int i = 0; i < 10; ++i)
+        rec.span("s", "test").end();
+    EXPECT_EQ(rec.eventCount(), 4u);
+    EXPECT_EQ(rec.droppedEvents(), 6u);
+}
+
+TEST(Trace, JsonExportIsWellFormedTraceEventFormat)
+{
+    obs::TraceRecorder rec;
+    {
+        auto a = rec.span("epoch", "session");
+        auto b = rec.span("needs \"escaping\"", "stage");
+    }
+    const std::string json = rec.toJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(TrainingSession, StageSecondsReconcileWithWallSeconds)
+{
+    Fixture f;
+    TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(),
+                    1);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    TrainOptions o;
+    o.epochs = 2;
+    o.validate = false;    // eval runs outside the epoch wall clocks
+    o.checkpointEvery = 0; // keep every stage inside the epoch loop
+
+    TrainingSession session(model, f.data, f.adj, f.trainEnd, batcher,
+                            o);
+    TrainReport r = session.run();
+    ASSERT_GT(r.wallSeconds, 0.0);
+
+    double stage_sum = 0.0;
+    // `lookup` is deliberately absent: it is a sub-stage recorded
+    // inside `boundary` and would double-count.
+    for (const char *name :
+         {"stage.boundary.seconds", "stage.model.seconds",
+          "stage.guard.seconds", "stage.feedback.seconds",
+          "stage.checkpoint.seconds"}) {
+        const obs::Histogram *h = session.metrics().findHistogram(name);
+        if (h)
+            stage_sum += h->sum();
+    }
+    EXPECT_LE(stage_sum, r.wallSeconds);
+    // Per-stage seconds must account for the run's wall time to
+    // within 5% (plus a small absolute epsilon for tiny runs).
+    EXPECT_NEAR(stage_sum, r.wallSeconds,
+                0.05 * r.wallSeconds + 2e-3);
+}
+
+TEST(TrainingSession, ReportIsAssembledFromTheRegistry)
+{
+    Fixture f;
+    TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(),
+                    2);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    TrainOptions o;
+    o.epochs = 1;
+    o.evalBatch = f.spec.baseBatch;
+
+    TrainingSession session(model, f.data, f.adj, f.trainEnd, batcher,
+                            o);
+    TrainReport r = session.run();
+
+    const obs::MetricsRegistry &m = session.metrics();
+    ASSERT_NE(m.findCounter("train.batches"), nullptr);
+    EXPECT_EQ(m.findCounter("train.batches")->value(),
+              r.totalBatches);
+    ASSERT_NE(m.findHistogram("stage.model.seconds"), nullptr);
+    EXPECT_DOUBLE_EQ(m.findHistogram("stage.model.seconds")->sum(),
+                     r.modelSeconds);
+    ASSERT_NE(m.findCounter("guard.trips"), nullptr);
+    EXPECT_EQ(m.findCounter("guard.trips")->value(), r.guardTrips);
+    ASSERT_NE(m.findHistogram("stage.eval.seconds"), nullptr);
+    EXPECT_EQ(m.findHistogram("stage.eval.seconds")->count(), 1u);
+
+    // Device instruments were bound into the same registry.
+    ASSERT_NE(m.findCounter("device.batches"), nullptr);
+    EXPECT_EQ(m.findCounter("device.batches")->value(),
+              r.totalBatches);
+
+    // The trace saw every batch: one `batch` span per global batch.
+    size_t batch_spans = 0;
+    for (const obs::TraceEvent &e : session.trace().events())
+        if (e.name == "batch")
+            ++batch_spans;
+    EXPECT_EQ(batch_spans, r.totalBatches);
+}
+
+TEST(TrainingSession, RunsAtMostOnce)
+{
+    Fixture f;
+    TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(),
+                    3);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    TrainOptions o;
+    o.epochs = 1;
+    o.validate = false;
+    TrainingSession session(model, f.data, f.adj, f.trainEnd, batcher,
+                            o);
+    session.run();
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(session.run(), "already ran");
+}

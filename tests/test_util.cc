@@ -186,6 +186,45 @@ TEST(ThreadPool, WaitIsReusable)
     EXPECT_EQ(count.load(), 2);
 }
 
+TEST(ThreadPool, SetGlobalThreadsAfterLazyStartIsSafe)
+{
+    // Start the lazy global pool by running work through it.
+    std::atomic<int> count{0};
+    parallelFor(0, 4096, [&](size_t) { count.fetch_add(1); }, 16);
+    EXPECT_EQ(count.load(), 4096);
+
+    // Resize after the pool has already served callers; subsequent
+    // lookups must observe the new size and still run work.
+    ThreadPool::setGlobalThreads(2);
+    EXPECT_EQ(ThreadPool::global().threads(), 2u);
+    count = 0;
+    parallelFor(0, 4096, [&](size_t) { count.fetch_add(1); }, 16);
+    EXPECT_EQ(count.load(), 4096);
+
+    ThreadPool::setGlobalThreads(0); // restore the default
+}
+
+TEST(ThreadPool, ResizeDoesNotDestroyAPinnedPool)
+{
+    ThreadPool::setGlobalThreads(3);
+    // Pin the current pool the way parallelForChunks does, then yank
+    // the global handle out from under it: the pinned pool must keep
+    // executing and draining submitted work.
+    std::shared_ptr<ThreadPool> pinned = ThreadPool::globalShared();
+    EXPECT_EQ(pinned->threads(), 3u);
+
+    ThreadPool::setGlobalThreads(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 64; ++i)
+        pinned->submit([&] { count.fetch_add(1); });
+    pinned->wait();
+    EXPECT_EQ(count.load(), 64);
+
+    // The replacement pool is created lazily with the new size.
+    EXPECT_EQ(ThreadPool::global().threads(), 1u);
+    ThreadPool::setGlobalThreads(0); // restore the default
+}
+
 TEST(Env, ParsesAndDefaults)
 {
     ::setenv("CASCADE_TEST_D", "2.5", 1);

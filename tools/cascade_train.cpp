@@ -17,7 +17,11 @@
  *                 [--theta <t>] [--seed <n>] [--save <model.bin>]
  *                 [--csv <results.csv>]
  *                 [--checkpoint <ckpt.bin>] [--checkpoint-every <n>]
- *                 [--resume]
+ *                 [--resume] [--threads <n>]
+ *                 [--metrics-out <metrics.json>]
+ *                 [--trace-out <trace.json>]
+ *
+ * Flags accept both `--flag value` and `--flag=value`.
  *
  * With --checkpoint the trainer snapshots its full state (parameters,
  * optimizer moments, memories, batcher schedule, cursor) every
@@ -25,6 +29,12 @@
  * reproduces the uninterrupted run bit for bit. Fault injection for
  * resilience testing is driven by the CASCADE_FAULT_* environment
  * variables (util/fault.hh).
+ *
+ * Observability: --metrics-out dumps the session's metrics registry
+ * (per-stage seconds histograms, component counters/gauges) as JSON;
+ * --trace-out writes the per-stage span tree in Trace Event Format,
+ * loadable by chrome://tracing or Perfetto. --threads sizes the global
+ * worker pool (the paper's CPU-thread knob for TG-Diffuser and ABS).
  */
 
 #include <cerrno>
@@ -36,10 +46,14 @@
 
 #include "core/cascade_batcher.hh"
 #include "graph/dataset.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "tgnn/model.hh"
 #include "tgnn/serialize.hh"
+#include "train/session.hh"
 #include "train/trainer.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 using namespace cascade;
 
@@ -60,6 +74,9 @@ struct CliOptions
     std::string checkpointPath;
     size_t checkpointEvery = 50;
     bool resume = false;
+    std::string metricsOut;
+    std::string traceOut;
+    size_t threads = 0; ///< 0 = leave the pool at its default size
 };
 
 void
@@ -70,7 +87,9 @@ usage(const char *argv0)
                  "          [--scale S] [--epochs N] [--dim N]\n"
                  "          [--theta T] [--seed N] [--save FILE]\n"
                  "          [--csv FILE] [--checkpoint FILE]\n"
-                 "          [--checkpoint-every N] [--resume]\n",
+                 "          [--checkpoint-every N] [--resume]\n"
+                 "          [--threads N] [--metrics-out FILE]\n"
+                 "          [--trace-out FILE]\n",
                  argv0);
 }
 
@@ -109,8 +128,19 @@ bool
 parseArgs(int argc, char **argv, CliOptions &opts)
 {
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Accept both `--flag value` and `--flag=value`.
+        std::string inline_value;
+        bool has_inline = false;
+        const size_t eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            inline_value = arg.substr(eq + 1);
+            arg.erase(eq);
+            has_inline = true;
+        }
         auto next = [&]() -> const char * {
+            if (has_inline)
+                return inline_value.c_str();
             if (i + 1 >= argc)
                 return nullptr;
             return argv[++i];
@@ -142,8 +172,15 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         else if (arg == "--checkpoint-every" && (v = next()))
             opts.checkpointEvery =
                 static_cast<size_t>(parseUint("--checkpoint-every", v));
-        else if (arg == "--resume")
+        else if (arg == "--resume" && !has_inline)
             opts.resume = true;
+        else if (arg == "--metrics-out" && (v = next()))
+            opts.metricsOut = v;
+        else if (arg == "--trace-out" && (v = next()))
+            opts.traceOut = v;
+        else if (arg == "--threads" && (v = next()))
+            opts.threads =
+                static_cast<size_t>(parseUint("--threads", v));
         else
             return false;
     }
@@ -197,6 +234,9 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (opts.threads > 0)
+        ThreadPool::setGlobalThreads(opts.threads);
+
     DatasetSpec spec = specByName(opts.dataset, opts.scale);
     Rng rng(opts.seed);
     EventSequence data = generateDataset(spec, rng);
@@ -208,21 +248,25 @@ main(int argc, char **argv)
         mc.dedupEmbed = true;
     TgnnModel model(mc, spec.numNodes, data.featDim(), opts.seed + 1);
 
+    // One preset batch size feeds the batcher, the validation pass and
+    // the device calibration; they must agree (see TrainOptions).
+    const size_t base_batch = spec.baseBatch;
+
     std::unique_ptr<Batcher> batcher;
     if (opts.policy == "tgl" || opts.policy == "tglite") {
         batcher =
-            std::make_unique<FixedBatcher>(train_end, spec.baseBatch);
+            std::make_unique<FixedBatcher>(train_end, base_batch);
     } else if (opts.policy == "neutronstream") {
         batcher = std::make_unique<NeutronStreamBatcher>(
-            data, spec.baseBatch, train_end);
+            data, base_batch, train_end);
     } else if (opts.policy == "etc") {
-        batcher = std::make_unique<EtcBatcher>(data, spec.baseBatch,
+        batcher = std::make_unique<EtcBatcher>(data, base_batch,
                                                train_end);
     } else if (opts.policy == "cascade" ||
                opts.policy == "cascade-tb" ||
                opts.policy == "cascade-ex") {
         CascadeBatcher::Options copts;
-        copts.baseBatch = spec.baseBatch;
+        copts.baseBatch = base_batch;
         copts.simThreshold = opts.theta;
         copts.enableSgFilter = opts.policy != "cascade-tb";
         if (opts.policy == "cascade-ex")
@@ -237,7 +281,7 @@ main(int argc, char **argv)
 
     TrainOptions toptions;
     toptions.epochs = opts.epochs;
-    toptions.evalBatch = spec.baseBatch;
+    toptions.evalBatch = base_batch;
     toptions.checkpointPath = opts.checkpointPath;
     toptions.checkpointEvery = opts.checkpointEvery;
     toptions.resume = opts.resume;
@@ -245,9 +289,26 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--resume needs --checkpoint FILE\n");
         return 2;
     }
-    DeviceModel device(scaledDeviceParams(spec.baseBatch));
-    TrainReport r = trainModel(model, data, adj, train_end, *batcher,
-                               toptions, &device);
+    DeviceModel device(scaledDeviceParams(base_batch));
+
+    TrainingSession session(model, data, adj, train_end, *batcher,
+                            toptions, &device);
+    TrainReport r = session.run();
+
+    if (!opts.metricsOut.empty()) {
+        obs::JsonFileSink sink(opts.metricsOut);
+        if (!sink.write(session.metrics())) {
+            std::fprintf(stderr, "cannot write metrics to %s\n",
+                         opts.metricsOut.c_str());
+            return 1;
+        }
+    }
+    if (!opts.traceOut.empty() &&
+        !session.trace().writeJsonFile(opts.traceOut)) {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     opts.traceOut.c_str());
+        return 1;
+    }
 
     if (r.interrupted) {
         std::fprintf(stderr,

@@ -1,16 +1,31 @@
 #!/bin/sh
-# Run the test suite under ASan+UBSan via the `sanitize` preset:
-#   tools/check.sh            # configure + build + ctest, sanitized
-#   tools/check.sh <regex>    # only tests matching the regex
-# The sanitized tree lives in build-sanitize/ and never touches the
-# regular build/.
+# Local mirror of the CI matrix (.github/workflows/ci.yml): the tier-1
+# verify (default preset: configure + build + ctest) followed by the
+# same suite under ASan+UBSan via the `sanitize` preset.
+#
+#   tools/check.sh            # both presets, full suite
+#   tools/check.sh <regex>    # both presets, only tests matching regex
+#   tools/check.sh -s [re]    # sanitize preset only (old behaviour)
+#
+# Trees live in build/ and build-sanitize/ and never touch each other.
 set -e
 cd "$(dirname "$0")/.."
 
-cmake --preset sanitize
-cmake --build --preset sanitize -j "$(nproc)"
-if [ $# -gt 0 ]; then
-    ctest --preset sanitize -R "$1"
+run_preset() {
+    preset="$1"
+    filter="$2"
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$(nproc)"
+    if [ -n "$filter" ]; then
+        ctest --preset "$preset" -R "$filter"
+    else
+        ctest --preset "$preset" -j "$(nproc)"
+    fi
+}
+
+if [ "$1" = "-s" ]; then
+    run_preset sanitize "$2"
 else
-    ctest --preset sanitize -j "$(nproc)"
+    run_preset default "$1"
+    run_preset sanitize "$1"
 fi
