@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hh"
 #include "util/binio.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/timer.hh"
@@ -54,6 +55,7 @@ TgDiffuser::bindMetrics(obs::MetricsRegistry &registry)
     lookupHist_ = &registry.histogram("stage.lookup.seconds");
     prepGauge_ = &registry.gauge("diffuser.preprocess_seconds");
     tableBytesGauge_ = &registry.gauge("diffuser.table_bytes");
+    buildFailCounter_ = &registry.counter("diffuser.build_failures");
     prepGauge_->set(prepSeconds_);
     tableBytesGauge_->set(static_cast<double>(tableBytes()));
 }
@@ -64,6 +66,28 @@ TgDiffuser::unbindMetrics()
     lookupHist_ = nullptr;
     prepGauge_ = nullptr;
     tableBytesGauge_ = nullptr;
+    buildFailCounter_ = nullptr;
+}
+
+void
+TgDiffuser::disablePipeline()
+{
+    if (pending_.valid()) {
+        // Drain the in-flight prefetch: keep a clean table, discard a
+        // failed one (the failing prefetch is typically why we are
+        // degrading; its chunk rebuilds synchronously on next use).
+        const size_t c = pendingChunk_;
+        pendingChunk_ = SIZE_MAX;
+        try {
+            auto built = pending_.get();
+            if (c < tables_.size() && !tables_[c])
+                tables_[c] = std::move(built);
+        } catch (...) {
+            if (buildFailCounter_)
+                buildFailCounter_->add(1);
+        }
+    }
+    opts_.pipeline = false;
 }
 
 const DependencyTable &
@@ -72,20 +96,31 @@ TgDiffuser::ensureChunk(size_t c)
     CASCADE_CHECK(c < tables_.size(), "ensureChunk: bad chunk");
     if (tables_[c])
         return *tables_[c];
-    if (pendingChunk_ == c && pending_.valid()) {
-        // Pipelined build in flight: only the stall is preprocessing.
-        Timer t;
-        tables_[c] = pending_.get();
-        pendingChunk_ = SIZE_MAX;
+    Timer t;
+    try {
+        if (pendingChunk_ == c && pending_.valid()) {
+            // Pipelined build in flight: only the stall is
+            // preprocessing. get() consumes the future either way, so
+            // a failed prefetch leaves no stale pending state and the
+            // supervisor's retry rebuilds synchronously below.
+            pendingChunk_ = SIZE_MAX;
+            tables_[c] = pending_.get();
+        } else {
+            fault::maybeFailChunkBuild(c);
+            tables_[c] =
+                std::make_unique<DependencyTable>(DependencyTable::build(
+                    seq_, adj_, chunkBounds_[c].first,
+                    chunkBounds_[c].second));
+        }
+    } catch (...) {
         prepSeconds_ += t.seconds();
-    } else {
-        Timer t;
-        tables_[c] =
-            std::make_unique<DependencyTable>(DependencyTable::build(
-                seq_, adj_, chunkBounds_[c].first,
-                chunkBounds_[c].second));
-        prepSeconds_ += t.seconds();
+        if (prepGauge_)
+            prepGauge_->set(prepSeconds_);
+        if (buildFailCounter_)
+            buildFailCounter_->add(1);
+        throw;
     }
+    prepSeconds_ += t.seconds();
     if (prepGauge_)
         prepGauge_->set(prepSeconds_);
     if (tableBytesGauge_)
@@ -101,12 +136,16 @@ TgDiffuser::enterChunk(size_t c)
     for (NodeId n : table.activeNodes())
         ptrs_[static_cast<size_t>(n)] = 0;
 
-    // Prefetch the next chunk's table on a worker thread.
+    // Prefetch the next chunk's table on a worker thread. A build
+    // that throws is captured in the future and surfaces at the
+    // consuming ensureChunk, never on the worker.
     if (opts_.pipeline && c + 1 < tables_.size() && !tables_[c + 1] &&
         pendingChunk_ == SIZE_MAX) {
         const auto [lo, hi] = chunkBounds_[c + 1];
         pendingChunk_ = c + 1;
-        pending_ = std::async(std::launch::async, [this, lo, hi] {
+        pending_ = std::async(std::launch::async,
+                              [this, next = c + 1, lo, hi] {
+            fault::maybeFailChunkBuild(next);
             return std::make_unique<DependencyTable>(
                 DependencyTable::build(seq_, adj_, lo, hi));
         });

@@ -36,6 +36,7 @@ namespace obs {
 class MetricsRegistry;
 class Histogram;
 class Gauge;
+class Counter;
 }
 
 /** Adaptive batch-boundary search over the dependency table. */
@@ -79,6 +80,18 @@ class TgDiffuser
     /** Rewind pointers/chunk cursor for a new epoch. */
     void resetEpoch();
 
+    /**
+     * Degradation-ladder rung: stop prefetching chunk tables on a
+     * worker thread. Any in-flight prefetch is drained first — a
+     * clean result is kept, a failed one is discarded so the next
+     * ensureChunk rebuilds synchronously. One-way for the lifetime of
+     * this diffuser; harmless when pipelining was never on.
+     */
+    void disablePipeline();
+
+    /** Pipelined prefetching currently enabled? */
+    bool pipelined() const { return opts_.pipeline; }
+
     /** Table building seconds; pipelined builds charge only stalls. */
     double preprocessSeconds() const { return prepSeconds_; }
 
@@ -121,7 +134,16 @@ class TgDiffuser
     bool loadState(ByteReader &r);
 
   private:
-    /** Table for chunk c, building or waiting as needed. */
+    /**
+     * Table for chunk c, building or waiting as needed.
+     *
+     * Exception-safe: a failed build — whether thrown by the
+     * pipelined worker (surfacing here through the future) or by a
+     * synchronous rebuild — leaves no broken table cached and no
+     * stale pending state, counts into `diffuser.build_failures`,
+     * and propagates to the caller (the batch-boundary stage), where
+     * the session's supervisor retries or degrades.
+     */
     const DependencyTable &ensureChunk(size_t c);
 
     /** Enter chunk c: reset pointers, prefetch c+1. */
@@ -149,6 +171,7 @@ class TgDiffuser
     obs::Histogram *lookupHist_ = nullptr;
     obs::Gauge *prepGauge_ = nullptr;
     obs::Gauge *tableBytesGauge_ = nullptr;
+    obs::Counter *buildFailCounter_ = nullptr;
 };
 
 } // namespace cascade

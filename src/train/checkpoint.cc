@@ -130,7 +130,7 @@ saveCheckpointFile(const std::string &path, const std::string &payload,
             metrics->counter("checkpoint.bytes_written")
                 .add(payload.size());
         } else {
-            metrics->counter("checkpoint.save_failures").add(1);
+            metrics->counter("checkpoint.write_failures").add(1);
         }
     }
     return ok;

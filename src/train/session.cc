@@ -76,6 +76,9 @@ TrainingSession::TrainingSession(TgnnModel &model,
     guard_.bindMetrics(*metrics_);
     device_->bindMetrics(*metrics_);
     model_.bindMetrics(*metrics_);
+
+    supervisor_ = std::make_unique<Supervisor>(options_.supervisor,
+                                               *metrics_, trace_);
 }
 
 TrainingSession::~TrainingSession()
@@ -132,20 +135,42 @@ TrainingSession::runBatch()
     // Stage `boundary`: the batch-formation decision. For Cascade
     // policies the TG-Diffuser records its Algorithm 3 `lookup`
     // sub-stage into `stage.lookup.seconds` from inside this span.
+    // Supervised: a failing dependency-table build (the pipelined
+    // chunk prefetch surfaces its exception here) is retried under
+    // the backoff policy; an exhausted budget steps the batcher down
+    // its degradation ladder and tries again with a fresh budget.
     size_t ed = 0;
     {
         StageScope stage(metrics_->histogram("stage.boundary.seconds"),
                          *trace_, "boundary");
-        ed = batcher_.next(st);
+        auto wd = supervisor_->watch("boundary");
+        while (!supervisor_->runSupervised("boundary", [&] {
+                   ed = batcher_.next(st);
+                   return true;
+               })) {
+            const std::string mode = batcher_.degradeOnce();
+            if (mode.empty()) {
+                CASCADE_LOG("boundary stage still failing with the "
+                            "degradation ladder exhausted: %s",
+                            supervisor_->lastError().c_str());
+                CASCADE_FATAL("batch-boundary stage failed beyond "
+                              "the degradation ladder");
+            }
+            recordDegradation(mode);
+            report_.degradedMode = mode;
+        }
     }
     CASCADE_CHECK(ed > st && ed <= trainEnd_,
                   "batcher returned a bad range");
 
-    // Stage `model`: forward/backward/update.
+    // Stage `model`: forward/backward/update. Watchdog only — a
+    // retry here would repeat a state-mutating step, so slow batches
+    // are counted (deadline misses), never re-run.
     StepResult r;
     {
         StageScope stage(metrics_->histogram("stage.model.seconds"),
                          *trace_, "model");
+        auto wd = supervisor_->watch("model");
         r = model_.step(data_, adj_, st, ed, true);
     }
     const uint64_t gb = cur_.globalBatch;
@@ -241,19 +266,50 @@ TrainingSession::snapshotIfDue()
         return;
     }
     // Stage `checkpoint`: cadence snapshot (also the rollback grain).
+    // The in-memory snapshot is always taken — rollback must keep
+    // working even when the on-disk write path has been degraded.
     StageScope stage(metrics_->histogram("stage.checkpoint.seconds"),
                      *trace_, "checkpoint");
     lastGood_ = encodeCheckpoint(model_, batcher_, cur_);
     metrics_->counter("checkpoint.snapshots").add(1);
-    if (!options_.checkpointPath.empty() &&
-        !saveCheckpointFile(options_.checkpointPath, lastGood_,
-                            metrics_)) {
-        // Checkpointing is best-effort durability; a full disk must
-        // not kill a healthy run.
-        CASCADE_LOG("checkpoint write to %s failed; "
-                    "training continues",
-                    options_.checkpointPath.c_str());
+    writeCheckpoint(lastGood_, "checkpoint");
+}
+
+void
+TrainingSession::writeCheckpoint(const std::string &payload,
+                                 const char *what)
+{
+    if (options_.checkpointPath.empty())
+        return;
+    if (checkpointingDisabled_) {
+        metrics_->counter("checkpoint.skipped").add(1);
+        return;
     }
+    auto wd = supervisor_->watch("checkpoint");
+    const bool ok = supervisor_->runSupervised("checkpoint", [&] {
+        return saveCheckpointFile(options_.checkpointPath, payload,
+                                  metrics_);
+    });
+    if (!ok) {
+        // Checkpointing is best-effort durability; a persistently
+        // full disk must not kill a healthy run. One-way: later
+        // cadence points skip straight to `checkpoint.skipped`.
+        checkpointingDisabled_ = true;
+        report_.checkpointingDisabled = true;
+        recordDegradation("checkpointing-disabled");
+        CASCADE_LOG("%s write to %s kept failing; on-disk "
+                    "checkpointing disabled, training continues",
+                    what, options_.checkpointPath.c_str());
+    }
+}
+
+void
+TrainingSession::recordDegradation(const std::string &mode)
+{
+    metrics_->counter("degrade.transitions").add(1);
+    trace_->span("degrade-" + mode, "supervisor").end();
+    CASCADE_LOG("degradation ladder: entered '%s' mode",
+                mode.c_str());
 }
 
 void
@@ -310,6 +366,19 @@ TrainingSession::assembleReport()
     // Preprocessing that happened lazily during training (pipelined
     // chunk builds) shows up as the delta against the initial charge.
     report_.preprocessSeconds = batcher_.preprocessSeconds();
+
+    // Supervised-execution accounting (degradedMode and the disabled
+    // flag were recorded at their transition points).
+    report_.retries = static_cast<size_t>(
+        metrics_->counter("supervisor.retries").value());
+    report_.deadlineMisses = static_cast<size_t>(
+        metrics_->counter("supervisor.deadline_misses").value());
+    report_.degradations = static_cast<size_t>(
+        metrics_->counter("degrade.transitions").value());
+    report_.checkpointRetries = static_cast<size_t>(
+        metrics_->counter("checkpoint.retries").value());
+    report_.checkpointWriteFailures = static_cast<size_t>(
+        metrics_->counter("checkpoint.write_failures").value());
 
     // Stage `eval`: the post-training validation pass.
     if (!report_.interrupted && options_.validate &&
@@ -379,13 +448,8 @@ TrainingSession::run()
     if (!report_.interrupted && !options_.checkpointPath.empty() &&
         options_.checkpointEvery > 0) {
         auto span = trace_->span("final-checkpoint", "session");
-        if (!saveCheckpointFile(options_.checkpointPath,
-                                encodeCheckpoint(model_, batcher_,
-                                                 cur_),
-                                metrics_)) {
-            CASCADE_LOG("final checkpoint write to %s failed",
-                        options_.checkpointPath.c_str());
-        }
+        writeCheckpoint(encodeCheckpoint(model_, batcher_, cur_),
+                        "final checkpoint");
     }
 
     assembleReport();

@@ -14,9 +14,15 @@
  *   guard      — NumericGuard admission + rollback restore on a trip
  *   feedback   — Batcher::onBatchDone (SG-Filter + ABS refresh) and
  *                the device-model charge
- *   checkpoint — cadence snapshot encode + best-effort file write
+ *   checkpoint — cadence snapshot encode + supervised file write
  *
- * plus a post-training `eval` stage. Every stage runs under a trace
+ * plus a post-training `eval` stage. Failure-prone stages run under a
+ * Supervisor (train/supervisor.hh): the boundary decision and the
+ * checkpoint writes retry with deterministic backoff, and when a
+ * retry budget exhausts the session steps down a graceful-degradation
+ * ladder (Batcher::degradeOnce for batching; a one-way
+ * "checkpointing disabled" mode for durability) instead of dying —
+ * an epoch always completes. Every stage runs under a trace
  * span (epoch > batch > stage, chrome://tracing JSON via
  * obs::TraceRecorder) and records its seconds into a
  * `stage.<name>.seconds` histogram in the session's MetricsRegistry;
@@ -42,6 +48,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "train/checkpoint.hh"
+#include "train/supervisor.hh"
 #include "train/trainer.hh"
 
 namespace cascade {
@@ -124,8 +131,20 @@ class TrainingSession
     /** One global batch through every stage. */
     BatchOutcome runBatch();
 
-    /** Stage `checkpoint`: cadence snapshot + best-effort write. */
+    /** Stage `checkpoint`: cadence snapshot + supervised write. */
     void snapshotIfDue();
+
+    /**
+     * Supervised checkpoint write (cadence and final). Retries under
+     * the RetryPolicy; when the budget exhausts, checkpointing is
+     * disabled for the rest of the run (one-way, `checkpoint.skipped`
+     * counts subsequent cadence points) — durability degrades, the
+     * training run itself never dies on a full disk.
+     */
+    void writeCheckpoint(const std::string &payload, const char *what);
+
+    /** Count a degradation-ladder transition (metric + trace + log). */
+    void recordDegradation(const std::string &mode);
 
     /** Close the epoch's accounting (EpochStats). */
     void finishEpoch(double epoch_wall, double dev_before);
@@ -150,11 +169,14 @@ class TrainingSession
 
     // --- run state --------------------------------------------------
     NumericGuard guard_;
+    std::unique_ptr<Supervisor> supervisor_;
     TrainerCursor cur_;
     std::string lastGood_; ///< in-memory rollback target
     TrainReport report_;
     std::function<void(const BatchRecord &)> observer_;
     bool ran_ = false;
+    /** One-way degradation: checkpoint writes kept failing. */
+    bool checkpointingDisabled_ = false;
 };
 
 } // namespace cascade

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Supervised execution: deterministic retries and stage deadlines.
+ *
+ * Once the Cascade pipeline overlaps stages across threads (the
+ * pipelined chunk builds of Cascade_EX, checkpoint writes racing a
+ * full disk), a single failure must be *contained*, not fatal. This
+ * layer gives the TrainingSession the two primitives that containment
+ * needs:
+ *
+ *   RetryPolicy    — a seeded, fully deterministic backoff schedule
+ *                    (exponential growth, bounded multiplicative
+ *                    jitter). Two runs with the same seed and the
+ *                    same fault plan retry at the same attempts with
+ *                    the same delays, so resilience tests can assert
+ *                    exact counters.
+ *   Supervisor     — wraps a stage operation in a catch/retry loop
+ *                    (`runSupervised`) and hands out watchdog spans
+ *                    (`watch`) that measure a stage against a
+ *                    deadline and count misses. Watchdogs also apply
+ *                    fault-injected stage latency, which is how
+ *                    deadline misses are provoked deterministically.
+ *
+ * Both record into the session's MetricsRegistry (`supervisor.*` plus
+ * per-stage `<stage>.retries` / `<stage>.failures` /
+ * `<stage>.deadline_misses`) and, when a TraceRecorder is attached,
+ * emit spans for retry waits and deadline misses so a trace dump
+ * shows *when* the run was fighting failures.
+ *
+ * What the supervisor deliberately does not do: preempt a running
+ * stage. Deadlines are observational (miss counters, logs, spans) —
+ * cancelling arbitrary C++ work mid-flight is UB-bait; containment of
+ * a stage that hangs forever belongs to process-level supervision.
+ */
+
+#ifndef CASCADE_TRAIN_SUPERVISOR_HH
+#define CASCADE_TRAIN_SUPERVISOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/rng.hh"
+#include "util/timer.hh"
+
+namespace cascade {
+
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+}
+
+/** Backoff schedule knobs (all deterministic given `seed`). */
+struct RetryOptions
+{
+    /** Retries after the first attempt; 0 = fail fast. */
+    size_t maxRetries = 3;
+    /** Delay before the first retry. */
+    double baseDelayMs = 10.0;
+    /** Backoff ceiling (pre-jitter). */
+    double maxDelayMs = 2000.0;
+    /** Exponential growth factor per retry. */
+    double multiplier = 2.0;
+    /** Bounded jitter: delay *= 1 + jitterFrac * u, u in [0, 1). */
+    double jitterFrac = 0.1;
+    /** Jitter RNG seed (xoshiro via SplitMix64). */
+    uint64_t seed = 0x5eedba11ULL;
+};
+
+/**
+ * Deterministic exponential-backoff schedule. delayMs(k) is the wait
+ * before retry k (0-based); the jitter draw advances the internal RNG
+ * so repeated calls yield the paper-standard decorrelated sequence,
+ * yet identically-seeded policies yield identical sequences.
+ */
+class RetryPolicy
+{
+  public:
+    explicit RetryPolicy(const RetryOptions &options);
+
+    size_t maxRetries() const { return options_.maxRetries; }
+
+    /** Backoff before retry `retryIndex`; advances the jitter RNG. */
+    double delayMs(size_t retryIndex);
+
+  private:
+    RetryOptions options_;
+    Rng rng_;
+};
+
+/** Supervisor knobs carried inside TrainOptions. */
+struct SupervisorOptions
+{
+    /** Retry schedule for supervised stages (boundary, checkpoint). */
+    RetryOptions retry;
+    /**
+     * Per-stage deadline for watchdog spans; 0 disables deadline
+     * checking (the default: wall-clock-dependent counters must not
+     * fire on slow CI machines unless explicitly requested).
+     */
+    double stageDeadlineMs = 0.0;
+};
+
+/**
+ * Failure containment for TrainingSession stages: catch/retry with
+ * deterministic backoff, and watchdog deadline accounting.
+ */
+class Supervisor
+{
+  public:
+    /**
+     * @param metrics registry receiving supervisor.* instruments
+     * @param trace   optional; retry waits / misses emit spans
+     */
+    Supervisor(const SupervisorOptions &options,
+               obs::MetricsRegistry &metrics,
+               obs::TraceRecorder *trace = nullptr);
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /**
+     * Replace the backoff sleep (default: std::this_thread sleep).
+     * Tests pass a no-op so retry storms don't serialize on real
+     * waits; retry *decisions* stay identical either way.
+     */
+    void setSleeper(std::function<void(double)> sleeper);
+
+    /**
+     * Run `op` under the retry policy. `op` reports failure by
+     * returning false or throwing; both count into
+     * `<stage>.failures`. After each failure short of the budget the
+     * supervisor backs off (`supervisor.retries`, `<stage>.retries`)
+     * and reruns. @return true once `op` succeeds; false when the
+     * retry budget is exhausted (see lastError()).
+     */
+    bool runSupervised(const std::string &stage,
+                       const std::function<bool()> &op);
+
+    /** Message of the most recent failure runSupervised saw. */
+    const std::string &lastError() const { return lastError_; }
+
+    /**
+     * Deadline accounting for one stage execution. On construction
+     * applies fault-injected stage latency (a real sleep, so an
+     * injected 50 ms against a 5 ms deadline misses deterministically);
+     * on destruction compares elapsed wall time against the deadline
+     * and counts a miss into `supervisor.deadline_misses` and
+     * `<stage>.deadline_misses`.
+     */
+    class WatchdogSpan
+    {
+      public:
+        WatchdogSpan(WatchdogSpan &&other) noexcept;
+        WatchdogSpan &operator=(WatchdogSpan &&) = delete;
+        WatchdogSpan(const WatchdogSpan &) = delete;
+        WatchdogSpan &operator=(const WatchdogSpan &) = delete;
+        ~WatchdogSpan();
+
+      private:
+        friend class Supervisor;
+        WatchdogSpan(Supervisor *sup, std::string stage);
+
+        Supervisor *sup_ = nullptr;
+        std::string stage_;
+        Timer timer_;
+    };
+
+    /** Open a watchdog span over the named stage. */
+    WatchdogSpan watch(const std::string &stage);
+
+    /** Configured per-stage deadline (0 = disabled). */
+    double stageDeadlineMs() const { return options_.stageDeadlineMs; }
+
+  private:
+    void recordDeadlineMiss(const std::string &stage, double elapsedMs);
+
+    SupervisorOptions options_;
+    RetryPolicy retry_;
+    obs::MetricsRegistry &metrics_;
+    obs::TraceRecorder *trace_;
+    std::function<void(double)> sleeper_;
+    std::string lastError_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_TRAIN_SUPERVISOR_HH

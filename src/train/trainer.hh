@@ -27,6 +27,7 @@
 #include "tgnn/model.hh"
 #include "train/batcher.hh"
 #include "train/numeric_guard.hh"
+#include "train/supervisor.hh"
 
 namespace cascade {
 
@@ -67,6 +68,25 @@ struct TrainReport
     /** A (simulated) crash cut training short; resume to finish. */
     bool interrupted = false;
 
+    /** @name Supervised-execution accounting (train/supervisor.hh) */
+    /** @{ */
+    /** Supervisor retries across all supervised stages. */
+    size_t retries = 0;
+    /** Watchdog deadline misses (0 unless a deadline was set). */
+    size_t deadlineMisses = 0;
+    /** Degradation-ladder rungs taken (batching + checkpointing). */
+    size_t degradations = 0;
+    /** Batching mode the run ended in: "none" (healthy, full
+     *  capability), "synchronous" or "static" (ladder rungs). */
+    std::string degradedMode = "none";
+    /** Checkpoint writes gave up and checkpointing was turned off. */
+    bool checkpointingDisabled = false;
+    /** Checkpoint-stage retries (subset of `retries`). */
+    size_t checkpointRetries = 0;
+    /** Individual checkpoint write attempts that failed. */
+    size_t checkpointWriteFailures = 0;
+    /** @} */
+
     /** End-to-end modeled latency: preprocessing + device time. */
     double
     totalDeviceSeconds() const
@@ -100,6 +120,8 @@ struct TrainOptions
     std::string resumePath;
     /** Per-batch loss/gradient health checks. */
     NumericGuardOptions guard;
+    /** Retry/backoff schedule and stage deadlines. */
+    SupervisorOptions supervisor;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "util/env.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace cascade {
@@ -29,6 +31,36 @@ envString(const std::string &name, const std::string &deflt)
     if (!v || !*v)
         return deflt;
     return v;
+}
+
+bool
+parseLongStrict(const std::string &text, long &out)
+{
+    // strtol/strtod skip leading whitespace; reject it explicitly so
+    // the whole token must be the number.
+    if (text.empty() || std::isspace(static_cast<unsigned char>(text[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDoubleStrict(const std::string &text, double &out)
+{
+    if (text.empty() || std::isspace(static_cast<unsigned char>(text[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
 }
 
 } // namespace cascade

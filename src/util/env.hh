@@ -23,6 +23,19 @@ long envLong(const std::string &name, long deflt);
 /** Read an environment variable as string, or fall back to deflt. */
 std::string envString(const std::string &name, const std::string &deflt);
 
+/**
+ * @name Strict token parsers
+ * The lenient env readers above accept trailing garbage ("3x" parses
+ * as 3), which is fine for sizing knobs but dangerous for fault plans
+ * and safety limits. These accept a token only when the *entire*
+ * string is a valid number (leading/trailing whitespace rejected).
+ * @return false (out untouched) when the token is not a number
+ */
+/** @{ */
+bool parseLongStrict(const std::string &text, long &out);
+bool parseDoubleStrict(const std::string &text, double &out);
+/** @} */
+
 } // namespace cascade
 
 #endif // CASCADE_UTIL_ENV_HH

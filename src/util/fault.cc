@@ -1,8 +1,13 @@
 #include "util/fault.hh"
 
+#include <cstdlib>
 #include <limits>
+#include <mutex>
 
 #include "util/env.hh"
+#include "util/logging.hh"
+
+extern char **environ;
 
 namespace cascade {
 namespace fault {
@@ -16,6 +21,7 @@ struct State
     bool writeArmed = false;
     bool nanArmed = false;
     bool crashArmed = false;
+    long chunkBudget = 0;
     size_t injected = 0;
     bool initialized = false;
 };
@@ -27,27 +33,71 @@ state()
     return s;
 }
 
+/**
+ * Guards every trigger: the pipelined chunk build fires
+ * maybeFailChunkBuild on a worker thread while the training thread
+ * consults the batch triggers.
+ */
+std::mutex &
+stateMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 void
 arm(State &s)
 {
     s.writeCalls = 0;
-    s.writeArmed = s.cfg.failWriteNth > 0;
+    s.writeArmed = s.cfg.failWriteNth > 0 && s.cfg.failWriteCount > 0;
     s.nanArmed = s.cfg.nanBatch >= 0;
     s.crashArmed = s.cfg.crashBatch >= 0;
+    s.chunkBudget = s.cfg.chunkBuildFailures > 0
+        ? s.cfg.chunkBuildFailures : 0;
     s.injected = 0;
     s.initialized = true;
 }
 
+/** Known CASCADE_FAULT_* variables (env interface). */
+const char *const kKnownVars[] = {
+    "CASCADE_FAULT_WRITE_FAIL_NTH",
+    "CASCADE_FAULT_WRITE_FAIL_COUNT",
+    "CASCADE_FAULT_NAN_BATCH",
+    "CASCADE_FAULT_CRASH_BATCH",
+    "CASCADE_FAULT_CHUNK_BUILD_FAIL",
+    "CASCADE_FAULT_STAGE_LATENCY",
+};
+
+bool
+readLongVar(const char *name, long &out, std::string &error)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return true;
+    if (!parseLongStrict(v, out)) {
+        error = std::string(name) + ": invalid integer '" + v + "'";
+        return false;
+    }
+    return true;
+}
+
 /** First-use initialization from the environment (CLI runs). */
 State &
-ensureInit()
+ensureInitLocked()
 {
     State &s = state();
     if (!s.initialized) {
-        s.cfg.failWriteNth =
-            envLong("CASCADE_FAULT_WRITE_FAIL_NTH", 0);
-        s.cfg.nanBatch = envLong("CASCADE_FAULT_NAN_BATCH", -1);
-        s.cfg.crashBatch = envLong("CASCADE_FAULT_CRASH_BATCH", -1);
+        std::vector<std::string> unknown;
+        std::string error;
+        Config cfg;
+        if (!parseEnvConfig(cfg, unknown, error))
+            CASCADE_FATAL(error.c_str());
+        for (const std::string &name : unknown)
+            CASCADE_LOG("warning: unrecognized fault variable %s "
+                        "(known triggers are listed in "
+                        "util/fault.hh)",
+                        name.c_str());
+        s.cfg = cfg;
         arm(s);
     }
     return s;
@@ -55,9 +105,64 @@ ensureInit()
 
 } // namespace
 
+bool
+parseEnvConfig(Config &out, std::vector<std::string> &unknown,
+               std::string &error)
+{
+    Config cfg;
+    if (!readLongVar("CASCADE_FAULT_WRITE_FAIL_NTH", cfg.failWriteNth,
+                     error) ||
+        !readLongVar("CASCADE_FAULT_WRITE_FAIL_COUNT",
+                     cfg.failWriteCount, error) ||
+        !readLongVar("CASCADE_FAULT_NAN_BATCH", cfg.nanBatch, error) ||
+        !readLongVar("CASCADE_FAULT_CRASH_BATCH", cfg.crashBatch,
+                     error) ||
+        !readLongVar("CASCADE_FAULT_CHUNK_BUILD_FAIL",
+                     cfg.chunkBuildFailures, error)) {
+        return false;
+    }
+    if (cfg.failWriteCount <= 0) {
+        error = "CASCADE_FAULT_WRITE_FAIL_COUNT: must be >= 1";
+        return false;
+    }
+
+    const char *lat = std::getenv("CASCADE_FAULT_STAGE_LATENCY");
+    if (lat && *lat) {
+        const std::string text(lat);
+        const size_t eq = text.find('=');
+        double ms = 0.0;
+        if (eq == std::string::npos || eq == 0 ||
+            !parseDoubleStrict(text.substr(eq + 1), ms) || ms < 0.0) {
+            error = "CASCADE_FAULT_STAGE_LATENCY: expected "
+                    "'<stage>=<ms>' with ms >= 0, got '" +
+                    text + "'";
+            return false;
+        }
+        cfg.latencyStage = text.substr(0, eq);
+        cfg.latencyMs = ms;
+    }
+
+    // Catch typos: any other CASCADE_FAULT_* variable is unknown.
+    for (char **env = environ; env && *env; ++env) {
+        const std::string entry(*env);
+        if (entry.rfind("CASCADE_FAULT_", 0) != 0)
+            continue;
+        const std::string name = entry.substr(0, entry.find('='));
+        bool known = false;
+        for (const char *k : kKnownVars)
+            known = known || name == k;
+        if (!known)
+            unknown.push_back(name);
+    }
+
+    out = cfg;
+    return true;
+}
+
 void
 configure(const Config &config)
 {
+    std::lock_guard<std::mutex> lock(stateMutex());
     State &s = state();
     s.cfg = config;
     arm(s);
@@ -73,21 +178,26 @@ bool
 onFileWrite(const std::string &path)
 {
     (void)path;
-    State &s = ensureInit();
+    std::lock_guard<std::mutex> lock(stateMutex());
+    State &s = ensureInitLocked();
     if (!s.writeArmed)
         return false;
-    if (++s.writeCalls == s.cfg.failWriteNth) {
+    ++s.writeCalls;
+    if (s.writeCalls < s.cfg.failWriteNth)
+        return false;
+    if (s.writeCalls >= s.cfg.failWriteNth + s.cfg.failWriteCount) {
         s.writeArmed = false;
-        ++s.injected;
-        return true;
+        return false;
     }
-    return false;
+    ++s.injected;
+    return true;
 }
 
 bool
 maybeInjectNan(uint64_t globalBatch, double &loss)
 {
-    State &s = ensureInit();
+    std::lock_guard<std::mutex> lock(stateMutex());
+    State &s = ensureInitLocked();
     if (!s.nanArmed ||
         globalBatch != static_cast<uint64_t>(s.cfg.nanBatch)) {
         return false;
@@ -101,7 +211,8 @@ maybeInjectNan(uint64_t globalBatch, double &loss)
 bool
 crashAfter(uint64_t globalBatch)
 {
-    State &s = ensureInit();
+    std::lock_guard<std::mutex> lock(stateMutex());
+    State &s = ensureInitLocked();
     if (!s.crashArmed ||
         globalBatch != static_cast<uint64_t>(s.cfg.crashBatch)) {
         return false;
@@ -111,10 +222,37 @@ crashAfter(uint64_t globalBatch)
     return true;
 }
 
+void
+maybeFailChunkBuild(size_t chunk)
+{
+    {
+        std::lock_guard<std::mutex> lock(stateMutex());
+        State &s = ensureInitLocked();
+        if (s.chunkBudget <= 0)
+            return;
+        --s.chunkBudget;
+        ++s.injected;
+    }
+    throw InjectedFault("injected chunk-build failure (chunk " +
+                        std::to_string(chunk) + ")");
+}
+
+double
+stageLatencyMs(const std::string &stage)
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    State &s = ensureInitLocked();
+    if (s.cfg.latencyStage.empty() || s.cfg.latencyStage != stage)
+        return 0.0;
+    ++s.injected;
+    return s.cfg.latencyMs;
+}
+
 size_t
 injectedCount()
 {
-    return ensureInit().injected;
+    std::lock_guard<std::mutex> lock(stateMutex());
+    return ensureInitLocked().injected;
 }
 
 } // namespace fault

@@ -3,42 +3,86 @@
  * Deterministic fault injection for resilience testing.
  *
  * A process-wide injector with seeded, countable trigger points that
- * the trainer and the binary-I/O layer consult. Faults are configured
- * either programmatically (tests) or from the environment (CLI runs):
+ * the trainer, the TG-Diffuser and the binary-I/O layer consult.
+ * Faults are configured either programmatically (tests) or from the
+ * environment (CLI runs):
  *
- *   CASCADE_FAULT_WRITE_FAIL_NTH=N  fail the Nth atomic file write
- *                                   (1-based; every later write
- *                                   succeeds again)
- *   CASCADE_FAULT_NAN_BATCH=K       replace global batch K's training
- *                                   loss with NaN (one-shot)
- *   CASCADE_FAULT_CRASH_BATCH=K     simulate a crash right after
- *                                   global batch K completes
- *                                   (one-shot; the trainer returns an
- *                                   interrupted report)
+ *   CASCADE_FAULT_WRITE_FAIL_NTH=N    fail the Nth atomic file write
+ *                                     (1-based)
+ *   CASCADE_FAULT_WRITE_FAIL_COUNT=M  fail M consecutive writes
+ *                                     starting at the Nth (default 1,
+ *                                     the old one-shot behaviour);
+ *                                     drives the checkpoint
+ *                                     RetryPolicy and the degraded
+ *                                     "checkpointing disabled" mode
+ *   CASCADE_FAULT_NAN_BATCH=K         replace global batch K's
+ *                                     training loss with NaN
+ *                                     (one-shot)
+ *   CASCADE_FAULT_CRASH_BATCH=K       simulate a crash right after
+ *                                     global batch K completes
+ *                                     (one-shot; the trainer returns
+ *                                     an interrupted report)
+ *   CASCADE_FAULT_CHUNK_BUILD_FAIL=N  throw InjectedFault from the
+ *                                     next N dependency-table chunk
+ *                                     builds (pipelined worker-thread
+ *                                     builds and synchronous rebuilds
+ *                                     alike); drives the degradation
+ *                                     ladder
+ *   CASCADE_FAULT_STAGE_LATENCY=stage=ms
+ *                                     add `ms` milliseconds of
+ *                                     latency to every execution of
+ *                                     the named session stage
+ *                                     (boundary/model/checkpoint/…);
+ *                                     drives deadline-miss testing
  *
- * All triggers are one-shot by design: after a numeric-guard rollback
- * the same batch index is replayed, and a re-firing fault would turn
- * every recovery test into an infinite loop.
+ * Values are parsed strictly: a malformed value ("3x", "", "1e")
+ * aborts with a clear error instead of being silently coerced, and
+ * unrecognized CASCADE_FAULT_* variables produce a warning so typos
+ * ("CASCADE_FAULT_NAN_BACH") cannot disarm a fault plan unnoticed.
+ *
+ * The batch/write triggers are one-shot (or bounded-count) by design:
+ * after a numeric-guard rollback the same batch index is replayed, and
+ * an unbounded re-firing fault would turn every recovery test into an
+ * infinite loop.
  */
 
 #ifndef CASCADE_UTIL_FAULT_HH
 #define CASCADE_UTIL_FAULT_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace cascade {
 namespace fault {
+
+/** Exception thrown by armed task/build triggers. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    explicit InjectedFault(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
 
 /** Injection plan; negative batch indices / zero counts disarm. */
 struct Config
 {
     /** Fail the Nth writeFileAtomic call (1-based); 0 = never. */
     long failWriteNth = 0;
+    /** Consecutive write failures starting at the Nth. */
+    long failWriteCount = 1;
     /** Global batch whose loss becomes NaN; -1 = never. */
     long nanBatch = -1;
     /** Global batch after which training "crashes"; -1 = never. */
     long crashBatch = -1;
+    /** Throw from the next N chunk-table builds; 0 = never. */
+    long chunkBuildFailures = 0;
+    /** Stage name to slow down; empty = no latency injection. */
+    std::string latencyStage;
+    /** Injected latency per execution of latencyStage. */
+    double latencyMs = 0.0;
 };
 
 /** Install a plan and rearm all triggers (tests). */
@@ -48,8 +92,19 @@ void configure(const Config &config);
 void reset();
 
 /**
+ * Parse the CASCADE_FAULT_* environment into `out`. Strict: a
+ * malformed value fails the parse with a descriptive `error`; any
+ * CASCADE_FAULT_-prefixed variable that is not a known trigger is
+ * reported in `unknown` (the caller warns). Exposed separately from
+ * the process-wide initializer so tests can drive it directly.
+ * @return false when any value failed to parse (error is set)
+ */
+bool parseEnvConfig(Config &out, std::vector<std::string> &unknown,
+                    std::string &error);
+
+/**
  * True when this atomic file write should fail. Counts every call;
- * fires once when the count reaches failWriteNth.
+ * fires for writes [failWriteNth, failWriteNth + failWriteCount).
  */
 bool onFileWrite(const std::string &path);
 
@@ -61,6 +116,22 @@ bool maybeInjectNan(uint64_t globalBatch, double &loss);
 
 /** True when training should simulate a crash after `globalBatch`. */
 bool crashAfter(uint64_t globalBatch);
+
+/**
+ * Throw InjectedFault when chunk-build failures are armed (decrements
+ * the budget). Called by the TG-Diffuser at the start of every
+ * dependency-table chunk build, on whichever thread runs it.
+ */
+void maybeFailChunkBuild(size_t chunk);
+
+/**
+ * Injected latency for one execution of the named stage, in
+ * milliseconds; 0 when no latency is armed for it. The caller (the
+ * supervisor's watchdog span) performs the actual sleep, so injected
+ * latency is real wall time and deadline misses are deterministic
+ * whenever latencyMs comfortably exceeds the deadline.
+ */
+double stageLatencyMs(const std::string &stage);
 
 /** Total faults injected since the last configure/reset. */
 size_t injectedCount();

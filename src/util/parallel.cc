@@ -47,8 +47,17 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    doneCv_.wait(lock, [this] { return inflight_ == 0; });
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        doneCv_.wait(lock, [this] { return inflight_ == 0; });
+        // Hand the first captured task exception to the caller and
+        // clear it so the pool is reusable after the rethrow.
+        err = std::move(firstError_);
+        firstError_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 void
@@ -65,7 +74,15 @@ ThreadPool::workerLoop()
             task = std::move(tasks_.front());
             tasks_.pop();
         }
-        task();
+        // A throwing task must never unwind a worker thread
+        // (std::terminate); capture the first exception for wait().
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --inflight_;
@@ -137,11 +154,26 @@ parallelForChunks(size_t begin, size_t end,
     }
     const size_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
     const size_t step = (n + chunks - 1) / chunks;
+    // Capture the first body exception per *call*, not per pool, so
+    // concurrent parallelFor calls sharing the global pool can never
+    // receive each other's failures.
+    std::mutex err_mutex;
+    std::exception_ptr err;
     for (size_t lo = begin; lo < end; lo += step) {
         const size_t hi = std::min(end, lo + step);
-        pool->submit([&body, lo, hi] { body(lo, hi); });
+        pool->submit([&body, lo, hi, &err_mutex, &err] {
+            try {
+                body(lo, hi);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mutex);
+                if (!err)
+                    err = std::current_exception();
+            }
+        });
     }
     pool->wait();
+    if (err)
+        std::rethrow_exception(err);
 }
 
 } // namespace cascade

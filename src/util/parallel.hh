@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -42,7 +43,15 @@ class ThreadPool
     /** Enqueue a task for asynchronous execution. */
     void submit(std::function<void()> task);
 
-    /** Block until every submitted task has finished. */
+    /**
+     * Block until every submitted task has finished.
+     *
+     * Exception safety: a task that throws does not take the process
+     * down with std::terminate. The pool captures the first exception
+     * (first-wins; later ones are dropped), lets the remaining tasks
+     * run to completion, and rethrows the captured exception here, on
+     * the caller. The pool stays usable afterwards.
+     */
     void wait();
 
     /** Number of worker threads. */
@@ -83,12 +92,19 @@ class ThreadPool
     std::condition_variable doneCv_;
     size_t inflight_ = 0;
     bool stopping_ = false;
+    std::exception_ptr firstError_; ///< first task exception, if any
 };
 
 /**
  * Run body(i) for i in [begin, end) across the global pool, splitting
  * the range into contiguous grains. Falls back to a serial loop for
  * small ranges where thread overhead would dominate.
+ *
+ * A body that throws no longer terminates the process: the first
+ * exception thrown on any worker (first-wins) is captured and
+ * rethrown on the calling thread after every chunk has finished, so
+ * callers can contain, retry or degrade. Chunks other than the
+ * throwing one still run to completion.
  *
  * @param begin   first index
  * @param end     one past the last index

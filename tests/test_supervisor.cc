@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Supervisor tests: deterministic retry/backoff schedules, supervised
+ * stage execution with retry accounting, watchdog deadline misses via
+ * injected stage latency, and strict CASCADE_FAULT_* env parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "train/supervisor.hh"
+#include "util/fault.hh"
+
+using namespace cascade;
+
+namespace {
+
+/** RAII: disarm fault injection no matter how the test exits. */
+struct FaultScope
+{
+    explicit FaultScope(const fault::Config &c) { fault::configure(c); }
+    ~FaultScope() { fault::reset(); }
+};
+
+/** RAII: set an env var for one test, restoring emptiness after. */
+struct EnvVar
+{
+    std::string name;
+    EnvVar(const std::string &n, const std::string &v) : name(n)
+    {
+        ::setenv(name.c_str(), v.c_str(), 1);
+    }
+    ~EnvVar() { ::unsetenv(name.c_str()); }
+};
+
+double
+counterValue(obs::MetricsRegistry &reg, const std::string &name)
+{
+    return reg.counter(name).value();
+}
+
+} // namespace
+
+TEST(RetryPolicy, IdenticalSeedsYieldIdenticalSchedules)
+{
+    RetryOptions o;
+    o.baseDelayMs = 5.0;
+    o.jitterFrac = 0.25;
+    RetryPolicy a(o), b(o);
+    for (size_t k = 0; k < 8; ++k)
+        EXPECT_DOUBLE_EQ(a.delayMs(k), b.delayMs(k));
+}
+
+TEST(RetryPolicy, DifferentSeedsJitterDifferently)
+{
+    RetryOptions oa, ob;
+    oa.jitterFrac = ob.jitterFrac = 0.5;
+    oa.seed = 1;
+    ob.seed = 2;
+    RetryPolicy a(oa), b(ob);
+    int same = 0;
+    for (size_t k = 0; k < 16; ++k)
+        same += a.delayMs(k) == b.delayMs(k);
+    EXPECT_LT(same, 4);
+}
+
+TEST(RetryPolicy, ExponentialGrowthWithCeiling)
+{
+    RetryOptions o;
+    o.baseDelayMs = 10.0;
+    o.multiplier = 2.0;
+    o.maxDelayMs = 50.0;
+    o.jitterFrac = 0.0; // pure schedule
+    RetryPolicy p(o);
+    EXPECT_DOUBLE_EQ(p.delayMs(0), 10.0);
+    EXPECT_DOUBLE_EQ(p.delayMs(1), 20.0);
+    EXPECT_DOUBLE_EQ(p.delayMs(2), 40.0);
+    EXPECT_DOUBLE_EQ(p.delayMs(3), 50.0); // capped
+    EXPECT_DOUBLE_EQ(p.delayMs(9), 50.0); // stays capped
+}
+
+TEST(RetryPolicy, JitterStaysWithinTheConfiguredFraction)
+{
+    RetryOptions o;
+    o.baseDelayMs = 100.0;
+    o.multiplier = 1.0; // flat base so the bound is easy to state
+    o.maxDelayMs = 100.0;
+    o.jitterFrac = 0.3;
+    RetryPolicy p(o);
+    for (size_t k = 0; k < 64; ++k) {
+        const double d = p.delayMs(k);
+        EXPECT_GE(d, 100.0);
+        EXPECT_LT(d, 130.0);
+    }
+}
+
+TEST(Supervisor, RetriesUntilTheOperationSucceeds)
+{
+    obs::MetricsRegistry reg;
+    SupervisorOptions so;
+    so.retry.maxRetries = 5;
+    Supervisor sup(so, reg);
+    sup.setSleeper([](double) {}); // decisions only, no real waits
+
+    int calls = 0;
+    const bool ok = sup.runSupervised("stg", [&] {
+        ++calls;
+        if (calls <= 2)
+            throw std::runtime_error("transient");
+        return true;
+    });
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(calls, 3);
+    EXPECT_DOUBLE_EQ(counterValue(reg, "supervisor.retries"), 2.0);
+    EXPECT_DOUBLE_EQ(counterValue(reg, "stg.retries"), 2.0);
+    EXPECT_DOUBLE_EQ(counterValue(reg, "stg.failures"), 2.0);
+}
+
+TEST(Supervisor, ExhaustedBudgetReturnsFalseWithTheLastError)
+{
+    obs::MetricsRegistry reg;
+    SupervisorOptions so;
+    so.retry.maxRetries = 2;
+    Supervisor sup(so, reg);
+    sup.setSleeper([](double) {});
+
+    int calls = 0;
+    const bool ok = sup.runSupervised("doomed", [&] {
+        ++calls;
+        throw std::runtime_error("kaboom");
+        return true;
+    });
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(calls, 3); // first attempt + 2 retries
+    EXPECT_EQ(sup.lastError(), "kaboom");
+    EXPECT_DOUBLE_EQ(counterValue(reg, "doomed.failures"), 3.0);
+    EXPECT_DOUBLE_EQ(counterValue(reg, "supervisor.retries"), 2.0);
+}
+
+TEST(Supervisor, FalseReturnCountsLikeAnException)
+{
+    obs::MetricsRegistry reg;
+    SupervisorOptions so;
+    so.retry.maxRetries = 0; // fail fast
+    Supervisor sup(so, reg);
+    sup.setSleeper([](double) {});
+
+    EXPECT_FALSE(sup.runSupervised("w", [] { return false; }));
+    EXPECT_EQ(sup.lastError(), "operation reported failure");
+    EXPECT_DOUBLE_EQ(counterValue(reg, "w.failures"), 1.0);
+    EXPECT_DOUBLE_EQ(counterValue(reg, "supervisor.retries"), 0.0);
+}
+
+TEST(Supervisor, InjectedLatencyTripsTheWatchdogDeterministically)
+{
+    fault::Config fc;
+    fc.latencyStage = "slowstage";
+    fc.latencyMs = 30.0;
+    FaultScope scope(fc);
+
+    obs::MetricsRegistry reg;
+    SupervisorOptions so;
+    so.stageDeadlineMs = 5.0;
+    Supervisor sup(so, reg);
+    {
+        auto wd = sup.watch("slowstage");
+    }
+    {
+        auto wd = sup.watch("otherstage"); // fast: no miss
+    }
+    EXPECT_DOUBLE_EQ(counterValue(reg, "supervisor.deadline_misses"),
+                     1.0);
+    EXPECT_DOUBLE_EQ(counterValue(reg, "slowstage.deadline_misses"),
+                     1.0);
+}
+
+TEST(Supervisor, NoDeadlineMeansNoMisses)
+{
+    fault::Config fc;
+    fc.latencyStage = "anystage";
+    fc.latencyMs = 10.0;
+    FaultScope scope(fc);
+
+    obs::MetricsRegistry reg;
+    SupervisorOptions so; // stageDeadlineMs = 0 (disabled)
+    Supervisor sup(so, reg);
+    {
+        auto wd = sup.watch("anystage");
+    }
+    EXPECT_DOUBLE_EQ(counterValue(reg, "supervisor.deadline_misses"),
+                     0.0);
+}
+
+TEST(FaultEnv, ParsesKnownVariablesStrictly)
+{
+    EnvVar a("CASCADE_FAULT_WRITE_FAIL_NTH", "3");
+    EnvVar b("CASCADE_FAULT_WRITE_FAIL_COUNT", "2");
+    EnvVar c("CASCADE_FAULT_CHUNK_BUILD_FAIL", "4");
+    EnvVar d("CASCADE_FAULT_STAGE_LATENCY", "model=25.5");
+
+    fault::Config cfg;
+    std::vector<std::string> unknown;
+    std::string error;
+    ASSERT_TRUE(fault::parseEnvConfig(cfg, unknown, error)) << error;
+    EXPECT_EQ(cfg.failWriteNth, 3);
+    EXPECT_EQ(cfg.failWriteCount, 2);
+    EXPECT_EQ(cfg.chunkBuildFailures, 4);
+    EXPECT_EQ(cfg.latencyStage, "model");
+    EXPECT_DOUBLE_EQ(cfg.latencyMs, 25.5);
+    EXPECT_TRUE(unknown.empty());
+}
+
+TEST(FaultEnv, RejectsGarbageValuesWithAClearError)
+{
+    EnvVar a("CASCADE_FAULT_NAN_BATCH", "3x");
+    fault::Config cfg;
+    std::vector<std::string> unknown;
+    std::string error;
+    EXPECT_FALSE(fault::parseEnvConfig(cfg, unknown, error));
+    EXPECT_NE(error.find("CASCADE_FAULT_NAN_BATCH"),
+              std::string::npos);
+    EXPECT_NE(error.find("3x"), std::string::npos);
+}
+
+TEST(FaultEnv, RejectsMalformedStageLatency)
+{
+    {
+        EnvVar a("CASCADE_FAULT_STAGE_LATENCY", "boundary");
+        fault::Config cfg;
+        std::vector<std::string> unknown;
+        std::string error;
+        EXPECT_FALSE(fault::parseEnvConfig(cfg, unknown, error));
+        EXPECT_NE(error.find("STAGE_LATENCY"), std::string::npos);
+    }
+    {
+        EnvVar a("CASCADE_FAULT_STAGE_LATENCY", "=5");
+        fault::Config cfg;
+        std::vector<std::string> unknown;
+        std::string error;
+        EXPECT_FALSE(fault::parseEnvConfig(cfg, unknown, error));
+    }
+    {
+        EnvVar a("CASCADE_FAULT_STAGE_LATENCY", "model=-1");
+        fault::Config cfg;
+        std::vector<std::string> unknown;
+        std::string error;
+        EXPECT_FALSE(fault::parseEnvConfig(cfg, unknown, error));
+    }
+}
+
+TEST(FaultEnv, RejectsNonPositiveWriteFailCount)
+{
+    EnvVar a("CASCADE_FAULT_WRITE_FAIL_COUNT", "0");
+    fault::Config cfg;
+    std::vector<std::string> unknown;
+    std::string error;
+    EXPECT_FALSE(fault::parseEnvConfig(cfg, unknown, error));
+    EXPECT_NE(error.find("WRITE_FAIL_COUNT"), std::string::npos);
+}
+
+TEST(FaultEnv, ReportsUnknownFaultVariables)
+{
+    EnvVar a("CASCADE_FAULT_NAN_BACH", "1"); // the classic typo
+    fault::Config cfg;
+    std::vector<std::string> unknown;
+    std::string error;
+    ASSERT_TRUE(fault::parseEnvConfig(cfg, unknown, error)) << error;
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "CASCADE_FAULT_NAN_BACH");
+    // The typo'd plan armed nothing.
+    EXPECT_EQ(cfg.nanBatch, -1);
+}

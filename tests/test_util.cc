@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "util/env.hh"
@@ -223,6 +224,100 @@ TEST(ThreadPool, ResizeDoesNotDestroyAPinnedPool)
     // The replacement pool is created lazily with the new size.
     EXPECT_EQ(ThreadPool::global().threads(), 1u);
     ThreadPool::setGlobalThreads(0); // restore the default
+}
+
+TEST(ParallelFor, BodyExceptionReachesCaller)
+{
+    // Force the pooled path even on single-core machines.
+    ThreadPool::setGlobalThreads(4);
+    std::atomic<int> ran{0};
+    bool caught = false;
+    try {
+        parallelFor(0, 10000, [&](size_t i) {
+            ran.fetch_add(1);
+            if (i == 1234)
+                throw std::runtime_error("boom at 1234");
+        }, 16);
+    } catch (const std::runtime_error &e) {
+        caught = true;
+        EXPECT_STREQ(e.what(), "boom at 1234");
+    }
+    EXPECT_TRUE(caught);
+    // Chunks other than the throwing one ran to completion.
+    EXPECT_GT(ran.load(), 1);
+
+    // The pool survives and serves later calls normally.
+    std::atomic<int> count{0};
+    parallelFor(0, 1000, [&](size_t) { count.fetch_add(1); }, 16);
+    EXPECT_EQ(count.load(), 1000);
+    ThreadPool::setGlobalThreads(0); // restore the default
+}
+
+TEST(ParallelFor, SerialSmallRangePathAlsoPropagates)
+{
+    // A range below the grain runs inline; the exception must look
+    // the same to the caller as the pooled path's.
+    EXPECT_THROW(
+        parallelFor(0, 4, [](size_t) {
+            throw std::runtime_error("serial boom");
+        }, 256),
+        std::runtime_error);
+}
+
+TEST(ParallelForChunks, BodyExceptionReachesCaller)
+{
+    ThreadPool::setGlobalThreads(4);
+    EXPECT_THROW(
+        parallelForChunks(0, 10000, [](size_t lo, size_t) {
+            if (lo == 0)
+                throw std::runtime_error("chunk boom");
+        }, 16),
+        std::runtime_error);
+    ThreadPool::setGlobalThreads(0);
+}
+
+TEST(ThreadPool, ThrowingTaskRethrowsAtWaitAndPoolStaysUsable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::logic_error("task failed"); });
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.wait(), std::logic_error);
+    // The non-throwing tasks were not abandoned.
+    EXPECT_EQ(ran.load(), 16);
+    // The error was consumed: a second wait is clean and the pool
+    // keeps executing new work.
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 17);
+}
+
+TEST(Env, StrictLongParsing)
+{
+    long v = 0;
+    EXPECT_TRUE(parseLongStrict("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseLongStrict("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_FALSE(parseLongStrict("", v));
+    EXPECT_FALSE(parseLongStrict("12x", v));
+    EXPECT_FALSE(parseLongStrict("x12", v));
+    EXPECT_FALSE(parseLongStrict(" 12", v));
+    EXPECT_FALSE(parseLongStrict("1.5", v));
+}
+
+TEST(Env, StrictDoubleParsing)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseDoubleStrict("2.5", v));
+    EXPECT_DOUBLE_EQ(v, 2.5);
+    EXPECT_TRUE(parseDoubleStrict("-1e3", v));
+    EXPECT_DOUBLE_EQ(v, -1000.0);
+    EXPECT_FALSE(parseDoubleStrict("", v));
+    EXPECT_FALSE(parseDoubleStrict("2.5ms", v));
+    EXPECT_FALSE(parseDoubleStrict(" 2.5", v));
+    EXPECT_FALSE(parseDoubleStrict("abc", v));
 }
 
 TEST(Env, ParsesAndDefaults)

@@ -20,6 +20,8 @@
  *                 [--resume] [--threads <n>]
  *                 [--metrics-out <metrics.json>]
  *                 [--trace-out <trace.json>]
+ *                 [--retry-max <n>] [--retry-base-ms <ms>]
+ *                 [--stage-deadline-ms <ms>]
  *
  * Flags accept both `--flag value` and `--flag=value`.
  *
@@ -35,6 +37,15 @@
  * --trace-out writes the per-stage span tree in Trace Event Format,
  * loadable by chrome://tracing or Perfetto. --threads sizes the global
  * worker pool (the paper's CPU-thread knob for TG-Diffuser and ABS).
+ *
+ * Supervision: failing stages (chunk-table builds, checkpoint writes)
+ * retry up to --retry-max times with deterministic exponential
+ * backoff starting at --retry-base-ms, then degrade gracefully
+ * (pipelined → synchronous → static batching; checkpointing
+ * disabled) rather than aborting — the summary line reports retries,
+ * deadline misses and the final degraded mode. --stage-deadline-ms
+ * arms a watchdog that counts stages overrunning the deadline
+ * (0 = off).
  */
 
 #include <cerrno>
@@ -77,6 +88,9 @@ struct CliOptions
     std::string metricsOut;
     std::string traceOut;
     size_t threads = 0; ///< 0 = leave the pool at its default size
+    size_t retryMax = 3;
+    double retryBaseMs = 10.0;
+    double stageDeadlineMs = 0.0; ///< 0 = watchdog off
 };
 
 void
@@ -89,7 +103,9 @@ usage(const char *argv0)
                  "          [--csv FILE] [--checkpoint FILE]\n"
                  "          [--checkpoint-every N] [--resume]\n"
                  "          [--threads N] [--metrics-out FILE]\n"
-                 "          [--trace-out FILE]\n",
+                 "          [--trace-out FILE] [--retry-max N]\n"
+                 "          [--retry-base-ms MS]\n"
+                 "          [--stage-deadline-ms MS]\n",
                  argv0);
 }
 
@@ -181,6 +197,14 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         else if (arg == "--threads" && (v = next()))
             opts.threads =
                 static_cast<size_t>(parseUint("--threads", v));
+        else if (arg == "--retry-max" && (v = next()))
+            opts.retryMax =
+                static_cast<size_t>(parseUint("--retry-max", v));
+        else if (arg == "--retry-base-ms" && (v = next()))
+            opts.retryBaseMs = parseDouble("--retry-base-ms", v);
+        else if (arg == "--stage-deadline-ms" && (v = next()))
+            opts.stageDeadlineMs =
+                parseDouble("--stage-deadline-ms", v);
         else
             return false;
     }
@@ -285,6 +309,10 @@ main(int argc, char **argv)
     toptions.checkpointPath = opts.checkpointPath;
     toptions.checkpointEvery = opts.checkpointEvery;
     toptions.resume = opts.resume;
+    toptions.supervisor.retry.maxRetries = opts.retryMax;
+    toptions.supervisor.retry.baseDelayMs = opts.retryBaseMs;
+    toptions.supervisor.retry.seed = opts.seed + 3;
+    toptions.supervisor.stageDeadlineMs = opts.stageDeadlineMs;
     if (opts.resume && opts.checkpointPath.empty()) {
         std::fprintf(stderr, "--resume needs --checkpoint FILE\n");
         return 2;
@@ -318,12 +346,16 @@ main(int argc, char **argv)
     std::printf("dataset=%s model=%s policy=%s events=%zu "
                 "epochs=%zu batches=%zu avg_batch=%.1f "
                 "wall_s=%.3f device_s=%.4f prep_s=%.4f "
-                "util=%.3f val_loss=%.4f guard_trips=%zu\n",
+                "util=%.3f val_loss=%.4f guard_trips=%zu "
+                "retries=%zu deadline_misses=%zu degraded=%s "
+                "checkpointing=%s\n",
                 opts.dataset.c_str(), opts.model.c_str(),
                 opts.policy.c_str(), data.size(), opts.epochs,
                 r.totalBatches, r.avgBatchSize, r.wallSeconds,
                 r.deviceSeconds, r.preprocessSeconds,
-                r.deviceUtilization, r.valLoss, r.guardTrips);
+                r.deviceUtilization, r.valLoss, r.guardTrips,
+                r.retries, r.deadlineMisses, r.degradedMode.c_str(),
+                r.checkpointingDisabled ? "disabled" : "on");
 
     if (!opts.csvPath.empty()) {
         std::FILE *f = std::fopen(opts.csvPath.c_str(), "a");

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Local mirror of the CI matrix (.github/workflows/ci.yml): the tier-1
 # verify (default preset: configure + build + ctest) followed by the
-# same suite under ASan+UBSan via the `sanitize` preset.
+# same suite under ASan+UBSan via the `sanitize` preset, then the
+# fault matrix (tools/fault_matrix.sh) driving the sanitized CLI
+# under representative CASCADE_FAULT_* configurations.
 #
-#   tools/check.sh            # both presets, full suite
+#   tools/check.sh            # both presets, full suite + fault matrix
 #   tools/check.sh <regex>    # both presets, only tests matching regex
 #   tools/check.sh -s [re]    # sanitize preset only (old behaviour)
 #
@@ -23,9 +25,11 @@ run_preset() {
     fi
 }
 
-if [ "$1" = "-s" ]; then
-    run_preset sanitize "$2"
+if [ "${1:-}" = "-s" ]; then
+    run_preset sanitize "${2:-}"
+    sh tools/fault_matrix.sh build-sanitize
 else
-    run_preset default "$1"
-    run_preset sanitize "$1"
+    run_preset default "${1:-}"
+    run_preset sanitize "${1:-}"
+    sh tools/fault_matrix.sh build-sanitize
 fi

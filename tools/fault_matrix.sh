@@ -1,0 +1,113 @@
+#!/bin/sh
+# Fault-matrix driver: run the training CLI under representative
+# CASCADE_FAULT_* configurations and assert the supervised-execution
+# contract end to end (exit codes, degradation markers, resume).
+#
+# This deliberately drives the binary rather than running ctest under
+# an armed environment: env-configured faults are process-global, so
+# they would fire inside unrelated tests that never expect them. The
+# unit/integration coverage for the same machinery lives in
+# tests/test_supervisor.cc and tests/test_fault_tolerance.cc.
+#
+#   tools/fault_matrix.sh [build-dir]     # default: build-sanitize
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+BIN="$BUILD_DIR/tools/cascade_train"
+if [ ! -x "$BIN" ]; then
+    echo "fault_matrix: $BIN not built (run cmake --build $BUILD_DIR)" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+# run <name> <expected-exit> <pattern|-> <logfile> -- [ENV=V ...] -- args...
+run_case() {
+    name="$1"; want_exit="$2"; pattern="$3"; log="$WORK/$4"
+    shift 4
+    [ "$1" = "--" ] && shift
+    envs=""
+    while [ "$#" -gt 0 ] && [ "$1" != "--" ]; do
+        envs="$envs $1"
+        shift
+    done
+    [ "${1:-}" = "--" ] && shift
+    if env $envs "$BIN" "$@" >"$log" 2>&1; then
+        got_exit=0
+    else
+        got_exit=$?
+    fi
+    if [ "$got_exit" -ne "$want_exit" ]; then
+        echo "FAIL [$name]: exit $got_exit, expected $want_exit" >&2
+        sed 's/^/    /' "$log" >&2
+        FAILURES=$((FAILURES + 1))
+        return
+    fi
+    if [ "$pattern" != "-" ] && ! grep -q "$pattern" "$log"; then
+        echo "FAIL [$name]: output lacks '$pattern'" >&2
+        sed 's/^/    /' "$log" >&2
+        FAILURES=$((FAILURES + 1))
+        return
+    fi
+    echo "ok   [$name]"
+}
+
+COMMON="--dataset wiki --scale 400 --epochs 1 --seed 42"
+
+# 1. Every pipelined chunk build fails: the ladder must walk
+#    pipelined -> synchronous -> static and still finish the epoch.
+run_case chunk-build-ladder 0 "degraded=static" chunk.log -- \
+    CASCADE_FAULT_CHUNK_BUILD_FAIL=1000000 -- \
+    $COMMON --policy cascade-ex --retry-max 1 --retry-base-ms 0
+
+# 2. One transient chunk-build failure: absorbed by a retry, no
+#    degradation.
+run_case chunk-build-retry 0 "degraded=none" chunk_retry.log -- \
+    CASCADE_FAULT_CHUNK_BUILD_FAIL=1 -- \
+    $COMMON --policy cascade-ex --retry-base-ms 0
+
+# 3. The disk never recovers: checkpoint writes retry, then the run
+#    degrades to "checkpointing disabled" and still completes.
+run_case write-burst 0 "checkpointing=disabled" write.log -- \
+    CASCADE_FAULT_WRITE_FAIL_NTH=1 CASCADE_FAULT_WRITE_FAIL_COUNT=1000000 -- \
+    $COMMON --policy cascade --checkpoint "$WORK/ck_burst.bin" \
+    --checkpoint-every 1 --retry-max 2 --retry-base-ms 0
+
+# 4. Crash mid-run (exit 3), then resume to completion (exit 0).
+run_case crash 3 "rerun with --resume" crash.log -- \
+    CASCADE_FAULT_CRASH_BATCH=3 -- \
+    $COMMON --policy cascade --checkpoint "$WORK/ck_crash.bin" \
+    --checkpoint-every 1
+run_case crash-resume 0 "degraded=none" resume.log -- -- \
+    $COMMON --policy cascade --checkpoint "$WORK/ck_crash.bin" \
+    --checkpoint-every 1 --resume
+
+# 5. Injected NaN loss: guard trips, rollback recovers, run completes.
+run_case nan-rollback 0 "guard_trips=1" nan.log -- \
+    CASCADE_FAULT_NAN_BATCH=2 -- \
+    $COMMON --policy cascade --checkpoint-every 2
+
+# 6. Injected stage latency vs. an armed deadline: misses are counted,
+#    never fatal.
+run_case deadline-miss 0 "deadline_misses=[1-9]" deadline.log -- \
+    "CASCADE_FAULT_STAGE_LATENCY=model=50" -- \
+    $COMMON --policy tgl --stage-deadline-ms 5
+
+# 7. Garbage fault value: strict parsing refuses to run.
+run_case garbage-env 1 "invalid integer" garbage.log -- \
+    CASCADE_FAULT_NAN_BATCH=banana -- \
+    $COMMON --policy tgl
+
+# 8. Typo'd fault variable: warned about, run unaffected.
+run_case unknown-var 0 "unrecognized fault variable" typo.log -- \
+    CASCADE_FAULT_NAN_BACH=1 -- \
+    $COMMON --policy tgl
+
+if [ "$FAILURES" -ne 0 ]; then
+    echo "fault_matrix: $FAILURES case(s) failed" >&2
+    exit 1
+fi
+echo "fault_matrix: all cases passed"
