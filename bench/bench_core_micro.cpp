@@ -13,6 +13,7 @@
 #include "core/sg_filter.hh"
 #include "core/tg_diffuser.hh"
 #include "graph/dataset.hh"
+#include "tensor/kernels.hh"
 #include "train/batcher.hh"
 
 using namespace cascade;
@@ -138,7 +139,8 @@ BM_Matmul(benchmark::State &state)
     Tensor a = Tensor::randn(n, 64, rng);
     Tensor b = Tensor::randn(64, 64, rng);
     for (auto _ : state) {
-        Tensor c = matmulRaw(a, b);
+        Tensor c = kernels::gemm(kernels::Trans::None, kernels::Trans::None,
+                                 a, b);
         benchmark::DoNotOptimize(c.data());
     }
     state.SetItemsProcessed(state.iterations() * n * 64 * 64);

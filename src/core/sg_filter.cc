@@ -22,8 +22,7 @@ SgFilter::reset()
 }
 
 void
-SgFilter::update(const std::vector<NodeId> &nodes,
-                 const std::vector<double> &cos)
+SgFilter::update(std::span<const NodeId> nodes, std::span<const double> cos)
 {
     CASCADE_CHECK(nodes.size() == cos.size(),
                   "SgFilter::update size mismatch");

@@ -13,6 +13,8 @@
 #define CASCADE_CORE_SG_FILTER_HH
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "graph/event.hh"
@@ -48,9 +50,22 @@ class SgFilter
      * Record this batch's memory updates: node i's flag becomes
      * (cos[i] > θ_sim). Also accumulates epoch counters backing the
      * Figure 5 stable-update ratio.
+     *
+     * Takes non-owning views so callers hand over whatever contiguous
+     * storage they already have (vectors, pooled arrays, subranges)
+     * without a copy.
      */
-    void update(const std::vector<NodeId> &nodes,
-                const std::vector<double> &cos);
+    void update(std::span<const NodeId> nodes,
+                std::span<const double> cos);
+
+    /** Braced-list convenience (spans cannot bind to init-lists). */
+    void
+    update(std::initializer_list<NodeId> nodes,
+           std::initializer_list<double> cos)
+    {
+        update(std::span<const NodeId>(nodes.begin(), nodes.size()),
+               std::span<const double>(cos.begin(), cos.size()));
+    }
 
     double threshold() const { return threshold_; }
 

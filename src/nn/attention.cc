@@ -24,9 +24,7 @@ repeatIndex(size_t b, size_t k)
 Variable
 rowDot(const Variable &a, const Variable &b)
 {
-    Variable prod = ops::mul(a, b);
-    Variable ones(Tensor::ones(a.cols(), 1));
-    return ops::matmul(prod, ones);
+    return ops::rowSum(ops::mul(a, b));
 }
 
 } // namespace

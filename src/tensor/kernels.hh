@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Hot-path compute kernels: the single entry point for every dense
+ * operation the autograd layer and the nn modules execute per batch.
+ *
+ * Design (DESIGN.md "Compute kernels"):
+ *
+ *  - One GEMM API. `gemm(ta, tb, A, B, out)` covers the four transpose
+ *    combinations that used to be three ad-hoc entry points
+ *    (`matmulRaw`, `matmulTransARaw`, `matmulTransBRaw`); `gemmAcc`
+ *    accumulates into `out` so backward passes scatter straight into
+ *    gradient tensors without a temporary.
+ *
+ *  - Cache-blocked, register-tiled compute. The kernel walks MR x NR
+ *    output tiles with the full-k dot product held in registers, so
+ *    each output element is accumulated in the fixed order
+ *    p = 0..k-1 regardless of tiling, banding or thread count.
+ *
+ *  - Deterministic parallelism. Large GEMMs are split into row-tile
+ *    bands over the global ThreadPool. Because a band boundary never
+ *    changes the per-element accumulation order, results are
+ *    bit-identical for *any* thread count — stronger than the
+ *    fixed-thread-count contract PR 1's golden-trajectory test needs.
+ *
+ *  - A thread-safe buffer pool. Autograd nodes return their tensor
+ *    storage here on destruction; ops acquire forward outputs and
+ *    gradients from it, so a steady-state training step performs no
+ *    per-op heap allocation after warm-up.
+ *
+ *  - Observability. Kernel invocations, GEMM flops and pool hit/miss
+ *    tallies are always counted; bindMetrics() additionally publishes
+ *    them as named instruments (`kernels.*`) in a MetricsRegistry.
+ */
+
+#ifndef CASCADE_TENSOR_KERNELS_HH
+#define CASCADE_TENSOR_KERNELS_HH
+
+#include <cstdint>
+
+#include "tensor/tensor.hh"
+
+namespace cascade {
+
+namespace obs {
+class MetricsRegistry;
+}
+
+namespace kernels {
+
+/** Operand orientation for gemm(). */
+enum class Trans : uint8_t {
+    None,     ///< use the operand as stored
+    Transpose ///< use the operand's transpose
+};
+
+/** @name GEMM
+ * C = op(A) * op(B) with op in {identity, transpose}. Inner dimensions
+ * must agree after applying op; `out` is shaped (or reshaped) to the
+ * result. gemmAcc() instead requires `out` to be pre-shaped and adds
+ * the product into it (backward-pass accumulation).
+ */
+/** @{ */
+void gemm(Trans ta, Trans tb, const Tensor &a, const Tensor &b,
+          Tensor &out);
+void gemmAcc(Trans ta, Trans tb, const Tensor &a, const Tensor &b,
+             Tensor &out);
+/** Convenience overload returning a pool-backed tensor. */
+Tensor gemm(Trans ta, Trans tb, const Tensor &a, const Tensor &b);
+/** @} */
+
+/** Blocked transposed copy: out = A^T. */
+void transpose(const Tensor &a, Tensor &out);
+
+/**
+ * Reference GEMM — the seed repo's naive single-threaded triple loops,
+ * retained verbatim (kernels_ref.cc, default optimization flags) as
+ * the oracle for kernel tests and the baseline for bench_hotpath.
+ */
+Tensor naiveGemm(Trans ta, Trans tb, const Tensor &a, const Tensor &b);
+
+/** @name Pooled tensor storage
+ * acquire/release of float buffers through a bounded, thread-safe
+ * free list. zeros()/uninit()/copyOf() build tensors on pooled
+ * storage; recycle() returns a tensor's storage (autograd nodes do
+ * this automatically on destruction). uninit() contents are
+ * unspecified — callers must overwrite every element.
+ */
+/** @{ */
+Tensor zeros(size_t rows, size_t cols);
+Tensor uninit(size_t rows, size_t cols);
+Tensor copyOf(const Tensor &src);
+void recycle(Tensor &&t);
+/** @} */
+
+/** @name Elementwise / reduction kernels (out-parameter variants)
+ * `out` is fully overwritten and may be pool-backed; shapes are
+ * checked. axpy() accumulates in place (y += alpha * x).
+ */
+/** @{ */
+void add(const Tensor &a, const Tensor &b, Tensor &out);
+void sub(const Tensor &a, const Tensor &b, Tensor &out);
+void hadamard(const Tensor &a, const Tensor &b, Tensor &out);
+void scale(const Tensor &a, float s, Tensor &out);
+void axpy(float alpha, const Tensor &x, Tensor &y);
+/** Per-row sum: (RxC) -> (Rx1). */
+void rowSum(const Tensor &a, Tensor &out);
+/** Per-column sum: (RxC) -> (1xC). */
+void colSum(const Tensor &a, Tensor &out);
+/** @} */
+
+/**
+ * Fused SG-Filter signal: cosine similarity between the current
+ * contents of dst and src (same conventions as cosineSimilarityRows —
+ * 1.0 when both near-zero, 0.0 when exactly one is), overwriting dst
+ * with src in the same pass. Returns the pre/post-update cosine.
+ */
+double cosineOverwrite(float *dst, const float *src, size_t n);
+
+/** Point-in-time copy of the kernel/pool counters. */
+struct KernelStats
+{
+    uint64_t gemmCalls = 0;        ///< gemm + gemmAcc invocations
+    uint64_t gemmFlops = 0;        ///< 2*m*k*n summed over calls
+    uint64_t elementwiseCalls = 0; ///< out-param elementwise/reduction calls
+    uint64_t poolHits = 0;         ///< acquires served from the free list
+    uint64_t poolMisses = 0;       ///< acquires that heap-allocated
+    uint64_t poolReturns = 0;      ///< buffers recycled into the pool
+    uint64_t poolEvictions = 0;    ///< returns dropped by the size caps
+    uint64_t poolCachedBytes = 0;  ///< bytes currently parked in the pool
+};
+
+KernelStats stats();
+
+/** Zero every counter (bench runs; cached pool bytes are kept). */
+void resetStats();
+
+/**
+ * Publish the kernel counters as named `kernels.*` instruments.
+ * Mirrors the component bindMetrics() contract: the registry must
+ * outlive the binding; call unbindMetrics() before it is destroyed.
+ */
+void bindMetrics(obs::MetricsRegistry &registry);
+void unbindMetrics();
+
+} // namespace kernels
+
+/** @name Deprecated pre-kernels entry points
+ * Thin wrappers kept for one release; new code calls kernels::gemm /
+ * kernels::transpose. No caller inside this repository references the
+ * transpose variants any more (enforced by tools/check.sh).
+ */
+/** @{ */
+[[deprecated("use kernels::gemm(Trans::None, Trans::None, ...)")]]
+Tensor matmulRaw(const Tensor &a, const Tensor &b);
+[[deprecated("use kernels::gemm(Trans::Transpose, Trans::None, ...)")]]
+Tensor matmulTransARaw(const Tensor &a, const Tensor &b);
+[[deprecated("use kernels::gemm(Trans::None, Trans::Transpose, ...)")]]
+Tensor matmulTransBRaw(const Tensor &a, const Tensor &b);
+[[deprecated("use kernels::transpose")]]
+Tensor transposeRaw(const Tensor &a);
+/** @} */
+
+} // namespace cascade
+
+#endif // CASCADE_TENSOR_KERNELS_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Naive reference GEMM — the seed repo's single-threaded triple loops,
+ * kept verbatim in a translation unit that is compiled with the
+ * default project flags (no -O3 / -march escalation).
+ *
+ * Two consumers:
+ *  - tests/test_kernels.cc uses it as the oracle the blocked kernels
+ *    are compared against;
+ *  - tools/bench_hotpath reports blocked-kernel throughput relative to
+ *    this baseline, which is exactly the code every matmul in the repo
+ *    executed before the kernel overhaul.
+ */
+
+#include "tensor/kernels.hh"
+
+#include "util/logging.hh"
+
+namespace cascade {
+namespace kernels {
+
+namespace {
+
+/** Seed matmulRaw: C = A * B, ikj loops with zero-skip. */
+Tensor
+naiveMatmul(const Tensor &a, const Tensor &b)
+{
+    CASCADE_CHECK(a.cols() == b.rows(), "naiveGemm inner dim mismatch");
+    Tensor c(a.rows(), b.cols());
+    const size_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.row(p);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+/** Seed matmulTransARaw: C = A^T * B. */
+Tensor
+naiveMatmulTransA(const Tensor &a, const Tensor &b)
+{
+    CASCADE_CHECK(a.rows() == b.rows(), "naiveGemm dim mismatch");
+    Tensor c(a.cols(), b.cols());
+    const size_t m = a.cols(), k = a.rows(), n = b.cols();
+    for (size_t p = 0; p < k; ++p) {
+        const float *arow = a.row(p);
+        const float *brow = b.row(p);
+        for (size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.row(i);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    (void)m;
+    return c;
+}
+
+/** Seed matmulTransBRaw: C = A * B^T. */
+Tensor
+naiveMatmulTransB(const Tensor &a, const Tensor &b)
+{
+    CASCADE_CHECK(a.cols() == b.cols(), "naiveGemm dim mismatch");
+    Tensor c(a.rows(), b.rows());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (size_t j = 0; j < b.rows(); ++j) {
+            const float *brow = b.row(j);
+            float acc = 0.0f;
+            for (size_t p = 0; p < a.cols(); ++p)
+                acc += arow[p] * brow[p];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+/** Seed transposeRaw. */
+Tensor
+naiveTranspose(const Tensor &a)
+{
+    Tensor t(a.cols(), a.rows());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            t.at(j, i) = a.at(i, j);
+    return t;
+}
+
+} // namespace
+
+Tensor
+naiveGemm(Trans ta, Trans tb, const Tensor &a, const Tensor &b)
+{
+    if (ta == Trans::None && tb == Trans::None)
+        return naiveMatmul(a, b);
+    if (ta == Trans::Transpose && tb == Trans::None)
+        return naiveMatmulTransA(a, b);
+    if (ta == Trans::None && tb == Trans::Transpose)
+        return naiveMatmulTransB(a, b);
+    // Double-transpose had no seed entry point; compose from the
+    // reference transpose so the oracle covers all four combinations.
+    return naiveMatmul(naiveTranspose(a), naiveTranspose(b));
+}
+
+} // namespace kernels
+} // namespace cascade

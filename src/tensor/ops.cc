@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "tensor/kernels.hh"
 #include "util/logging.hh"
 
 namespace cascade {
@@ -12,6 +13,7 @@ namespace {
 
 using detail::Node;
 using NodePtr = std::shared_ptr<Node>;
+using kernels::Trans;
 
 /** Build a result node with the given parents and backward closure. */
 Variable
@@ -33,13 +35,18 @@ makeNode(Tensor value, std::vector<NodePtr> parents,
 Variable
 matmul(const Variable &a, const Variable &b)
 {
-    Tensor out = matmulRaw(a.value(), b.value());
+    Tensor out =
+        kernels::gemm(Trans::None, Trans::None, a.value(), b.value());
     NodePtr pa = a.node(), pb = b.node();
     return makeNode(std::move(out), {pa, pb}, [pa, pb](Node &n) {
+        // gemmAcc scatters the product straight into the gradient
+        // tensors — no temporary, no allocation.
         if (pa->requiresGrad)
-            pa->ensureGrad() += matmulTransBRaw(n.grad, pb->value);
+            kernels::gemmAcc(Trans::None, Trans::Transpose, n.grad,
+                             pb->value, pa->ensureGrad());
         if (pb->requiresGrad)
-            pb->ensureGrad() += matmulTransARaw(pa->value, n.grad);
+            kernels::gemmAcc(Trans::Transpose, Trans::None, pa->value,
+                             n.grad, pb->ensureGrad());
     });
 }
 
@@ -48,11 +55,11 @@ add(const Variable &a, const Variable &b)
 {
     const Tensor &av = a.value();
     const Tensor &bv = b.value();
-    Tensor out = av;
     NodePtr pa = a.node(), pb = b.node();
 
     if (av.sameShape(bv)) {
-        out += bv;
+        Tensor out = kernels::uninit(av.rows(), av.cols());
+        kernels::add(av, bv, out);
         return makeNode(std::move(out), {pa, pb}, [pa, pb](Node &n) {
             if (pa->requiresGrad)
                 pa->ensureGrad() += n.grad;
@@ -62,6 +69,7 @@ add(const Variable &a, const Variable &b)
     }
     if (bv.rows() == 1 && bv.cols() == av.cols()) {
         // Row-broadcast bias.
+        Tensor out = kernels::copyOf(av);
         for (size_t r = 0; r < out.rows(); ++r)
             for (size_t c = 0; c < out.cols(); ++c)
                 out.at(r, c) += bv.at(0, c);
@@ -69,15 +77,18 @@ add(const Variable &a, const Variable &b)
             if (pa->requiresGrad)
                 pa->ensureGrad() += n.grad;
             if (pb->requiresGrad) {
-                Tensor &g = pb->ensureGrad();
-                for (size_t r = 0; r < n.grad.rows(); ++r)
-                    for (size_t c = 0; c < n.grad.cols(); ++c)
-                        g.at(0, c) += n.grad.at(r, c);
+                // 1xC bias gradient: column-sum of the upstream grad,
+                // accumulated via a pooled scratch row.
+                Tensor scratch = kernels::uninit(1, n.grad.cols());
+                kernels::colSum(n.grad, scratch);
+                pb->ensureGrad() += scratch;
+                kernels::recycle(std::move(scratch));
             }
         });
     }
     if (bv.cols() == 1 && bv.rows() == av.rows()) {
         // Column-broadcast (per-row scalar).
+        Tensor out = kernels::copyOf(av);
         for (size_t r = 0; r < out.rows(); ++r)
             for (size_t c = 0; c < out.cols(); ++c)
                 out.at(r, c) += bv.at(r, 0);
@@ -99,8 +110,8 @@ Variable
 sub(const Variable &a, const Variable &b)
 {
     CASCADE_CHECK(a.value().sameShape(b.value()), "sub shape mismatch");
-    Tensor out = a.value();
-    out -= b.value();
+    Tensor out = kernels::uninit(a.value().rows(), a.value().cols());
+    kernels::sub(a.value(), b.value(), out);
     NodePtr pa = a.node(), pb = b.node();
     return makeNode(std::move(out), {pa, pb}, [pa, pb](Node &n) {
         if (pa->requiresGrad)
@@ -118,9 +129,8 @@ mul(const Variable &a, const Variable &b)
     NodePtr pa = a.node(), pb = b.node();
 
     if (av.sameShape(bv)) {
-        Tensor out = av;
-        for (size_t i = 0; i < out.size(); ++i)
-            out.data()[i] *= bv.data()[i];
+        Tensor out = kernels::uninit(av.rows(), av.cols());
+        kernels::hadamard(av, bv, out);
         return makeNode(std::move(out), {pa, pb}, [pa, pb](Node &n) {
             if (pa->requiresGrad) {
                 Tensor &g = pa->ensureGrad();
@@ -136,7 +146,7 @@ mul(const Variable &a, const Variable &b)
     }
     CASCADE_CHECK(bv.cols() == 1 && bv.rows() == av.rows(),
                   "mul: b must match a or be a Bx1 column");
-    Tensor out = av;
+    Tensor out = kernels::copyOf(av);
     for (size_t r = 0; r < out.rows(); ++r) {
         const float s = bv.at(r, 0);
         for (size_t c = 0; c < out.cols(); ++c)
@@ -167,15 +177,12 @@ mul(const Variable &a, const Variable &b)
 Variable
 scale(const Variable &a, float s)
 {
-    Tensor out = a.value();
-    out *= s;
+    Tensor out = kernels::uninit(a.value().rows(), a.value().cols());
+    kernels::scale(a.value(), s, out);
     NodePtr pa = a.node();
     return makeNode(std::move(out), {pa}, [pa, s](Node &n) {
-        if (!pa->requiresGrad)
-            return;
-        Tensor &g = pa->ensureGrad();
-        for (size_t i = 0; i < g.size(); ++i)
-            g.data()[i] += n.grad.data()[i] * s;
+        if (pa->requiresGrad)
+            kernels::axpy(s, n.grad, pa->ensureGrad());
     });
 }
 
@@ -187,9 +194,10 @@ template <typename Fwd, typename Bwd>
 Variable
 elementwise(const Variable &a, Fwd fwd, Bwd bwd)
 {
-    Tensor out = a.value();
-    for (size_t i = 0; i < out.size(); ++i)
-        out.data()[i] = fwd(out.data()[i]);
+    const Tensor &av = a.value();
+    Tensor out = kernels::uninit(av.rows(), av.cols());
+    for (size_t i = 0; i < av.size(); ++i)
+        out.data()[i] = fwd(av.data()[i]);
     NodePtr pa = a.node();
     return makeNode(std::move(out), {pa}, [pa, bwd](Node &n) {
         if (!pa->requiresGrad)
@@ -258,7 +266,7 @@ concatCols(const Variable &a, const Variable &b)
     const Tensor &av = a.value();
     const Tensor &bv = b.value();
     CASCADE_CHECK(av.rows() == bv.rows(), "concatCols row mismatch");
-    Tensor out(av.rows(), av.cols() + bv.cols());
+    Tensor out = kernels::uninit(av.rows(), av.cols() + bv.cols());
     for (size_t r = 0; r < av.rows(); ++r) {
         std::copy(av.row(r), av.row(r) + av.cols(), out.row(r));
         std::copy(bv.row(r), bv.row(r) + bv.cols(),
@@ -287,7 +295,7 @@ sliceCols(const Variable &a, size_t c0, size_t c1)
 {
     const Tensor &av = a.value();
     CASCADE_CHECK(c0 < c1 && c1 <= av.cols(), "sliceCols bad range");
-    Tensor out(av.rows(), c1 - c0);
+    Tensor out = kernels::uninit(av.rows(), c1 - c0);
     for (size_t r = 0; r < av.rows(); ++r)
         std::copy(av.row(r) + c0, av.row(r) + c1, out.row(r));
     NodePtr pa = a.node();
@@ -305,7 +313,7 @@ Variable
 gatherRows(const Variable &a, std::vector<int64_t> rows)
 {
     const Tensor &av = a.value();
-    Tensor out(rows.size(), av.cols());
+    Tensor out = kernels::uninit(rows.size(), av.cols());
     for (size_t i = 0; i < rows.size(); ++i) {
         CASCADE_CHECK(rows[i] >= 0 &&
                           static_cast<size_t>(rows[i]) < av.rows(),
@@ -343,6 +351,27 @@ sumAll(const Variable &a)
 }
 
 Variable
+rowSum(const Variable &a)
+{
+    const Tensor &av = a.value();
+    Tensor out = kernels::uninit(av.rows(), 1);
+    kernels::rowSum(av, out);
+    NodePtr pa = a.node();
+    return makeNode(std::move(out), {pa}, [pa](Node &n) {
+        if (!pa->requiresGrad)
+            return;
+        // d/dA sum_c A[r,c] = 1: broadcast the Rx1 grad across cols.
+        Tensor &g = pa->ensureGrad();
+        for (size_t r = 0; r < g.rows(); ++r) {
+            const float s = n.grad.at(r, 0);
+            float *grow = g.row(r);
+            for (size_t c = 0; c < g.cols(); ++c)
+                grow[c] += s;
+        }
+    });
+}
+
+Variable
 meanAll(const Variable &a)
 {
     const float inv = 1.0f / static_cast<float>(a.value().size());
@@ -356,7 +385,7 @@ groupedMeanRows(const Variable &a, size_t k)
     CASCADE_CHECK(k > 0 && av.rows() % k == 0,
                   "groupedMeanRows: rows not divisible by k");
     const size_t groups = av.rows() / k;
-    Tensor out(groups, av.cols());
+    Tensor out = kernels::zeros(groups, av.cols());
     const float inv = 1.0f / static_cast<float>(k);
     for (size_t g = 0; g < groups; ++g)
         for (size_t j = 0; j < k; ++j)
@@ -381,7 +410,7 @@ groupedSoftmax(const Variable &scores, size_t k)
     CASCADE_CHECK(k > 0 && sv.rows() % k == 0,
                   "groupedSoftmax: rows not divisible by k");
     const size_t groups = sv.rows() / k;
-    Tensor out(sv.rows(), 1);
+    Tensor out = kernels::uninit(sv.rows(), 1);
     for (size_t g = 0; g < groups; ++g) {
         float mx = sv.at(g * k, 0);
         for (size_t j = 1; j < k; ++j)
@@ -427,7 +456,7 @@ groupedWeightedSum(const Variable &weights, const Variable &feats, size_t k)
     CASCADE_CHECK(k > 0 && fv.rows() % k == 0,
                   "groupedWeightedSum: rows not divisible by k");
     const size_t groups = fv.rows() / k;
-    Tensor out(groups, fv.cols());
+    Tensor out = kernels::zeros(groups, fv.cols());
     for (size_t g = 0; g < groups; ++g)
         for (size_t j = 0; j < k; ++j) {
             const float w = wv.at(g * k + j, 0);
@@ -497,9 +526,9 @@ bceWithLogits(const Variable &logits, const Tensor &targets)
 Tensor
 sigmoidRaw(const Tensor &a)
 {
-    Tensor out = a;
+    Tensor out = kernels::uninit(a.rows(), a.cols());
     for (size_t i = 0; i < out.size(); ++i) {
-        const float x = out.data()[i];
+        const float x = a.data()[i];
         out.data()[i] = x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
                                   : std::exp(x) / (1.0f + std::exp(x));
     }

@@ -64,6 +64,13 @@ Variable gatherRows(const Variable &a, std::vector<int64_t> rows);
 /** Sum of all entries -> 1x1. */
 Variable sumAll(const Variable &a);
 
+/**
+ * Per-row sum: RxC -> Rx1 (the attention row-dot reduction).
+ * Replaces the old ones-matrix-matmul idiom with a dedicated kernel
+ * and a broadcast backward.
+ */
+Variable rowSum(const Variable &a);
+
 /** Mean of all entries -> 1x1. */
 Variable meanAll(const Variable &a);
 

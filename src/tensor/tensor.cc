@@ -116,78 +116,6 @@ Tensor::copyRowFrom(size_t dst_row, const Tensor &src, size_t src_row)
     std::copy(src.row(src_row), src.row(src_row) + cols_, row(dst_row));
 }
 
-Tensor
-matmulRaw(const Tensor &a, const Tensor &b)
-{
-    CASCADE_CHECK(a.cols() == b.rows(), "matmul inner dim mismatch");
-    Tensor c(a.rows(), b.cols());
-    const size_t m = a.rows(), k = a.cols(), n = b.cols();
-    for (size_t i = 0; i < m; ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (size_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f)
-                continue;
-            const float *brow = b.row(p);
-            for (size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
-    return c;
-}
-
-Tensor
-matmulTransARaw(const Tensor &a, const Tensor &b)
-{
-    CASCADE_CHECK(a.rows() == b.rows(), "matmulTransA dim mismatch");
-    Tensor c(a.cols(), b.cols());
-    const size_t m = a.cols(), k = a.rows(), n = b.cols();
-    for (size_t p = 0; p < k; ++p) {
-        const float *arow = a.row(p);
-        const float *brow = b.row(p);
-        for (size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c.row(i);
-            for (size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
-    (void)m;
-    return c;
-}
-
-Tensor
-matmulTransBRaw(const Tensor &a, const Tensor &b)
-{
-    CASCADE_CHECK(a.cols() == b.cols(), "matmulTransB dim mismatch");
-    Tensor c(a.rows(), b.rows());
-    for (size_t i = 0; i < a.rows(); ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (size_t j = 0; j < b.rows(); ++j) {
-            const float *brow = b.row(j);
-            float acc = 0.0f;
-            for (size_t p = 0; p < a.cols(); ++p)
-                acc += arow[p] * brow[p];
-            crow[j] = acc;
-        }
-    }
-    return c;
-}
-
-Tensor
-transposeRaw(const Tensor &a)
-{
-    Tensor t(a.cols(), a.rows());
-    for (size_t i = 0; i < a.rows(); ++i)
-        for (size_t j = 0; j < a.cols(); ++j)
-            t.at(j, i) = a.at(i, j);
-    return t;
-}
-
 double
 cosineSimilarityRows(const Tensor &a, size_t ra,
                      const Tensor &b, size_t rb)

@@ -82,23 +82,26 @@ class Tensor
     /** Copy row r of src into row r of *this. */
     void copyRowFrom(size_t dst_row, const Tensor &src, size_t src_row);
 
+    /**
+     * Steal the backing storage, leaving a 0x0 tensor. Used by
+     * kernels::recycle to park buffers in the kernel buffer pool.
+     */
+    std::vector<float>
+    takeData() &&
+    {
+        rows_ = cols_ = 0;
+        return std::move(data_);
+    }
+
   private:
     size_t rows_;
     size_t cols_;
     std::vector<float> data_;
 };
 
-/** C = A * B (naive blocked matmul; shapes must agree). */
-Tensor matmulRaw(const Tensor &a, const Tensor &b);
-
-/** C = A^T * B. */
-Tensor matmulTransARaw(const Tensor &a, const Tensor &b);
-
-/** C = A * B^T. */
-Tensor matmulTransBRaw(const Tensor &a, const Tensor &b);
-
-/** Transposed copy. */
-Tensor transposeRaw(const Tensor &a);
+// Matrix products live in tensor/kernels.hh (kernels::gemm); the old
+// ad-hoc raw-matmul entry points survive only as deprecated wrappers
+// declared there.
 
 /**
  * Cosine similarity between row ra of a and row rb of b.

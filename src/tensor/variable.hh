@@ -34,16 +34,14 @@ struct Node
     /** Accumulates this node's grad into its parents' grads. */
     std::function<void(Node &)> backward;
 
-    /** Gradient tensor, zero-allocated on first access. */
-    Tensor &
-    ensureGrad()
-    {
-        if (!gradReady) {
-            grad = Tensor(value.rows(), value.cols());
-            gradReady = true;
-        }
-        return grad;
-    }
+    Node() = default;
+    /** Returns value/grad storage to the kernel buffer pool. */
+    ~Node();
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    /** Gradient tensor, pool-allocated zeroed on first access. */
+    Tensor &ensureGrad();
 };
 
 } // namespace detail

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tensor/kernels.hh"
 #include "tensor/tensor_io.hh"
 #include "util/logging.hh"
 
@@ -43,8 +44,10 @@ MemoryStore::write(const std::vector<NodeId> &nodes, const Tensor &values,
     cos.reserve(nodes.size());
     for (size_t i = 0; i < nodes.size(); ++i) {
         const size_t r = static_cast<size_t>(nodes[i]);
-        cos.push_back(cosineSimilarityRows(mem_, r, values, i));
-        mem_.copyRowFrom(r, values, i);
+        // Fused: one pass computes cos(old, new) and overwrites the
+        // memory row, instead of a similarity pass plus a copy pass.
+        cos.push_back(kernels::cosineOverwrite(mem_.row(r), values.row(i),
+                                               mem_.cols()));
         lastUpdate_[r] = ts;
     }
     return cos;

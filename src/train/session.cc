@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tensor/kernels.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
@@ -76,6 +77,7 @@ TrainingSession::TrainingSession(TgnnModel &model,
     guard_.bindMetrics(*metrics_);
     device_->bindMetrics(*metrics_);
     model_.bindMetrics(*metrics_);
+    kernels::bindMetrics(*metrics_);
 
     supervisor_ = std::make_unique<Supervisor>(options_.supervisor,
                                                *metrics_, trace_);
@@ -86,6 +88,7 @@ TrainingSession::~TrainingSession()
     // The bound components may outlive this session's (possibly
     // owned) registry; drop their instrument pointers so later use
     // (evalLoss, another session) never touches freed memory.
+    kernels::unbindMetrics();
     model_.unbindMetrics();
     batcher_.unbindMetrics();
     guard_.unbindMetrics();

@@ -11,7 +11,15 @@ std::shared_ptr<ThreadPool> globalPool;
 std::mutex globalPoolMutex;
 size_t requestedThreads = 0;
 
+thread_local bool tlInWorker = false;
+
 } // namespace
+
+bool
+ThreadPool::inWorker()
+{
+    return tlInWorker;
+}
 
 ThreadPool::ThreadPool(size_t threads)
 {
@@ -63,6 +71,7 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
+    tlInWorker = true;
     for (;;) {
         std::function<void()> task;
         {

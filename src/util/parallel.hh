@@ -73,6 +73,15 @@ class ThreadPool
     static std::shared_ptr<ThreadPool> globalShared();
 
     /**
+     * True when the calling thread is a pool worker. Nested data
+     * parallelism (a kernel invoked from inside a pool task) must run
+     * serially instead of re-submitting to the pool it is already
+     * executing on — wait() from a worker would deadlock once every
+     * worker blocks there.
+     */
+    static bool inWorker();
+
+    /**
      * Resize the global pool. Safe to call at any time, including
      * after the lazily-started pool has run work: the old pool keeps
      * serving callers that already pinned it and is drained and

@@ -22,7 +22,7 @@ using OpsDeath = ::testing::Test;
 TEST(OpsDeath, MatmulInnerDimMismatch)
 {
     Variable a(Tensor::ones(2, 3)), b(Tensor::ones(2, 3));
-    EXPECT_DEATH(matmul(a, b), "matmul inner dim mismatch");
+    EXPECT_DEATH(matmul(a, b), "inner dim mismatch");
 }
 
 TEST(OpsDeath, AddIncompatibleShapes)

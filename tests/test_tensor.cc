@@ -7,10 +7,12 @@
 
 #include <cmath>
 
+#include "tensor/kernels.hh"
 #include "tensor/tensor.hh"
 #include "util/rng.hh"
 
 using namespace cascade;
+using kernels::Trans;
 
 TEST(Tensor, ConstructionAndShape)
 {
@@ -83,42 +85,48 @@ TEST(Tensor, CopyRowFrom)
     EXPECT_FLOAT_EQ(b.at(0, 0), 0.0f);
 }
 
-TEST(MatmulRaw, MatchesHandComputed)
+TEST(Gemm, MatchesHandComputed)
 {
     Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
     Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
-    Tensor c = matmulRaw(a, b);
+    Tensor c = kernels::gemm(Trans::None, Trans::None, a, b);
     EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
     EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
     EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
     EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
 }
 
-TEST(MatmulRaw, TransposedVariantsAgree)
+TEST(Gemm, TransposedVariantsAgree)
 {
     Rng rng(7);
     Tensor a = Tensor::randn(4, 5, rng);
     Tensor b = Tensor::randn(4, 6, rng);
     // A^T B computed directly vs. via explicit transpose.
-    Tensor direct = matmulTransARaw(a, b);
-    Tensor viaT = matmulRaw(transposeRaw(a), b);
+    Tensor at(a.cols(), a.rows());
+    kernels::transpose(a, at);
+    Tensor direct = kernels::gemm(Trans::Transpose, Trans::None, a, b);
+    Tensor viaT = kernels::gemm(Trans::None, Trans::None, at, b);
     ASSERT_TRUE(direct.sameShape(viaT));
     for (size_t i = 0; i < direct.size(); ++i)
         EXPECT_NEAR(direct.data()[i], viaT.data()[i], 1e-4);
 
     Tensor c = Tensor::randn(6, 5, rng);
-    Tensor direct2 = matmulTransBRaw(a, c); // A C^T : 4x6
-    Tensor viaT2 = matmulRaw(a, transposeRaw(c));
+    Tensor ct(c.cols(), c.rows());
+    kernels::transpose(c, ct);
+    Tensor direct2 = kernels::gemm(Trans::None, Trans::Transpose, a, c);
+    Tensor viaT2 = kernels::gemm(Trans::None, Trans::None, a, ct);
     ASSERT_TRUE(direct2.sameShape(viaT2));
     for (size_t i = 0; i < direct2.size(); ++i)
         EXPECT_NEAR(direct2.data()[i], viaT2.data()[i], 1e-4);
 }
 
-TEST(TransposeRaw, RoundTrips)
+TEST(Transpose, RoundTrips)
 {
     Rng rng(9);
     Tensor a = Tensor::randn(3, 7, rng);
-    Tensor tt = transposeRaw(transposeRaw(a));
+    Tensor t(7, 3), tt(3, 7);
+    kernels::transpose(a, t);
+    kernels::transpose(t, tt);
     for (size_t i = 0; i < a.size(); ++i)
         EXPECT_FLOAT_EQ(a.data()[i], tt.data()[i]);
 }

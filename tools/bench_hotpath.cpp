@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Reproducible hot-path benchmark runner (README "Benchmarking the
+ * compute kernels").
+ *
+ * Measures, with fixed seeds and pinned thread counts:
+ *
+ *  1. Blocked-GEMM throughput (GFLOP/s) across shapes and thread
+ *     counts, against the retained naive seed kernel as the
+ *     single-threaded baseline;
+ *  2. End-to-end training throughput (events/sec) for one epoch of the
+ *     TGN model under the Cascade policy on the small WIKI-scale
+ *     dataset.
+ *
+ * Each timing is a trimmed mean: one untimed warmup run, then `reps`
+ * timed runs with the min and max dropped (when reps >= 3). Results
+ * are written as BENCH_hotpath.json (schema cascade.bench_hotpath.v1,
+ * documented in the README); `--smoke` shrinks shapes/reps to a
+ * seconds-long CI smoke run.
+ *
+ * Usage: bench_hotpath [--smoke] [--reps N] [--out PATH]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "tensor/kernels.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+#include "util/timer.hh"
+
+using namespace cascade;
+using kernels::Trans;
+
+namespace {
+
+struct GemmShape { size_t m, k, n; };
+
+struct GemmResult
+{
+    GemmShape shape;
+    size_t threads;
+    double seconds;     ///< trimmed-mean blocked-kernel time
+    double gflops;      ///< blocked-kernel throughput
+    double naiveSeconds;///< trimmed-mean naive reference time
+    double naiveGflops; ///< naive single-thread throughput
+};
+
+/** Trimmed mean: drop min and max when there are >= 3 samples. */
+double
+trimmedMean(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    size_t lo = 0, hi = samples.size();
+    if (samples.size() >= 3) {
+        ++lo;
+        --hi;
+    }
+    const double sum =
+        std::accumulate(samples.begin() + lo, samples.begin() + hi, 0.0);
+    return sum / static_cast<double>(hi - lo);
+}
+
+/** Time fn() `reps` times after one untimed warmup. */
+template <typename Fn>
+double
+timeTrimmed(size_t reps, Fn &&fn)
+{
+    fn(); // warmup
+    std::vector<double> samples;
+    samples.reserve(reps);
+    for (size_t r = 0; r < reps; ++r) {
+        Timer t;
+        fn();
+        samples.push_back(t.seconds());
+    }
+    return trimmedMean(std::move(samples));
+}
+
+GemmResult
+benchGemmShape(const GemmShape &s, size_t threads, size_t reps,
+               size_t naive_reps)
+{
+    Rng rng(1234);
+    Tensor a = Tensor::randn(s.m, s.k, rng);
+    Tensor b = Tensor::randn(s.k, s.n, rng);
+    Tensor out(s.m, s.n);
+    const double flop = 2.0 * double(s.m) * double(s.k) * double(s.n);
+
+    ThreadPool::setGlobalThreads(threads);
+    GemmResult res;
+    res.shape = s;
+    res.threads = threads;
+    res.seconds = timeTrimmed(
+        reps, [&] { kernels::gemm(Trans::None, Trans::None, a, b, out); });
+    res.gflops = res.seconds > 0.0 ? flop / res.seconds / 1e9 : 0.0;
+
+    // Naive reference is single-threaded by construction; it is the
+    // baseline regardless of the pinned thread count.
+    res.naiveSeconds = timeTrimmed(naive_reps, [&] {
+        Tensor c = kernels::naiveGemm(Trans::None, Trans::None, a, b);
+    });
+    res.naiveGflops =
+        res.naiveSeconds > 0.0 ? flop / res.naiveSeconds / 1e9 : 0.0;
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    size_t reps = 5;
+    std::string out_path = "BENCH_hotpath.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+            reps = static_cast<size_t>(std::stoul(argv[++i]));
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_hotpath [--smoke] [--reps N] "
+                         "[--out PATH]\n");
+            return 2;
+        }
+    }
+    if (smoke)
+        reps = std::min<size_t>(reps, 2);
+
+    // The 512^3 point backs the documented >=3x acceptance threshold;
+    // the odd shape exercises the register-tile edge paths.
+    const std::vector<GemmShape> shapes = smoke
+        ? std::vector<GemmShape>{{32, 32, 32}, {64, 64, 64}}
+        : std::vector<GemmShape>{{64, 64, 64},
+                                 {128, 256, 64},
+                                 {512, 512, 512},
+                                 {513, 511, 129}};
+    const std::vector<size_t> thread_counts = smoke
+        ? std::vector<size_t>{1, 2}
+        : std::vector<size_t>{1, 2, 4, 8};
+
+    std::vector<GemmResult> results;
+    for (const GemmShape &s : shapes) {
+        // The naive kernel is slow at 512^3; one warmup + few reps.
+        const size_t naive_reps =
+            (s.m * s.k * s.n >= (1ull << 26)) ? std::min<size_t>(reps, 3)
+                                              : reps;
+        for (size_t t : thread_counts) {
+            results.push_back(benchGemmShape(s, t, reps, naive_reps));
+            const GemmResult &r = results.back();
+            std::printf("gemm %4zux%4zux%4zu  threads=%zu  "
+                        "%8.2f GF/s  (naive %6.2f GF/s, %5.1fx)\n",
+                        r.shape.m, r.shape.k, r.shape.n, r.threads,
+                        r.gflops, r.naiveGflops,
+                        r.naiveGflops > 0.0 ? r.gflops / r.naiveGflops
+                                            : 0.0);
+        }
+    }
+    ThreadPool::setGlobalThreads(0);
+
+    // --- End-to-end: one epoch of TGN/Cascade on the small dataset ---
+    bench::BenchConfig cfg; // fixed defaults, NOT env: reproducibility
+    cfg.scaleMultiplier = smoke ? 8.0 : 1.0;
+    cfg.epochs = 1;
+    cfg.dim = 16;
+    cfg.seed = 42;
+    auto ds = bench::load(wikiSpec(50.0 * cfg.scaleMultiplier), cfg);
+
+    kernels::resetStats();
+    Timer e2e;
+    TrainReport report = bench::runPolicy(*ds, "TGN",
+                                          bench::Policy::Cascade, cfg);
+    const double e2e_seconds = e2e.seconds();
+    const kernels::KernelStats ks = kernels::stats();
+    const double events_per_sec = report.wallSeconds > 0.0
+        ? static_cast<double>(ds->trainEnd) / report.wallSeconds
+        : 0.0;
+    std::printf("end_to_end TGN/Cascade: %zu events, %.3fs train "
+                "(%.0f events/s), %.3fs total\n",
+                ds->trainEnd, report.wallSeconds, events_per_sec,
+                e2e_seconds);
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_hotpath: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"cascade.bench_hotpath.v1\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"reps\": %zu,\n", reps);
+    std::fprintf(f, "  \"seed\": 1234,\n");
+    std::fprintf(f, "  \"gemm\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const GemmResult &r = results[i];
+        std::fprintf(
+            f,
+            "    {\"m\": %zu, \"k\": %zu, \"n\": %zu, \"threads\": %zu, "
+            "\"seconds\": %.6e, \"gflops\": %.3f, "
+            "\"naive_seconds\": %.6e, \"naive_gflops\": %.3f, "
+            "\"speedup_vs_naive\": %.2f}%s\n",
+            r.shape.m, r.shape.k, r.shape.n, r.threads, r.seconds,
+            r.gflops, r.naiveSeconds, r.naiveGflops,
+            r.naiveGflops > 0.0 ? r.gflops / r.naiveGflops : 0.0,
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"end_to_end\": {\"dataset\": \"WIKI\", "
+                 "\"model\": \"TGN\", \"policy\": \"Cascade\", "
+                 "\"epochs\": 1, \"events\": %zu, "
+                 "\"train_seconds\": %.4f, \"events_per_sec\": %.1f, "
+                 "\"val_loss\": %.5f},\n",
+                 ds->trainEnd, report.wallSeconds, events_per_sec,
+                 report.valLoss);
+    std::fprintf(f,
+                 "  \"kernel_stats\": {\"gemm_calls\": %llu, "
+                 "\"gemm_flops\": %llu, \"elementwise_calls\": %llu, "
+                 "\"pool_hits\": %llu, \"pool_misses\": %llu, "
+                 "\"pool_hit_rate\": %.4f}\n}\n",
+                 static_cast<unsigned long long>(ks.gemmCalls),
+                 static_cast<unsigned long long>(ks.gemmFlops),
+                 static_cast<unsigned long long>(ks.elementwiseCalls),
+                 static_cast<unsigned long long>(ks.poolHits),
+                 static_cast<unsigned long long>(ks.poolMisses),
+                 ks.poolHits + ks.poolMisses > 0
+                     ? static_cast<double>(ks.poolHits) /
+                           static_cast<double>(ks.poolHits + ks.poolMisses)
+                     : 0.0);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

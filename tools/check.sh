@@ -9,9 +9,23 @@
 #   tools/check.sh <regex>    # both presets, only tests matching regex
 #   tools/check.sh -s [re]    # sanitize preset only (old behaviour)
 #
+# Also enforces the kernel-API consolidation (no caller outside
+# src/tensor/kernels.* may reference the transposed matmul wrappers)
+# and smoke-runs the hot-path benchmark from the default build tree.
+#
 # Trees live in build/ and build-sanitize/ and never touch each other.
 set -e
 cd "$(dirname "$0")/.."
+
+# API-consolidation check: the deprecated transposed-matmul entry
+# points must not be referenced outside the kernels TU that defines
+# them (kernels_ref.cc documents the seed loops they came from).
+if grep -rnE 'matmulTrans[AB]Raw' src tests bench tools examples \
+        | grep -v 'src/tensor/kernels' | grep -v 'tools/check.sh'; then
+    echo "check.sh: deprecated transposed-matmul wrappers referenced" \
+         "outside src/tensor/kernels.* — use kernels::gemm" >&2
+    exit 1
+fi
 
 run_preset() {
     preset="$1"
@@ -32,4 +46,8 @@ else
     run_preset default "${1:-}"
     run_preset sanitize "${1:-}"
     sh tools/fault_matrix.sh build-sanitize
+    # Hot-path bench smoke: seconds-long shapes, verifies the runner
+    # and the JSON it emits stay healthy.
+    cmake --build --preset default -j "$(nproc)" --target bench_hotpath
+    ./build/tools/bench_hotpath --smoke --out build/BENCH_hotpath_smoke.json
 fi
