@@ -171,7 +171,7 @@ TgDiffuser::lastTolerableEnd(size_t st, const std::vector<uint8_t> &stable)
     const auto &active = table.activeNodes();
     constexpr EventIdx kMax = std::numeric_limits<EventIdx>::max();
     EventIdx best = kMax;
-    std::mutex merge;
+    AnnotatedMutex merge; // serializes the per-chunk min merges
     parallelForChunks(0, active.size(), [&](size_t lo, size_t hi) {
         EventIdx local = kMax;
         for (size_t i = lo; i < hi; ++i) {
@@ -190,7 +190,7 @@ TgDiffuser::lastTolerableEnd(size_t st, const std::vector<uint8_t> &stable)
                 continue;
             local = std::min(local, entry[ptr + maxr_]);
         }
-        std::lock_guard<std::mutex> lock(merge);
+        LockGuard lock(merge);
         best = std::min(best, local);
     }, 512);
 

@@ -24,7 +24,7 @@ Histogram::record(double v)
     size_t b = 0;
     while (b < bounds.size() && v > bounds[b])
         ++b;
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     if (count_ == 0) {
         min_ = v;
         max_ = v;
@@ -40,49 +40,49 @@ Histogram::record(double v)
 uint64_t
 Histogram::count() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     return count_;
 }
 
 double
 Histogram::sum() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     return sum_;
 }
 
 double
 Histogram::min() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     return min_;
 }
 
 double
 Histogram::max() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     return max_;
 }
 
 double
 Histogram::mean() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
 std::vector<uint64_t>
 Histogram::buckets() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     return std::vector<uint64_t>(buckets_, buckets_ + kBuckets);
 }
 
 void
 Histogram::reset()
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     count_ = 0;
     sum_ = min_ = max_ = 0.0;
     std::fill(buckets_, buckets_ + kBuckets, 0);
@@ -91,7 +91,7 @@ Histogram::reset()
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     auto &slot = counters_[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -101,7 +101,7 @@ MetricsRegistry::counter(const std::string &name)
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     auto &slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -111,7 +111,7 @@ MetricsRegistry::gauge(const std::string &name)
 Histogram &
 MetricsRegistry::histogram(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     auto &slot = histograms_[name];
     if (!slot)
         slot = std::make_unique<Histogram>();
@@ -121,7 +121,7 @@ MetricsRegistry::histogram(const std::string &name)
 const Counter *
 MetricsRegistry::findCounter(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     auto it = counters_.find(name);
     return it == counters_.end() ? nullptr : it->second.get();
 }
@@ -129,7 +129,7 @@ MetricsRegistry::findCounter(const std::string &name) const
 const Gauge *
 MetricsRegistry::findGauge(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     auto it = gauges_.find(name);
     return it == gauges_.end() ? nullptr : it->second.get();
 }
@@ -137,7 +137,7 @@ MetricsRegistry::findGauge(const std::string &name) const
 const Histogram *
 MetricsRegistry::findHistogram(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -146,7 +146,7 @@ MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
     MetricsSnapshot s;
-    std::lock_guard<std::mutex> lock(m_);
+    LockGuard lock(m_);
     for (const auto &[name, c] : counters_)
         s.counters.emplace_back(name, c->value());
     for (const auto &[name, g] : gauges_)

@@ -25,9 +25,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace cascade {
 namespace obs {
@@ -84,12 +85,12 @@ class Histogram
     void reset();
 
   private:
-    mutable std::mutex m_;
-    uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
-    uint64_t buckets_[kBuckets] = {0};
+    mutable AnnotatedMutex m_;
+    uint64_t count_ CASCADE_GUARDED_BY(m_) = 0;
+    double sum_ CASCADE_GUARDED_BY(m_) = 0.0;
+    double min_ CASCADE_GUARDED_BY(m_) = 0.0;
+    double max_ CASCADE_GUARDED_BY(m_) = 0.0;
+    uint64_t buckets_[kBuckets] CASCADE_GUARDED_BY(m_) = {0};
 };
 
 /** Point-in-time copy of every instrument (serialization input). */
@@ -140,10 +141,17 @@ class MetricsRegistry
     std::string toText() const;
 
   private:
-    mutable std::mutex m_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    /** Guards the instrument directories only. The instruments
+     *  themselves are internally synchronized (atomics / their own
+     *  lock), which is why handing out references is sound: node-based
+     *  maps never relocate the pointees. */
+    mutable AnnotatedMutex m_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        CASCADE_GUARDED_BY(m_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        CASCADE_GUARDED_BY(m_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        CASCADE_GUARDED_BY(m_);
 };
 
 /** Pluggable metrics exporter (text console, JSON file, …). */

@@ -21,9 +21,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace cascade {
 namespace obs {
@@ -108,11 +109,11 @@ class TraceRecorder
     Clock::time_point epoch_;
     size_t maxEvents_;
 
-    mutable std::mutex m_;
-    std::vector<TraceEvent> events_;
-    size_t dropped_ = 0;
-    int maxDepth_ = 0;
-    int nextTid_ = 0;
+    mutable AnnotatedMutex m_;
+    std::vector<TraceEvent> events_ CASCADE_GUARDED_BY(m_);
+    size_t dropped_ CASCADE_GUARDED_BY(m_) = 0;
+    int maxDepth_ CASCADE_GUARDED_BY(m_) = 0;
+    int nextTid_ CASCADE_GUARDED_BY(m_) = 0;
 };
 
 } // namespace obs

@@ -17,12 +17,12 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
+#include "util/thread_annotations.hh"
 
 namespace cascade {
 namespace kernels {
@@ -76,8 +76,14 @@ class BufferPool
     std::vector<float>
     acquire(size_t n)
     {
+        // Only the free-list scan runs under m_; the O(n) resize
+        // (zero-fill of the grown region) happens after release so a
+        // large acquire cannot stall every concurrent recycle —
+        // lock-hold-time fix from the PR-5 TSan/annotation pass.
+        std::vector<float> buf;
+        bool hit = false;
         {
-            std::lock_guard<std::mutex> lock(m_);
+            LockGuard lock(m_);
             size_t best = free_.size();
             for (size_t i = 0; i < free_.size(); ++i) {
                 if (free_[i].capacity() < n)
@@ -88,16 +94,19 @@ class BufferPool
                 }
             }
             if (best != free_.size()) {
-                std::vector<float> buf = std::move(free_[best]);
+                buf = std::move(free_[best]);
                 free_[best] = std::move(free_.back());
                 free_.pop_back();
                 poolCachedBytes.fetch_sub(
                     buf.capacity() * sizeof(float),
                     std::memory_order_relaxed);
-                bump(poolHits, bound.poolHits);
-                buf.resize(n);
-                return buf;
+                hit = true;
             }
+        }
+        if (hit) {
+            bump(poolHits, bound.poolHits);
+            buf.resize(n);
+            return buf;
         }
         bump(poolMisses, bound.poolMisses);
         return std::vector<float>(n);
@@ -110,7 +119,7 @@ class BufferPool
         if (bytes == 0)
             return;
         poolReturns.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(m_);
+        LockGuard lock(m_);
         if (free_.size() >= kMaxBuffers || bytes > kMaxBufferBytes ||
             poolCachedBytes.load(std::memory_order_relaxed) + bytes >
                 kMaxCachedBytes) {
@@ -134,8 +143,11 @@ class BufferPool
     static constexpr size_t kMaxBufferBytes = 64ull << 20;
     static constexpr size_t kMaxCachedBytes = 192ull << 20;
 
-    std::mutex m_;
-    std::vector<std::vector<float>> free_;
+    AnnotatedMutex m_;
+    /** The free list proper; poolCachedBytes mirrors its byte total
+     *  (every mutation of either happens under m_, the atomic only
+     *  exists so stats() can read it without the lock). */
+    std::vector<std::vector<float>> free_ CASCADE_GUARDED_BY(m_);
 };
 
 /* ------------------------------------------------------------------ */

@@ -25,7 +25,17 @@ namespace cascade {
 class ByteWriter;
 class ByteReader;
 
-/** Ring buffer of the most recent messages per node. */
+/**
+ * Ring buffer of the most recent messages per node.
+ *
+ * Concurrency contract (checked by TSan, not lockable): like
+ * MemoryStore, a Mailbox is single-thread-affine — push/consume run on
+ * the training thread in batch order, which the deferred-update
+ * semantics (consume-before-push within one batch) and bit-determinism
+ * both rely on. No mutex is carried on purpose; add an AnnotatedMutex
+ * + CASCADE_GUARDED_BY (util/thread_annotations.hh) before sharing an
+ * instance across threads.
+ */
 class Mailbox
 {
   public:

@@ -20,7 +20,20 @@ namespace cascade {
 class ByteWriter;
 class ByteReader;
 
-/** Dense per-node memory vectors with last-update timestamps. */
+/**
+ * Dense per-node memory vectors with last-update timestamps.
+ *
+ * Concurrency contract (checked by TSan, not lockable): a MemoryStore
+ * is owned by the training thread. It carries no mutex by design —
+ * gather/write/touch all mutate or read rows in batch order, and the
+ * bit-determinism guarantee (DESIGN.md §9) depends on that order being
+ * the program order of the training loop. The TG-Diffuser's prefetch
+ * workers never touch node memory; anything that would read memories
+ * from another thread must snapshot via raw() on the owning thread
+ * first. If cross-thread access ever becomes necessary, add an
+ * AnnotatedMutex + CASCADE_GUARDED_BY here rather than ad-hoc locking
+ * at call sites (util/thread_annotations.hh conventions).
+ */
 class MemoryStore
 {
   public:

@@ -52,39 +52,57 @@ Supervisor::setSleeper(std::function<void(double)> sleeper)
         sleeper_ = std::move(sleeper);
 }
 
+void
+Supervisor::setLastError(const std::string &what)
+{
+    LockGuard lock(errMutex_);
+    lastError_ = what;
+}
+
 bool
 Supervisor::runSupervised(const std::string &stage,
                           const std::function<bool()> &op)
 {
+    // The retry budget is immutable configuration; read it from
+    // options_ rather than through the lock-guarded policy.
+    const size_t max_retries = options_.retry.maxRetries;
     for (size_t attempt = 0;; ++attempt) {
         bool ok = false;
+        std::string error;
         bool threw = false;
         try {
             ok = op();
         } catch (const std::exception &e) {
             threw = true;
-            lastError_ = e.what();
+            error = e.what();
         } catch (...) {
             threw = true;
-            lastError_ = "non-standard exception";
+            error = "non-standard exception";
         }
         if (ok)
             return true;
         if (!threw)
-            lastError_ = "operation reported failure";
+            error = "operation reported failure";
+        setLastError(error);
         metrics_.counter(stage + ".failures").add(1);
-        if (attempt >= retry_.maxRetries()) {
+        if (attempt >= max_retries) {
             CASCADE_LOG("stage %s failed after %zu attempt(s): %s",
-                        stage.c_str(), attempt + 1,
-                        lastError_.c_str());
+                        stage.c_str(), attempt + 1, error.c_str());
             return false;
         }
-        const double delay = retry_.delayMs(attempt);
+        double delay = 0.0;
+        {
+            // The jitter RNG advances on every draw; serialize draws
+            // so concurrent supervised stages cannot interleave
+            // updates to its state.
+            LockGuard lock(retryMutex_);
+            delay = retry_.delayMs(attempt);
+        }
         metrics_.counter("supervisor.retries").add(1);
         metrics_.counter(stage + ".retries").add(1);
         CASCADE_LOG("stage %s failed (%s); retry %zu/%zu in %.1f ms",
-                    stage.c_str(), lastError_.c_str(), attempt + 1,
-                    retry_.maxRetries(), delay);
+                    stage.c_str(), error.c_str(), attempt + 1,
+                    max_retries, delay);
         if (trace_) {
             auto span = trace_->span(stage + "-retry-wait",
                                      "supervisor");

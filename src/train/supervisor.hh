@@ -41,6 +41,7 @@
 #include <string>
 
 #include "util/rng.hh"
+#include "util/thread_annotations.hh"
 #include "util/timer.hh"
 
 namespace cascade {
@@ -137,8 +138,17 @@ class Supervisor
     bool runSupervised(const std::string &stage,
                        const std::function<bool()> &op);
 
-    /** Message of the most recent failure runSupervised saw. */
-    const std::string &lastError() const { return lastError_; }
+    /**
+     * Message of the most recent failure runSupervised saw. Returns a
+     * copy: stages may retry on worker threads (the degradation
+     * ladder's pipelined rungs), so a reference into state another
+     * attempt can overwrite would be a use-after-write race.
+     */
+    std::string lastError() const
+    {
+        LockGuard lock(errMutex_);
+        return lastError_;
+    }
 
     /**
      * Deadline accounting for one stage execution. On construction
@@ -175,12 +185,20 @@ class Supervisor
   private:
     void recordDeadlineMiss(const std::string &stage, double elapsedMs);
 
+    /** Store a failure message for lastError(). */
+    void setLastError(const std::string &what) CASCADE_EXCLUDES(errMutex_);
+
     SupervisorOptions options_;
-    RetryPolicy retry_;
+    /** Retry/deadline bookkeeping: the jitter RNG inside retry_ and
+     *  the failure message both mutate per attempt, and attempts may
+     *  run on whichever thread executes the supervised stage. */
+    AnnotatedMutex retryMutex_;
+    RetryPolicy retry_ CASCADE_GUARDED_BY(retryMutex_);
     obs::MetricsRegistry &metrics_;
     obs::TraceRecorder *trace_;
     std::function<void(double)> sleeper_;
-    std::string lastError_;
+    mutable AnnotatedMutex errMutex_;
+    std::string lastError_ CASCADE_GUARDED_BY(errMutex_);
 };
 
 } // namespace cascade

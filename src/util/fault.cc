@@ -2,10 +2,10 @@
 
 #include <cstdlib>
 #include <limits>
-#include <mutex>
 
 #include "util/env.hh"
 #include "util/logging.hh"
+#include "util/thread_annotations.hh"
 
 extern char **environ;
 
@@ -26,23 +26,24 @@ struct State
     bool initialized = false;
 };
 
-State &
-state()
-{
-    static State s;
-    return s;
-}
-
 /**
- * Guards every trigger: the pipelined chunk build fires
- * maybeFailChunkBuild on a worker thread while the training thread
- * consults the batch triggers.
+ * The process-global trigger state and the mutex that guards every
+ * access to it: the pipelined chunk build fires maybeFailChunkBuild
+ * on a worker thread while the training thread consults the batch
+ * triggers. Bundling the two lets -Wthread-safety check that no
+ * trigger path reads the state without the lock.
  */
-std::mutex &
-stateMutex()
+struct GuardedState
 {
-    static std::mutex m;
-    return m;
+    AnnotatedMutex m;
+    State s CASCADE_GUARDED_BY(m);
+};
+
+GuardedState &
+guarded()
+{
+    static GuardedState g;
+    return g;
 }
 
 void
@@ -83,9 +84,9 @@ readLongVar(const char *name, long &out, std::string &error)
 
 /** First-use initialization from the environment (CLI runs). */
 State &
-ensureInitLocked()
+ensureInitLocked(GuardedState &g) CASCADE_REQUIRES(g.m)
 {
-    State &s = state();
+    State &s = g.s;
     if (!s.initialized) {
         std::vector<std::string> unknown;
         std::string error;
@@ -162,10 +163,10 @@ parseEnvConfig(Config &out, std::vector<std::string> &unknown,
 void
 configure(const Config &config)
 {
-    std::lock_guard<std::mutex> lock(stateMutex());
-    State &s = state();
-    s.cfg = config;
-    arm(s);
+    GuardedState &g = guarded();
+    LockGuard lock(g.m);
+    g.s.cfg = config;
+    arm(g.s);
 }
 
 void
@@ -178,8 +179,9 @@ bool
 onFileWrite(const std::string &path)
 {
     (void)path;
-    std::lock_guard<std::mutex> lock(stateMutex());
-    State &s = ensureInitLocked();
+    GuardedState &g = guarded();
+    LockGuard lock(g.m);
+    State &s = ensureInitLocked(g);
     if (!s.writeArmed)
         return false;
     ++s.writeCalls;
@@ -196,8 +198,9 @@ onFileWrite(const std::string &path)
 bool
 maybeInjectNan(uint64_t globalBatch, double &loss)
 {
-    std::lock_guard<std::mutex> lock(stateMutex());
-    State &s = ensureInitLocked();
+    GuardedState &g = guarded();
+    LockGuard lock(g.m);
+    State &s = ensureInitLocked(g);
     if (!s.nanArmed ||
         globalBatch != static_cast<uint64_t>(s.cfg.nanBatch)) {
         return false;
@@ -211,8 +214,9 @@ maybeInjectNan(uint64_t globalBatch, double &loss)
 bool
 crashAfter(uint64_t globalBatch)
 {
-    std::lock_guard<std::mutex> lock(stateMutex());
-    State &s = ensureInitLocked();
+    GuardedState &g = guarded();
+    LockGuard lock(g.m);
+    State &s = ensureInitLocked(g);
     if (!s.crashArmed ||
         globalBatch != static_cast<uint64_t>(s.cfg.crashBatch)) {
         return false;
@@ -226,8 +230,9 @@ void
 maybeFailChunkBuild(size_t chunk)
 {
     {
-        std::lock_guard<std::mutex> lock(stateMutex());
-        State &s = ensureInitLocked();
+        GuardedState &g = guarded();
+        LockGuard lock(g.m);
+        State &s = ensureInitLocked(g);
         if (s.chunkBudget <= 0)
             return;
         --s.chunkBudget;
@@ -240,8 +245,9 @@ maybeFailChunkBuild(size_t chunk)
 double
 stageLatencyMs(const std::string &stage)
 {
-    std::lock_guard<std::mutex> lock(stateMutex());
-    State &s = ensureInitLocked();
+    GuardedState &g = guarded();
+    LockGuard lock(g.m);
+    State &s = ensureInitLocked(g);
     if (s.cfg.latencyStage.empty() || s.cfg.latencyStage != stage)
         return 0.0;
     ++s.injected;
@@ -251,8 +257,9 @@ stageLatencyMs(const std::string &stage)
 size_t
 injectedCount()
 {
-    std::lock_guard<std::mutex> lock(stateMutex());
-    return ensureInitLocked().injected;
+    GuardedState &g = guarded();
+    LockGuard lock(g.m);
+    return ensureInitLocked(g).injected;
 }
 
 } // namespace fault

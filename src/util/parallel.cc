@@ -7,9 +7,10 @@ namespace cascade {
 
 namespace {
 
-std::shared_ptr<ThreadPool> globalPool;
-std::mutex globalPoolMutex;
-size_t requestedThreads = 0;
+AnnotatedMutex globalPoolMutex;
+std::shared_ptr<ThreadPool> globalPool
+    CASCADE_GUARDED_BY(globalPoolMutex);
+size_t requestedThreads CASCADE_GUARDED_BY(globalPoolMutex) = 0;
 
 thread_local bool tlInWorker = false;
 
@@ -33,7 +34,7 @@ ThreadPool::ThreadPool(size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         stopping_ = true;
     }
     taskCv_.notify_all();
@@ -45,7 +46,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         tasks_.push(std::move(task));
         ++inflight_;
     }
@@ -57,10 +58,15 @@ ThreadPool::wait()
 {
     std::exception_ptr err;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        doneCv_.wait(lock, [this] { return inflight_ == 0; });
+        UniqueLock lock(mutex_);
+        while (inflight_ != 0)
+            doneCv_.wait(lock);
         // Hand the first captured task exception to the caller and
-        // clear it so the pool is reusable after the rethrow.
+        // clear it so the pool is reusable after the rethrow. The
+        // capture and the final inflight_ decrement happen inside one
+        // critical section in workerLoop, so once inflight_ reads 0
+        // here the slot can no longer be written by a task submitted
+        // before this wait() began.
         err = std::move(firstError_);
         firstError_ = nullptr;
     }
@@ -75,9 +81,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            taskCv_.wait(lock,
-                         [this] { return stopping_ || !tasks_.empty(); });
+            UniqueLock lock(mutex_);
+            while (!stopping_ && tasks_.empty())
+                taskCv_.wait(lock);
             if (stopping_ && tasks_.empty())
                 return;
             task = std::move(tasks_.front());
@@ -85,15 +91,20 @@ ThreadPool::workerLoop()
         }
         // A throwing task must never unwind a worker thread
         // (std::terminate); capture the first exception for wait().
+        std::exception_ptr taskError;
         try {
             task();
         } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!firstError_)
-                firstError_ = std::current_exception();
+            taskError = std::current_exception();
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            // Single critical section for "task finished": the error
+            // slot is published before — never after — the task stops
+            // counting toward inflight_, so a wait() that observes
+            // inflight_ == 0 observes every captured exception too.
+            LockGuard lock(mutex_);
+            if (taskError && !firstError_)
+                firstError_ = std::move(taskError);
             --inflight_;
             if (inflight_ == 0)
                 doneCv_.notify_all();
@@ -104,7 +115,7 @@ ThreadPool::workerLoop()
 std::shared_ptr<ThreadPool>
 ThreadPool::globalShared()
 {
-    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    LockGuard lock(globalPoolMutex);
     if (!globalPool) {
         size_t n = requestedThreads;
         if (n == 0)
@@ -123,7 +134,7 @@ ThreadPool::global()
 void
 ThreadPool::setGlobalThreads(size_t threads)
 {
-    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    LockGuard lock(globalPoolMutex);
     requestedThreads = threads;
     // Drop our reference only: callers that pinned the old pool via
     // globalShared() keep it alive until their work drains, at which
@@ -166,15 +177,15 @@ parallelForChunks(size_t begin, size_t end,
     // Capture the first body exception per *call*, not per pool, so
     // concurrent parallelFor calls sharing the global pool can never
     // receive each other's failures.
-    std::mutex err_mutex;
-    std::exception_ptr err;
+    AnnotatedMutex err_mutex;
+    std::exception_ptr err; // written under err_mutex (local lifetime)
     for (size_t lo = begin; lo < end; lo += step) {
         const size_t hi = std::min(end, lo + step);
         pool->submit([&body, lo, hi, &err_mutex, &err] {
             try {
                 body(lo, hi);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(err_mutex);
+                LockGuard lock(err_mutex);
                 if (!err)
                     err = std::current_exception();
             }

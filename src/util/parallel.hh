@@ -15,10 +15,11 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace cascade {
 
@@ -51,8 +52,18 @@ class ThreadPool
      * (first-wins; later ones are dropped), lets the remaining tasks
      * run to completion, and rethrows the captured exception here, on
      * the caller. The pool stays usable afterwards.
+     *
+     * Sharing caveat: the pending count and the exception slot are
+     * pool-global. When several threads interleave submit()/wait() on
+     * one pool, wait() returns only once *everyone's* tasks have
+     * drained, and whichever waiter runs first consumes the first
+     * captured exception — it is not attributed to the thread whose
+     * task threw. Callers that need per-caller completion and error
+     * isolation on the shared global pool go through parallelFor /
+     * parallelForChunks, which keep a per-call error slot and rethrow
+     * only their own body's failure.
      */
-    void wait();
+    void wait() CASCADE_EXCLUDES(mutex_);
 
     /** Number of worker threads. */
     size_t threads() const { return workers_.size(); }
@@ -95,13 +106,15 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
-    std::condition_variable taskCv_;
-    std::condition_variable doneCv_;
-    size_t inflight_ = 0;
-    bool stopping_ = false;
-    std::exception_ptr firstError_; ///< first task exception, if any
+    /** One lock for the whole pool state; never held around task(). */
+    AnnotatedMutex mutex_;
+    std::queue<std::function<void()>> tasks_ CASCADE_GUARDED_BY(mutex_);
+    std::condition_variable_any taskCv_;
+    std::condition_variable_any doneCv_;
+    size_t inflight_ CASCADE_GUARDED_BY(mutex_) = 0;
+    bool stopping_ CASCADE_GUARDED_BY(mutex_) = false;
+    /** First task exception, if any (see wait()'s sharing caveat). */
+    std::exception_ptr firstError_ CASCADE_GUARDED_BY(mutex_);
 };
 
 /**

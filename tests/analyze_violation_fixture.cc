@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deliberate thread-safety violation — NOT part of any normal build.
+ *
+ * This TU exists to prove the `analyze` preset's gate is live: it is
+ * compiled only when CMake is configured with
+ * -DCASCADE_SEED_TS_VIOLATION=ON, and under
+ * `-Wthread-safety -Werror=thread-safety` (the analyze preset) it
+ * MUST fail to compile. CI's analyze lane builds it and asserts the
+ * failure; if this file ever compiles under the analyze preset, the
+ * annotations have been silently disabled and the whole static layer
+ * is dead weight.
+ *
+ * Keep exactly one violation per function so the expected diagnostics
+ * stay enumerable:
+ *   1. readUnlocked     — reads a GUARDED_BY member with no lock held
+ *   2. writeWrongLock   — writes it holding a *different* mutex
+ *   3. missingRequires  — calls a REQUIRES function without the lock
+ */
+
+#include "util/thread_annotations.hh"
+
+namespace cascade {
+namespace analyze_fixture {
+
+class Violator
+{
+  public:
+    int readUnlocked() const
+    {
+        return counter_; // error: reading counter_ requires m_
+    }
+
+    void writeWrongLock()
+    {
+        LockGuard lock(other_);
+        counter_ = 7; // error: writing counter_ requires m_, not other_
+    }
+
+    void missingRequires()
+    {
+        bumpLocked(); // error: calling bumpLocked() requires m_
+    }
+
+  private:
+    void bumpLocked() CASCADE_REQUIRES(m_) { ++counter_; }
+
+    mutable AnnotatedMutex m_;
+    AnnotatedMutex other_;
+    int counter_ CASCADE_GUARDED_BY(m_) = 0;
+};
+
+/** Anchor so the TU is never empty even if the class gets elided. */
+int
+fixtureAnchor()
+{
+    Violator v;
+    v.writeWrongLock();
+    return v.readUnlocked();
+}
+
+} // namespace analyze_fixture
+} // namespace cascade

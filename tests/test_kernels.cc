@@ -287,7 +287,8 @@ TEST(KernelCompat, DeprecatedWrappersStillCompute)
     Rng rng(41);
     Tensor a = Tensor::randn(3, 4, rng);
     Tensor b = Tensor::randn(4, 5, rng);
-    Tensor viaWrapper = matmulRaw(a, b);
+    Tensor viaWrapper =
+        matmulRaw(a, b); // cascade-lint: allow(deprecated-api)
     Tensor viaKernel = kernels::gemm(Trans::None, Trans::None, a, b);
     EXPECT_LE(maxAbsDiff(viaWrapper, viaKernel), 0.0);
 

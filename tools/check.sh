@@ -1,32 +1,87 @@
 #!/bin/sh
-# Local mirror of the CI matrix (.github/workflows/ci.yml): the tier-1
-# verify (default preset: configure + build + ctest) followed by the
-# same suite under ASan+UBSan via the `sanitize` preset, then the
-# fault matrix (tools/fault_matrix.sh) driving the sanitized CLI
-# under representative CASCADE_FAULT_* configurations.
+# Local mirror of the CI matrix (.github/workflows/ci.yml).
 #
-#   tools/check.sh            # both presets, full suite + fault matrix
-#   tools/check.sh <regex>    # both presets, only tests matching regex
+#   tools/check.sh            # everything: lint, tidy, analyze, then
+#                             # default + sanitize + tsan suites, the
+#                             # fault matrix, and the bench smoke
+#   tools/check.sh <regex>    # same, only tests matching regex
 #   tools/check.sh -s [re]    # sanitize preset only (old behaviour)
+#   tools/check.sh -q         # quick lint-only gate (seconds): the
+#                             # cascade linter self-test + tree scan.
+#                             # Intended as a pre-commit hook.
 #
-# Also enforces the kernel-API consolidation (no caller outside
-# src/tensor/kernels.* may reference the transposed matmul wrappers)
-# and smoke-runs the hot-path benchmark from the default build tree.
-#
-# Trees live in build/ and build-sanitize/ and never touch each other.
+# Static steps (lint, clang-tidy, the clang analyze preset) run first
+# so the cheap failures arrive before any compile. Steps whose
+# toolchain is missing locally (clang++/clang-tidy on a gcc-only box)
+# are skipped with a notice — CI always runs them.
 set -e
 cd "$(dirname "$0")/.."
 
-# API-consolidation check: the deprecated transposed-matmul entry
-# points must not be referenced outside the kernels TU that defines
-# them (kernels_ref.cc documents the seed loops they came from).
-if grep -rnE 'matmulTrans[AB]Raw' src tests bench tools examples \
-        | grep -v 'src/tensor/kernels' | grep -v 'tools/check.sh'; then
-    echo "check.sh: deprecated transposed-matmul wrappers referenced" \
-         "outside src/tensor/kernels.* — use kernels::gemm" >&2
-    exit 1
+# ------------------------------------------------------------------
+# Stage 1: Cascade-invariant linter (replaces the hand-rolled
+# deprecated-API grep this script used to carry; the rule now lives in
+# lint_cascade.py as `deprecated-api` alongside the determinism,
+# iostream, metric-name, and raw-mutex contracts).
+# ------------------------------------------------------------------
+run_lint() {
+    python3 tools/lint_cascade.py --self-test
+    python3 tools/lint_cascade.py
+}
+
+if [ "${1:-}" = "-q" ]; then
+    run_lint
+    echo "check.sh -q: lint clean"
+    exit 0
 fi
 
+if [ "${1:-}" = "-s" ]; then
+    cmake --preset sanitize
+    cmake --build --preset sanitize -j "$(nproc)"
+    if [ -n "${2:-}" ]; then
+        ctest --preset sanitize -R "$2"
+    else
+        ctest --preset sanitize -j "$(nproc)"
+    fi
+    sh tools/fault_matrix.sh build-sanitize
+    exit 0
+fi
+
+FILTER="${1:-}"
+
+run_lint
+
+# ------------------------------------------------------------------
+# Stage 2: clang-tidy over src/ tools/ bench/ (needs the compilation
+# database the default preset exports).
+# ------------------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+    cmake --preset default
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        run-clang-tidy -p build -quiet \
+            "$(pwd)/(src|tools|bench)/.*\.(cc|cpp)$"
+    else
+        find src tools bench -name '*.cc' -o -name '*.cpp' \
+            | xargs clang-tidy -p build --quiet
+    fi
+else
+    echo "check.sh: clang-tidy not found; skipping (CI runs it)" >&2
+fi
+
+# ------------------------------------------------------------------
+# Stage 3: Clang thread-safety analysis build (-Werror=thread-safety).
+# ------------------------------------------------------------------
+if command -v clang++ >/dev/null 2>&1; then
+    cmake --preset analyze
+    cmake --build --preset analyze -j "$(nproc)"
+else
+    echo "check.sh: clang++ not found; skipping analyze preset" \
+         "(CI runs it, including the seeded-violation negative" \
+         "check)" >&2
+fi
+
+# ------------------------------------------------------------------
+# Stage 4: runtime suites — default, ASan/UBSan, TSan.
+# ------------------------------------------------------------------
 run_preset() {
     preset="$1"
     filter="$2"
@@ -39,15 +94,22 @@ run_preset() {
     fi
 }
 
-if [ "${1:-}" = "-s" ]; then
-    run_preset sanitize "${2:-}"
-    sh tools/fault_matrix.sh build-sanitize
-else
-    run_preset default "${1:-}"
-    run_preset sanitize "${1:-}"
-    sh tools/fault_matrix.sh build-sanitize
-    # Hot-path bench smoke: seconds-long shapes, verifies the runner
-    # and the JSON it emits stay healthy.
-    cmake --build --preset default -j "$(nproc)" --target bench_hotpath
-    ./build/tools/bench_hotpath --smoke --out build/BENCH_hotpath_smoke.json
-fi
+run_preset default "$FILTER"
+run_preset sanitize "$FILTER"
+run_preset tsan "$FILTER"
+
+# Fault matrices: ASan tree (legacy lane) + TSan tree (races inside
+# the degradation ladder's threaded rungs).
+sh tools/fault_matrix.sh build-sanitize
+TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+    sh tools/fault_matrix.sh build-tsan
+
+# Hot-path bench smoke: seconds-long shapes, verifies the runner and
+# the JSON it emits stay healthy. Also run it under TSan so the
+# parallel GEMM paths see race detection with real thread counts.
+cmake --build --preset default -j "$(nproc)" --target bench_hotpath
+./build/tools/bench_hotpath --smoke --out build/BENCH_hotpath_smoke.json
+cmake --build --preset tsan -j "$(nproc)" --target bench_hotpath
+TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+    ./build-tsan/tools/bench_hotpath --smoke \
+    --out build-tsan/BENCH_hotpath_smoke.json
