@@ -1,5 +1,8 @@
 #include "train/checkpoint.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "obs/metrics.hh"
 #include "util/binio.hh"
 #include "util/logging.hh"
@@ -140,6 +143,233 @@ bool
 loadCheckpointFile(const std::string &path, std::string &payload)
 {
     return readFileValidated(path, payload);
+}
+
+std::string
+checkpointGenerationPath(const std::string &path, size_t gen)
+{
+    return gen == 0 ? path : path + "." + std::to_string(gen);
+}
+
+std::string
+checkpointStagePath(const std::string &path)
+{
+    return path + ".new";
+}
+
+std::string
+checkpointManifestPath(const std::string &path)
+{
+    return path + ".manifest";
+}
+
+std::string
+checkpointMarkerPath(const std::string &path)
+{
+    return path + ".writing";
+}
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x43534d46; // "CSMF"
+constexpr uint32_t kManifestVersion = 1;
+
+/** Record the current generation family (best-effort, advisory). */
+void
+writeManifest(const std::string &path, size_t keep)
+{
+    ByteWriter w;
+    w.u32(kManifestMagic);
+    w.u32(kManifestVersion);
+    w.u64(keep);
+    std::vector<CheckpointGeneration> gens;
+    for (size_t g = 0; g < keep; ++g) {
+        const std::string file = checkpointGenerationPath(path, g);
+        std::string payload;
+        if (!readFileValidated(file, payload))
+            continue; // absent or torn: the manifest lists survivors
+        CheckpointGeneration cg;
+        cg.file = file;
+        cg.bytes = payload.size();
+        cg.crc = crc32(payload.data(), payload.size());
+        gens.push_back(std::move(cg));
+    }
+    w.u64(gens.size());
+    for (const CheckpointGeneration &cg : gens) {
+        w.str(cg.file);
+        w.u64(cg.bytes);
+        w.u32(cg.crc);
+    }
+    if (!writeFileAtomic(checkpointManifestPath(path), w.buffer())) {
+        CASCADE_LOG("checkpoint: manifest write to %s failed "
+                    "(advisory only; recovery scans files directly)",
+                    checkpointManifestPath(path).c_str());
+    }
+}
+
+} // namespace
+
+bool
+readCheckpointManifest(const std::string &path, CheckpointManifest &out)
+{
+    std::string payload;
+    if (!readFileValidated(checkpointManifestPath(path), payload))
+        return false;
+    ByteReader r(payload);
+    uint32_t magic = 0, version = 0;
+    uint64_t keep = 0, count = 0;
+    if (!r.u32(magic) || !r.u32(version) || magic != kManifestMagic ||
+        version != kManifestVersion || !r.u64(keep) || !r.u64(count)) {
+        return false;
+    }
+    CheckpointManifest m;
+    m.keep = keep;
+    for (uint64_t i = 0; i < count; ++i) {
+        CheckpointGeneration cg;
+        uint64_t bytes = 0;
+        uint32_t crc = 0;
+        if (!r.str(cg.file) || !r.u64(bytes) || !r.u32(crc))
+            return false;
+        cg.bytes = bytes;
+        cg.crc = crc;
+        m.generations.push_back(std::move(cg));
+    }
+    out = std::move(m);
+    return true;
+}
+
+bool
+saveCheckpointRotated(const std::string &path,
+                      const std::string &payload, size_t keep,
+                      obs::MetricsRegistry *metrics)
+{
+    if (keep == 0)
+        keep = 1;
+
+    // 1. Stage the new artifact atomically. A failure here (full
+    // disk, injected fault) must not disturb any existing generation.
+    const std::string stage = checkpointStagePath(path);
+    if (!writeFileAtomic(stage, payload)) {
+        if (metrics)
+            metrics->counter("checkpoint.write_failures").add(1);
+        return false;
+    }
+
+    // 2. Shift the committed generations one slot older. Every step
+    // is a rename of a complete artifact, so a SIGKILL anywhere in
+    // the sequence still leaves a loadable newest-valid generation
+    // (possibly the stage file, which the recovery scan tries first).
+    if (keep > 1 && fileExists(path)) {
+        (void)removeFileIfExists(
+            checkpointGenerationPath(path, keep - 1));
+        for (size_t g = keep - 1; g-- > 1;) {
+            const std::string from = checkpointGenerationPath(path, g);
+            if (fileExists(from) &&
+                !renameFile(from,
+                            checkpointGenerationPath(path, g + 1))) {
+                CASCADE_LOG("checkpoint: rotating %s failed; "
+                            "dropping that generation",
+                            from.c_str());
+                (void)removeFileIfExists(from);
+            }
+        }
+        if (!renameFile(path, checkpointGenerationPath(path, 1))) {
+            CASCADE_LOG("checkpoint: could not rotate %s to "
+                        "generation 1; overwriting in place",
+                        path.c_str());
+        }
+        if (metrics)
+            metrics->counter("checkpoint.rotations").add(1);
+    }
+
+    // 3. Promote the stage to the head slot.
+    if (!renameFile(stage, path)) {
+        // The staged artifact is complete and the scan tries it
+        // first, so data is safe — but report the failed commit.
+        if (metrics)
+            metrics->counter("checkpoint.write_failures").add(1);
+        return false;
+    }
+
+    if (metrics) {
+        metrics->counter("checkpoint.saves").add(1);
+        metrics->counter("checkpoint.bytes_written")
+            .add(payload.size());
+    }
+    writeManifest(path, keep);
+    return true;
+}
+
+bool
+anyCheckpointGenerationExists(const std::string &path, size_t keep)
+{
+    if (fileExists(checkpointStagePath(path)))
+        return true;
+    for (size_t g = 0; g < std::max<size_t>(keep, 1); ++g) {
+        if (fileExists(checkpointGenerationPath(path, g)))
+            return true;
+    }
+    return false;
+}
+
+ResumeScan
+resumeFromNewestValid(const std::string &path, size_t keep,
+                      TgnnModel &model, Batcher &batcher,
+                      TrainerCursor &cursor,
+                      obs::MetricsRegistry *metrics)
+{
+    if (keep == 0)
+        keep = 1;
+
+    // Candidate order: the stage slot first (it exists only when a
+    // commit was cut down mid-rotation, in which case it is the
+    // newest complete artifact), then head, then older generations.
+    std::vector<std::pair<std::string, size_t>> candidates;
+    candidates.emplace_back(checkpointStagePath(path), 0);
+    for (size_t g = 0; g < keep; ++g)
+        candidates.emplace_back(checkpointGenerationPath(path, g), g);
+
+    ResumeScan scan;
+    bool any_file = false;
+    for (const auto &[file, gen] : candidates) {
+        if (!fileExists(file))
+            continue;
+        any_file = true;
+        std::string payload;
+        if (!readFileValidated(file, payload)) {
+            CASCADE_LOG("checkpoint: generation %zu (%s) failed the "
+                        "CRC/length check; trying an older one",
+                        gen, file.c_str());
+            ++scan.corruptSkipped;
+            continue;
+        }
+        if (!decodeCheckpoint(payload, model, batcher, cursor)) {
+            CASCADE_LOG("checkpoint: generation %zu (%s) does not "
+                        "decode against this run; trying an older one",
+                        gen, file.c_str());
+            ++scan.corruptSkipped;
+            continue;
+        }
+        scan.outcome = ResumeScan::Outcome::Resumed;
+        scan.generation = gen;
+        scan.file = file;
+        break;
+    }
+    if (scan.outcome != ResumeScan::Outcome::Resumed) {
+        scan.outcome = any_file ? ResumeScan::Outcome::AllCorrupt
+                                : ResumeScan::Outcome::NoCheckpoint;
+    }
+    if (metrics) {
+        if (scan.corruptSkipped > 0) {
+            metrics->counter("checkpoint.corrupt_skipped")
+                .add(scan.corruptSkipped);
+        }
+        if (scan.outcome == ResumeScan::Outcome::Resumed) {
+            metrics->gauge("checkpoint.recovered_generation")
+                .set(static_cast<double>(scan.generation));
+        }
+    }
+    return scan;
 }
 
 } // namespace cascade

@@ -26,6 +26,29 @@
  * Decoding stages every section before applying any: a truncated,
  * corrupt or mismatched checkpoint leaves the model, optimizer and
  * batcher untouched.
+ *
+ * Generations (crash survival beyond one file): a checkpoint path
+ * `ck.bin` is the head of a rotating family —
+ *
+ *   ck.bin.new      staging slot (complete artifact, mid-commit)
+ *   ck.bin          newest committed generation
+ *   ck.bin.1 ...    older generations, ck.bin.(keep-1) the oldest
+ *   ck.bin.manifest rotation record (generation files, sizes, CRCs)
+ *   ck.bin.writing  write-window marker (present only while a
+ *                   checkpoint commit is in flight; a leftover marker
+ *                   on startup means the previous process died
+ *                   mid-write)
+ *
+ * saveCheckpointRotated commits write-then-rotate: the new artifact
+ * is staged atomically at `.new` first, and only a *successful* stage
+ * shifts the older generations — a persistently failing disk can
+ * never rotate good history off the end. At every instant each
+ * generation file is either absent or a complete CRC-framed
+ * artifact, so a SIGKILL at any point leaves at least the previous
+ * generation loadable. resumeFromNewestValid scans newest → oldest
+ * (.new, head, .1, …), skipping generations whose CRC/length or
+ * decode validation fails (`checkpoint.corrupt_skipped`), and reports
+ * which generation won (`checkpoint.recovered_generation`).
  */
 
 #ifndef CASCADE_TRAIN_CHECKPOINT_HH
@@ -82,6 +105,92 @@ bool saveCheckpointFile(const std::string &path,
 
 /** Read back a checkpoint payload, rejecting corrupt files. */
 bool loadCheckpointFile(const std::string &path, std::string &payload);
+
+/** @name Rotating checkpoint generations */
+/** @{ */
+
+/** Path of generation `gen` (0 = `path` itself, k = `path.k`). */
+std::string checkpointGenerationPath(const std::string &path,
+                                     size_t gen);
+/** Staging slot a new generation is committed through (`path.new`). */
+std::string checkpointStagePath(const std::string &path);
+/** Rotation record (`path.manifest`). */
+std::string checkpointManifestPath(const std::string &path);
+/** Write-window marker (`path.writing`). */
+std::string checkpointMarkerPath(const std::string &path);
+
+/** One generation as recorded in the manifest (newest first). */
+struct CheckpointGeneration
+{
+    std::string file;    ///< on-disk path
+    uint64_t bytes = 0;  ///< payload size (CRC footer excluded)
+    uint32_t crc = 0;    ///< CRC32 of the payload
+};
+
+/** Rotation record written alongside the generation family. */
+struct CheckpointManifest
+{
+    uint64_t keep = 0; ///< configured generation budget
+    std::vector<CheckpointGeneration> generations; ///< newest first
+};
+
+/**
+ * Commit `payload` as the newest generation, keeping up to `keep`
+ * older generations (keep >= 1; 1 = the head file only, the
+ * pre-generation behaviour). Stage-then-rotate: the artifact lands
+ * atomically in the `.new` slot first; only on success are older
+ * generations shifted (`path` -> `path.1` -> ... , the oldest
+ * dropped) and the stage renamed to `path`. A failed write leaves
+ * every existing generation untouched. Writes the manifest last
+ * (best-effort: the manifest is advisory, recovery never depends on
+ * it). Counts `checkpoint.saves` / `checkpoint.write_failures` /
+ * `checkpoint.bytes_written` / `checkpoint.rotations`.
+ */
+bool saveCheckpointRotated(const std::string &path,
+                           const std::string &payload, size_t keep,
+                           obs::MetricsRegistry *metrics = nullptr);
+
+/** Parse `path.manifest`. @return false if absent or corrupt. */
+bool readCheckpointManifest(const std::string &path,
+                            CheckpointManifest &out);
+
+/** True when any generation file (stage, head or older) exists. */
+bool anyCheckpointGenerationExists(const std::string &path,
+                                   size_t keep);
+
+/** Outcome of a newest-to-oldest recovery scan. */
+struct ResumeScan
+{
+    enum class Outcome
+    {
+        Resumed,      ///< a generation decoded and was applied
+        NoCheckpoint, ///< no generation file exists at all
+        AllCorrupt    ///< files exist, none survived validation
+    };
+    Outcome outcome = Outcome::NoCheckpoint;
+    /** Generation that won (0 = newest). Stage counts as 0. */
+    size_t generation = 0;
+    /** Generations skipped for corruption/mismatch before the win. */
+    size_t corruptSkipped = 0;
+    /** File the run resumed from (empty unless Resumed). */
+    std::string file;
+};
+
+/**
+ * Scan the generation family newest -> oldest and resume from the
+ * first generation that passes both the CRC/length check and
+ * decodeCheckpoint's structural validation; corrupt or mismatched
+ * generations are skipped and counted (`checkpoint.corrupt_skipped`),
+ * and the winning generation index is published as the
+ * `checkpoint.recovered_generation` gauge. Model/batcher/cursor are
+ * untouched unless the outcome is Resumed.
+ */
+ResumeScan resumeFromNewestValid(const std::string &path, size_t keep,
+                                 TgnnModel &model, Batcher &batcher,
+                                 TrainerCursor &cursor,
+                                 obs::MetricsRegistry *metrics = nullptr);
+
+/** @} */
 
 } // namespace cascade
 

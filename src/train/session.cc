@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tensor/kernels.hh"
+#include "util/binio.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
@@ -100,26 +101,63 @@ TrainingSession::initOrResume()
 {
     Timer t;
     auto span = trace_->span("init", "session");
+
+    // A leftover write-window marker means the previous process died
+    // (SIGKILL, power loss) inside a checkpoint commit. The rotation
+    // protocol guarantees a loadable generation regardless; the
+    // marker is evidence for the chaos harness and the operator.
+    if (!options_.checkpointPath.empty()) {
+        const std::string marker =
+            checkpointMarkerPath(options_.checkpointPath);
+        if (fileExists(marker)) {
+            CASCADE_LOG("stale checkpoint write marker %s: previous "
+                        "process died inside the write window",
+                        marker.c_str());
+            metrics_->counter("checkpoint.dirty_marker").add(1);
+            if (!removeFileIfExists(marker))
+                CASCADE_LOG("could not remove %s", marker.c_str());
+        }
+    }
+
     if (options_.resume) {
         const std::string &path = options_.resumePath.empty()
             ? options_.checkpointPath : options_.resumePath;
         CASCADE_CHECK(!path.empty(),
                       "TrainingSession: resume requested without a "
                       "checkpoint path");
-        std::string payload;
-        if (!loadCheckpointFile(path, payload)) {
-            CASCADE_LOG("cannot read checkpoint %s", path.c_str());
+        const ResumeScan scan = resumeFromNewestValid(
+            path, options_.checkpointKeep, model_, batcher_, cur_,
+            metrics_);
+        if (scan.outcome == ResumeScan::Outcome::NoCheckpoint &&
+            options_.resumeIfPossible) {
+            CASCADE_LOG("no checkpoint at %s yet; starting fresh",
+                        path.c_str());
+            lastGood_ = encodeCheckpoint(model_, batcher_, cur_);
+        } else if (scan.outcome != ResumeScan::Outcome::Resumed) {
+            CASCADE_LOG("cannot resume from %s (%s)", path.c_str(),
+                        scan.outcome ==
+                                ResumeScan::Outcome::NoCheckpoint
+                            ? "no generation file exists"
+                            : "every generation is corrupt or "
+                              "mismatched");
             CASCADE_FATAL("checkpoint file missing or corrupt");
+        } else {
+            CASCADE_LOG("resumed at epoch %llu batch %llu (event "
+                        "%llu, generation %zu)",
+                        (unsigned long long)cur_.epoch,
+                        (unsigned long long)cur_.batchIndex,
+                        (unsigned long long)cur_.st, scan.generation);
+            // The degradation ladder's durability rung: the newest
+            // generation was unusable and an older one carried the
+            // run. Loudly accounted, never fatal.
+            if (scan.generation > 0 || scan.corruptSkipped > 0)
+                recordDegradation("checkpoint-fallback");
+            lastGood_ = encodeCheckpoint(model_, batcher_, cur_);
+            report_.resumed = true;
+            report_.resumedGeneration = scan.generation;
+            report_.corruptSkippedOnResume = scan.corruptSkipped;
+            metrics_->counter("session.resumes").add(1);
         }
-        if (!decodeCheckpoint(payload, model_, batcher_, cur_))
-            CASCADE_FATAL("checkpoint does not match this run");
-        CASCADE_LOG("resumed at epoch %llu batch %llu (event %llu)",
-                    (unsigned long long)cur_.epoch,
-                    (unsigned long long)cur_.batchIndex,
-                    (unsigned long long)cur_.st);
-        lastGood_ = std::move(payload);
-        report_.resumed = true;
-        metrics_->counter("session.resumes").add(1);
     } else {
         // Rollback target for trips before the first cadence
         // snapshot: the pristine start-of-run state.
@@ -288,11 +326,23 @@ TrainingSession::writeCheckpoint(const std::string &payload,
         metrics_->counter("checkpoint.skipped").add(1);
         return;
     }
+    // Write-window marker: present exactly while the commit (and any
+    // injected checkpoint-stage latency) is in flight. A process
+    // killed inside this window leaves the marker behind — the chaos
+    // harness uses that to prove its kills landed mid-write, and the
+    // next launch logs/counts the dirty marker.
+    const std::string marker =
+        checkpointMarkerPath(options_.checkpointPath);
+    if (!touchFile(marker))
+        CASCADE_LOG("cannot create write marker %s", marker.c_str());
     auto wd = supervisor_->watch("checkpoint");
     const bool ok = supervisor_->runSupervised("checkpoint", [&] {
-        return saveCheckpointFile(options_.checkpointPath, payload,
-                                  metrics_);
+        return saveCheckpointRotated(options_.checkpointPath, payload,
+                                     options_.checkpointKeep,
+                                     metrics_);
     });
+    if (!removeFileIfExists(marker))
+        CASCADE_LOG("cannot remove write marker %s", marker.c_str());
     if (!ok) {
         // Checkpointing is best-effort durability; a persistently
         // full disk must not kill a healthy run. One-way: later

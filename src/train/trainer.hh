@@ -65,6 +65,10 @@ struct TrainReport
     size_t rollbacks = 0;
     /** This run resumed from a checkpoint file. */
     bool resumed = false;
+    /** Generation the resume loaded (0 = newest; see resumed). */
+    size_t resumedGeneration = 0;
+    /** Corrupt/mismatched generations skipped while resuming. */
+    size_t corruptSkippedOnResume = 0;
     /** A (simulated) crash cut training short; resume to finish. */
     bool interrupted = false;
 
@@ -115,9 +119,24 @@ struct TrainOptions
     std::string checkpointPath;
     /** Snapshot cadence in global batches (also the rollback grain). */
     size_t checkpointEvery = 50;
+    /**
+     * Rotating generations to keep on disk (>= 1). The head file is
+     * the newest; older generations live at `<path>.1`, `<path>.2`,
+     * … and resume scans newest -> oldest past corrupt ones
+     * (train/checkpoint.hh).
+     */
+    size_t checkpointKeep = 3;
     /** Resume from resumePath (falls back to checkpointPath). */
     bool resume = false;
     std::string resumePath;
+    /**
+     * With resume: if no checkpoint generation exists at all, start
+     * fresh instead of dying — the contract a process-level
+     * supervisor (tools/chaos_kill) needs to relaunch blindly.
+     * Existing-but-all-corrupt checkpoints still fail loudly: silent
+     * loss of training history is never acceptable.
+     */
+    bool resumeIfPossible = false;
     /** Per-batch loss/gradient health checks. */
     NumericGuardOptions guard;
     /** Retry/backoff schedule and stage deadlines. */

@@ -9,6 +9,8 @@
 #ifdef _WIN32
 #include <io.h>
 #else
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -158,34 +160,135 @@ ByteReader::sub(ByteReader &out)
     return true;
 }
 
+namespace {
+
+/**
+ * fsync the directory containing `path`, so a rename that just made a
+ * file visible under it survives a power loss. Windows has no
+ * directory handles to fsync; the rename there is best-effort.
+ */
+bool
+fsyncParentDir(const std::string &path)
+{
+#ifdef _WIN32
+    (void)path;
+    return true;
+#else
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    const bool synced = ::fsync(fd) == 0;
+    const bool closed = ::close(fd) == 0;
+    return synced && closed;
+#endif
+}
+
+} // namespace
+
 bool
 writeFileAtomic(const std::string &path, const std::string &payload)
 {
-    if (fault::onFileWrite(path))
+    using Kind = fault::WriteFaultAction::Kind;
+    const fault::WriteFaultAction fa = fault::onAtomicFileWrite(path);
+    if (fa.kind == Kind::FailEarly)
         return false;
 
+    // Assemble the full frame first so the injected cut points
+    // (torn/short/ENOSPC) slice one byte stream, exactly like a real
+    // partial write would.
+    std::string framed = payload;
+    const uint32_t crc = crc32(payload.data(), payload.size());
+    framed.append(reinterpret_cast<const char *>(&crc), sizeof(crc));
+
+    size_t to_write = framed.size();
+    bool injected_cut = false; // a cut binio must detect and surface
+    switch (fa.kind) {
+    case Kind::Torn:
+        // Torn write: the truncated frame is committed and reported
+        // as success — modeling a crash after rename but before the
+        // data hit the platter. Only the loader's CRC catches it.
+        to_write = framed.size() / 2;
+        break;
+    case Kind::Short:
+        if (static_cast<size_t>(fa.bytes) < to_write) {
+            to_write = static_cast<size_t>(fa.bytes);
+            injected_cut = true;
+        }
+        break;
+    case Kind::Enospc:
+        to_write = framed.size() / 2;
+        injected_cut = true;
+        break;
+    default:
+        break;
+    }
+
     const std::string tmp = path + ".tmp";
-    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return false;
 
-    const uint32_t crc = crc32(payload.data(), payload.size());
-    bool ok = payload.empty() ||
-        std::fwrite(payload.data(), 1, payload.size(), f.get()) ==
-            payload.size();
-    ok = ok && std::fwrite(&crc, sizeof(crc), 1, f.get()) == 1;
-    ok = ok && std::fflush(f.get()) == 0;
+    bool ok = to_write == 0 ||
+        std::fwrite(framed.data(), 1, to_write, f) == to_write;
+    ok = ok && std::fflush(f) == 0;
 #ifndef _WIN32
     // Durability: the data must hit the disk before the rename makes
     // it visible, or a power loss could expose a hollow rename.
-    ok = ok && ::fsync(::fileno(f.get())) == 0;
+    ok = ok && ::fsync(::fileno(f)) == 0;
 #endif
-    f.reset();
-    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
+    // A failing close can be the *first* report of a write error
+    // (delayed allocation on ENOSPC); it must not be dropped.
+    ok = std::fclose(f) == 0 && ok;
+    if (injected_cut || !ok ||
+        std::rename(tmp.c_str(), path.c_str()) != 0) {
+        (void)std::remove(tmp.c_str());
         return false;
     }
+    // The rename is only durable once the directory entry is synced.
+    return fsyncParentDir(path);
+}
+
+bool
+fileExists(const std::string &path)
+{
+#ifdef _WIN32
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    (void)std::fclose(f);
     return true;
+#else
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+#endif
+}
+
+bool
+renameFile(const std::string &from, const std::string &to)
+{
+    if (std::rename(from.c_str(), to.c_str()) != 0)
+        return false;
+    return fsyncParentDir(to);
+}
+
+bool
+removeFileIfExists(const std::string &path)
+{
+    if (!fileExists(path))
+        return true;
+    return std::remove(path.c_str()) == 0;
+}
+
+bool
+touchFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    return std::fclose(f) == 0;
 }
 
 bool

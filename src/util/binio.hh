@@ -78,11 +78,17 @@ class ByteReader
 
 /**
  * Commit a payload to `path` crash-consistently: write payload plus a
- * 4-byte CRC32 footer to `path.tmp`, fsync, then rename over `path`.
+ * 4-byte CRC32 footer to `path.tmp`, fsync, rename over `path`, then
+ * fsync the containing directory so the rename itself is durable.
  * The destination either keeps its old content or holds the complete
- * new artifact — never a torn mix. Honors fault-injected write
- * failures (util/fault.hh).
- * @return false on any I/O failure (the tmp file is removed)
+ * new artifact — never a torn mix. Every write()/flush()/fsync()/
+ * close() return value is checked: a short write (ENOSPC, quota) is
+ * surfaced as a clean failure, never a silently truncated artifact.
+ * Honors the injectable I/O fault surface (util/fault.hh):
+ * WRITE_FAIL_NTH, TORN_WRITE_NTH, SHORT_WRITE_BYTES, ENOSPC_NTH.
+ * @return false on any detected I/O failure (the tmp file is
+ *         removed); note an injected *torn* write reports success by
+ *         design — only the CRC check on load can catch it
  */
 bool writeFileAtomic(const std::string &path, const std::string &payload);
 
@@ -93,6 +99,39 @@ bool writeFileAtomic(const std::string &path, const std::string &payload);
  * on success.
  */
 bool readFileValidated(const std::string &path, std::string &payload);
+
+/**
+ * @name Checked filesystem primitives
+ * The project-invariant linter forbids unchecked ::write/::close/
+ * rename calls outside this TU (tools/lint_cascade.py, rule
+ * `unchecked-io`); callers that need to move, probe, create or drop
+ * files — checkpoint generation rotation, write-window markers — go
+ * through these helpers instead of raw libc.
+ */
+/** @{ */
+
+/** True when `path` exists (any file type). */
+bool fileExists(const std::string &path);
+
+/**
+ * Rename `from` over `to` and fsync the destination directory so the
+ * rename survives a power loss. @return false on failure.
+ */
+bool renameFile(const std::string &from, const std::string &to);
+
+/**
+ * Remove `path` if it exists. @return false only when a file exists
+ * and could not be removed (a missing file is success).
+ */
+bool removeFileIfExists(const std::string &path);
+
+/**
+ * Create (or truncate) an empty marker file at `path`. Not atomic and
+ * not CRC-framed on purpose: markers carry presence, not content.
+ */
+bool touchFile(const std::string &path);
+
+/** @} */
 
 } // namespace cascade
 

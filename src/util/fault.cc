@@ -19,6 +19,9 @@ struct State
     Config cfg;
     long writeCalls = 0;
     bool writeArmed = false;
+    bool tornArmed = false;
+    bool shortArmed = false;
+    bool enospcArmed = false;
     bool nanArmed = false;
     bool crashArmed = false;
     long chunkBudget = 0;
@@ -51,6 +54,9 @@ arm(State &s)
 {
     s.writeCalls = 0;
     s.writeArmed = s.cfg.failWriteNth > 0 && s.cfg.failWriteCount > 0;
+    s.tornArmed = s.cfg.tornWriteNth > 0;
+    s.shortArmed = s.cfg.shortWriteBytes >= 0;
+    s.enospcArmed = s.cfg.enospcNth > 0;
     s.nanArmed = s.cfg.nanBatch >= 0;
     s.crashArmed = s.cfg.crashBatch >= 0;
     s.chunkBudget = s.cfg.chunkBuildFailures > 0
@@ -63,6 +69,9 @@ arm(State &s)
 const char *const kKnownVars[] = {
     "CASCADE_FAULT_WRITE_FAIL_NTH",
     "CASCADE_FAULT_WRITE_FAIL_COUNT",
+    "CASCADE_FAULT_TORN_WRITE_NTH",
+    "CASCADE_FAULT_SHORT_WRITE_BYTES",
+    "CASCADE_FAULT_ENOSPC_NTH",
     "CASCADE_FAULT_NAN_BATCH",
     "CASCADE_FAULT_CRASH_BATCH",
     "CASCADE_FAULT_CHUNK_BUILD_FAIL",
@@ -115,6 +124,12 @@ parseEnvConfig(Config &out, std::vector<std::string> &unknown,
                      error) ||
         !readLongVar("CASCADE_FAULT_WRITE_FAIL_COUNT",
                      cfg.failWriteCount, error) ||
+        !readLongVar("CASCADE_FAULT_TORN_WRITE_NTH", cfg.tornWriteNth,
+                     error) ||
+        !readLongVar("CASCADE_FAULT_SHORT_WRITE_BYTES",
+                     cfg.shortWriteBytes, error) ||
+        !readLongVar("CASCADE_FAULT_ENOSPC_NTH", cfg.enospcNth,
+                     error) ||
         !readLongVar("CASCADE_FAULT_NAN_BATCH", cfg.nanBatch, error) ||
         !readLongVar("CASCADE_FAULT_CRASH_BATCH", cfg.crashBatch,
                      error) ||
@@ -124,6 +139,12 @@ parseEnvConfig(Config &out, std::vector<std::string> &unknown,
     }
     if (cfg.failWriteCount <= 0) {
         error = "CASCADE_FAULT_WRITE_FAIL_COUNT: must be >= 1";
+        return false;
+    }
+    const char *shortVar =
+        std::getenv("CASCADE_FAULT_SHORT_WRITE_BYTES");
+    if (shortVar && *shortVar && cfg.shortWriteBytes < 0) {
+        error = "CASCADE_FAULT_SHORT_WRITE_BYTES: must be >= 0";
         return false;
     }
 
@@ -175,24 +196,53 @@ reset()
     configure(Config{});
 }
 
-bool
-onFileWrite(const std::string &path)
+WriteFaultAction
+onAtomicFileWrite(const std::string &path)
 {
     (void)path;
     GuardedState &g = guarded();
     LockGuard lock(g.m);
     State &s = ensureInitLocked(g);
-    if (!s.writeArmed)
-        return false;
-    ++s.writeCalls;
-    if (s.writeCalls < s.cfg.failWriteNth)
-        return false;
-    if (s.writeCalls >= s.cfg.failWriteNth + s.cfg.failWriteCount) {
-        s.writeArmed = false;
-        return false;
+    WriteFaultAction act;
+    if (!s.writeArmed && !s.tornArmed && !s.shortArmed &&
+        !s.enospcArmed) {
+        return act;
     }
-    ++s.injected;
-    return true;
+    ++s.writeCalls;
+
+    // Precedence: FailEarly > Enospc > Torn > Short (documented in
+    // fault.hh); each trigger disarms independently so a plan can
+    // stack, say, one ENOSPC followed by one torn write.
+    if (s.writeArmed) {
+        if (s.writeCalls >=
+            s.cfg.failWriteNth + s.cfg.failWriteCount) {
+            s.writeArmed = false;
+        } else if (s.writeCalls >= s.cfg.failWriteNth) {
+            ++s.injected;
+            act.kind = WriteFaultAction::Kind::FailEarly;
+            return act;
+        }
+    }
+    if (s.enospcArmed && s.writeCalls == s.cfg.enospcNth) {
+        s.enospcArmed = false;
+        ++s.injected;
+        act.kind = WriteFaultAction::Kind::Enospc;
+        return act;
+    }
+    if (s.tornArmed && s.writeCalls == s.cfg.tornWriteNth) {
+        s.tornArmed = false;
+        ++s.injected;
+        act.kind = WriteFaultAction::Kind::Torn;
+        return act;
+    }
+    if (s.shortArmed) {
+        s.shortArmed = false;
+        ++s.injected;
+        act.kind = WriteFaultAction::Kind::Short;
+        act.bytes = s.cfg.shortWriteBytes;
+        return act;
+    }
+    return act;
 }
 
 bool

@@ -15,6 +15,26 @@
  *                                     drives the checkpoint
  *                                     RetryPolicy and the degraded
  *                                     "checkpointing disabled" mode
+ *   CASCADE_FAULT_TORN_WRITE_NTH=N    the Nth atomic file write
+ *                                     commits a truncated artifact
+ *                                     (half the framed bytes) and
+ *                                     REPORTS SUCCESS — the kernel-
+ *                                     crashed-after-rename torn write
+ *                                     no in-process check can see;
+ *                                     only the CRC scan on the next
+ *                                     load catches it (one-shot)
+ *   CASCADE_FAULT_SHORT_WRITE_BYTES=B the next atomic file write only
+ *                                     gets B bytes to the file and
+ *                                     reports a short write, which the
+ *                                     checked-return discipline in
+ *                                     util/binio must surface as a
+ *                                     clean failure (one-shot)
+ *   CASCADE_FAULT_ENOSPC_NTH=N        the Nth atomic file write fails
+ *                                     mid-stream as if the disk
+ *                                     filled (ENOSPC): half the bytes
+ *                                     land in the temp file, the
+ *                                     write fails, no rename happens
+ *                                     (one-shot)
  *   CASCADE_FAULT_NAN_BATCH=K         replace global batch K's
  *                                     training loss with NaN
  *                                     (one-shot)
@@ -73,6 +93,15 @@ struct Config
     long failWriteNth = 0;
     /** Consecutive write failures starting at the Nth. */
     long failWriteCount = 1;
+    /** Nth write commits a torn (truncated) file yet reports success;
+     *  0 = never. One-shot. */
+    long tornWriteNth = 0;
+    /** Next write delivers at most this many bytes and reports a
+     *  short write; -1 = off. One-shot. */
+    long shortWriteBytes = -1;
+    /** Nth write fails mid-stream with ENOSPC semantics; 0 = never.
+     *  One-shot. */
+    long enospcNth = 0;
     /** Global batch whose loss becomes NaN; -1 = never. */
     long nanBatch = -1;
     /** Global batch after which training "crashes"; -1 = never. */
@@ -103,10 +132,33 @@ bool parseEnvConfig(Config &out, std::vector<std::string> &unknown,
                     std::string &error);
 
 /**
- * True when this atomic file write should fail. Counts every call;
- * fires for writes [failWriteNth, failWriteNth + failWriteCount).
+ * What the I/O fault layer wants done to one atomic file write.
+ * util/binio consults this once per writeFileAtomic call.
  */
-bool onFileWrite(const std::string &path);
+struct WriteFaultAction
+{
+    enum class Kind
+    {
+        None,      ///< write normally
+        FailEarly, ///< refuse before touching the filesystem
+        Torn,      ///< commit a truncated file, report success
+        Short,     ///< deliver only `bytes` bytes, report failure
+        Enospc     ///< fail mid-stream as if the disk filled
+    };
+    Kind kind = Kind::None;
+    /** Short: payload bytes that reach the file before the cut. */
+    long bytes = 0;
+};
+
+/**
+ * Decide the fate of this atomic file write. Counts every call while
+ * any write-fault trigger is armed; FailEarly fires for writes
+ * [failWriteNth, failWriteNth + failWriteCount), Torn/Enospc for
+ * their configured Nth write, Short for the first write after arming.
+ * When several triggers would fire on the same write the precedence
+ * is FailEarly > Enospc > Torn > Short.
+ */
+WriteFaultAction onAtomicFileWrite(const std::string &path);
 
 /**
  * Inject NaN into `loss` when `globalBatch` matches the plan.

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Injectable I/O fault surface tests: torn writes that report success
+ * (caught only by the CRC scan on load), short writes and ENOSPC cuts
+ * surfaced as clean failures by the checked-return discipline, fault
+ * precedence, one-shot disarm semantics, and the checked filesystem
+ * primitives (renameFile/touchFile/removeFileIfExists/fileExists)
+ * the checkpoint rotation protocol is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/binio.hh"
+#include "util/fault.hh"
+
+using namespace cascade;
+
+namespace {
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+/** RAII: disarm fault injection no matter how the test exits. */
+struct FaultScope
+{
+    explicit FaultScope(const fault::Config &c) { fault::configure(c); }
+    ~FaultScope() { fault::reset(); }
+};
+
+std::string
+payloadOfSize(size_t n)
+{
+    std::string s(n, '\0');
+    for (size_t i = 0; i < n; ++i)
+        s[i] = static_cast<char>('a' + i % 26);
+    return s;
+}
+
+/** Flip one byte of `path` in place (tests only; deliberately raw). */
+void
+flipByteAt(const std::string &path, long offset)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    ASSERT_NE(std::fputc(c ^ 0x40, f), EOF);
+    ASSERT_EQ(std::fclose(f), 0);
+}
+
+/** Truncate `path` to `keep` bytes (tests only; deliberately raw). */
+void
+truncateTo(const std::string &path, size_t keep)
+{
+    std::string data;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            data.append(buf, n);
+        ASSERT_EQ(std::fclose(f), 0);
+    }
+    ASSERT_LT(keep, data.size());
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, keep, f), keep);
+    ASSERT_EQ(std::fclose(f), 0);
+}
+
+} // namespace
+
+TEST(BinioFaults, TornWriteReportsSuccessOnlyCrcCatchesIt)
+{
+    const std::string path = tmpPath("torn.bin");
+    ASSERT_TRUE(removeFileIfExists(path));
+    const std::string payload = payloadOfSize(1000);
+    fault::Config fc;
+    fc.tornWriteNth = 1;
+    FaultScope scope(fc);
+
+    // The torn write is the failure mode no in-process check can see:
+    // the call REPORTS success and the destination file exists...
+    ASSERT_TRUE(writeFileAtomic(path, payload));
+    ASSERT_TRUE(fileExists(path));
+    // ...but the artifact is truncated, and only load-time validation
+    // can tell.
+    std::string back;
+    EXPECT_FALSE(readFileValidated(path, back));
+
+    // One-shot: the next write is clean and replaces the torn file.
+    ASSERT_TRUE(writeFileAtomic(path, payload));
+    ASSERT_TRUE(readFileValidated(path, back));
+    EXPECT_EQ(back, payload);
+}
+
+TEST(BinioFaults, ShortWriteIsSurfacedAsCleanFailure)
+{
+    const std::string path = tmpPath("short.bin");
+    ASSERT_TRUE(removeFileIfExists(path));
+    const std::string payload = payloadOfSize(1000);
+    fault::Config fc;
+    fc.shortWriteBytes = 64;
+    FaultScope scope(fc);
+
+    // 64 of ~1004 framed bytes reach the disk: the checked-return
+    // discipline must surface that as failure, and the atomic-commit
+    // protocol must leave no destination file behind.
+    EXPECT_FALSE(writeFileAtomic(path, payload));
+    EXPECT_FALSE(fileExists(path));
+
+    // One-shot: a retry succeeds (the supervisor's recovery story).
+    ASSERT_TRUE(writeFileAtomic(path, payload));
+    std::string back;
+    ASSERT_TRUE(readFileValidated(path, back));
+    EXPECT_EQ(back, payload);
+}
+
+TEST(BinioFaults, EnospcFiresOnTheConfiguredWrite)
+{
+    const std::string a = tmpPath("enospc_a.bin");
+    const std::string b = tmpPath("enospc_b.bin");
+    ASSERT_TRUE(removeFileIfExists(a));
+    ASSERT_TRUE(removeFileIfExists(b));
+    const std::string payload = payloadOfSize(500);
+    fault::Config fc;
+    fc.enospcNth = 2;
+    FaultScope scope(fc);
+
+    EXPECT_TRUE(writeFileAtomic(a, payload));  // write 1: clean
+    EXPECT_FALSE(writeFileAtomic(b, payload)); // write 2: disk "full"
+    EXPECT_FALSE(fileExists(b));
+    EXPECT_TRUE(writeFileAtomic(b, payload));  // one-shot: recovered
+
+    std::string back;
+    EXPECT_TRUE(readFileValidated(a, back));
+    EXPECT_TRUE(readFileValidated(b, back));
+}
+
+TEST(BinioFaults, FailEarlyTakesPrecedenceOverTorn)
+{
+    const std::string path = tmpPath("precedence.bin");
+    ASSERT_TRUE(removeFileIfExists(path));
+    fault::Config fc;
+    fc.failWriteNth = 1;
+    fc.tornWriteNth = 1;
+    FaultScope scope(fc);
+
+    // Both triggers target write 1; FailEarly wins, so the write
+    // fails visibly instead of committing a torn file.
+    EXPECT_FALSE(writeFileAtomic(path, payloadOfSize(100)));
+    EXPECT_FALSE(fileExists(path));
+}
+
+TEST(BinioFaults, TruncationAndBitFlipFailValidation)
+{
+    const std::string path = tmpPath("corrupt.bin");
+    const std::string payload = payloadOfSize(300);
+    ASSERT_TRUE(writeFileAtomic(path, payload));
+
+    std::string back;
+    ASSERT_TRUE(readFileValidated(path, back));
+
+    truncateTo(path, 150);
+    EXPECT_FALSE(readFileValidated(path, back));
+
+    ASSERT_TRUE(writeFileAtomic(path, payload));
+    flipByteAt(path, 42);
+    EXPECT_FALSE(readFileValidated(path, back));
+
+    // Shorter than the CRC footer itself.
+    ASSERT_TRUE(writeFileAtomic(path, payload));
+    truncateTo(path, 3);
+    EXPECT_FALSE(readFileValidated(path, back));
+}
+
+TEST(BinioFaults, CheckedPrimitivesRoundtrip)
+{
+    const std::string a = tmpPath("prim_a.bin");
+    const std::string b = tmpPath("prim_b.bin");
+    ASSERT_TRUE(removeFileIfExists(a));
+    ASSERT_TRUE(removeFileIfExists(b));
+
+    EXPECT_FALSE(fileExists(a));
+    ASSERT_TRUE(touchFile(a));
+    EXPECT_TRUE(fileExists(a));
+
+    // renameFile moves content and fsyncs the directory.
+    const std::string payload = payloadOfSize(64);
+    ASSERT_TRUE(writeFileAtomic(a, payload));
+    ASSERT_TRUE(renameFile(a, b));
+    EXPECT_FALSE(fileExists(a));
+    std::string back;
+    ASSERT_TRUE(readFileValidated(b, back));
+    EXPECT_EQ(back, payload);
+
+    // Removing an existing file succeeds; removing a missing one is
+    // also success (idempotent cleanup).
+    EXPECT_TRUE(removeFileIfExists(b));
+    EXPECT_FALSE(fileExists(b));
+    EXPECT_TRUE(removeFileIfExists(b));
+
+    // Renaming a missing source is a checked failure, not a crash.
+    EXPECT_FALSE(renameFile(a, b));
+}
+
+TEST(BinioFaults, EnvParsingAcceptsAndRejectsNewKnobs)
+{
+    // Round-trip the three new knobs through the strict env parser.
+    ::setenv("CASCADE_FAULT_TORN_WRITE_NTH", "3", 1);
+    ::setenv("CASCADE_FAULT_SHORT_WRITE_BYTES", "128", 1);
+    ::setenv("CASCADE_FAULT_ENOSPC_NTH", "2", 1);
+    fault::Config cfg;
+    std::vector<std::string> unknown;
+    std::string error;
+    EXPECT_TRUE(fault::parseEnvConfig(cfg, unknown, error)) << error;
+    EXPECT_EQ(cfg.tornWriteNth, 3);
+    EXPECT_EQ(cfg.shortWriteBytes, 128);
+    EXPECT_EQ(cfg.enospcNth, 2);
+    EXPECT_TRUE(unknown.empty());
+
+    // A negative byte budget would silently disarm the trigger; the
+    // strict parser refuses it instead.
+    ::setenv("CASCADE_FAULT_SHORT_WRITE_BYTES", "-1", 1);
+    EXPECT_FALSE(fault::parseEnvConfig(cfg, unknown, error));
+    EXPECT_NE(error.find("SHORT_WRITE_BYTES"), std::string::npos);
+
+    ::unsetenv("CASCADE_FAULT_TORN_WRITE_NTH");
+    ::unsetenv("CASCADE_FAULT_SHORT_WRITE_BYTES");
+    ::unsetenv("CASCADE_FAULT_ENOSPC_NTH");
+}

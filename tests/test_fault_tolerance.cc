@@ -15,6 +15,7 @@
 
 #include "core/cascade_batcher.hh"
 #include "graph/dataset.hh"
+#include "obs/metrics.hh"
 #include "train/checkpoint.hh"
 #include "train/numeric_guard.hh"
 #include "train/trainer.hh"
@@ -543,4 +544,286 @@ TEST(FaultTolerance, GuardExhaustionFailsLoudly)
                        opts);
         },
         ::testing::ExitedWithCode(1), "retry budget");
+}
+
+// -------------------------------------------------------------------
+// Multi-generation checkpoint rotation and newest-valid recovery.
+// -------------------------------------------------------------------
+
+namespace {
+
+/** Truncate `path` to its first `keep` bytes (simulated torn file). */
+void
+truncateFileTo(const std::string &path, size_t keep)
+{
+    std::string data;
+    {
+        std::FILE *fp = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(fp, nullptr);
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, fp)) > 0)
+            data.append(buf, n);
+        ASSERT_EQ(std::fclose(fp), 0);
+    }
+    ASSERT_LT(keep, data.size());
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, keep, fp), keep);
+    ASSERT_EQ(std::fclose(fp), 0);
+}
+
+/** Remove every file of a checkpoint generation family: TempDir
+ *  persists across test-binary runs, so stale generations from a
+ *  previous invocation would otherwise leak into the scan. */
+void
+cleanFamily(const std::string &path, size_t keep = 8)
+{
+    ASSERT_TRUE(removeFileIfExists(checkpointStagePath(path)));
+    ASSERT_TRUE(removeFileIfExists(checkpointManifestPath(path)));
+    ASSERT_TRUE(removeFileIfExists(checkpointMarkerPath(path)));
+    for (size_t g = 0; g < keep; ++g) {
+        ASSERT_TRUE(
+            removeFileIfExists(checkpointGenerationPath(path, g)));
+    }
+}
+
+/** encodeCheckpoint with only the global batch varying. */
+std::string
+payloadAtBatch(const Fixture &f, TgnnModel &model, Batcher &batcher,
+               uint64_t gb)
+{
+    TrainerCursor cur;
+    cur.epoch = 1;
+    cur.globalBatch = gb;
+    cur.totalBatches = gb;
+    (void)f;
+    return encodeCheckpoint(model, batcher, cur);
+}
+
+} // namespace
+
+TEST(CheckpointRotation, KeepsNGenerationsNewestFirst)
+{
+    const std::string path = tmpPath("rot.bin");
+    fault::reset();
+    cleanFamily(path);
+
+    // Five commits with keep=3: only the newest three survive, in
+    // head, .1, .2 order, and the manifest lists exactly them.
+    std::vector<std::string> payloads;
+    for (int i = 0; i < 5; ++i)
+        payloads.push_back("payload-" + std::to_string(i));
+    for (const std::string &p : payloads)
+        ASSERT_TRUE(saveCheckpointRotated(path, p, 3));
+
+    std::string back;
+    ASSERT_TRUE(readFileValidated(checkpointGenerationPath(path, 0),
+                                  back));
+    EXPECT_EQ(back, payloads[4]);
+    ASSERT_TRUE(readFileValidated(checkpointGenerationPath(path, 1),
+                                  back));
+    EXPECT_EQ(back, payloads[3]);
+    ASSERT_TRUE(readFileValidated(checkpointGenerationPath(path, 2),
+                                  back));
+    EXPECT_EQ(back, payloads[2]);
+    EXPECT_FALSE(fileExists(checkpointGenerationPath(path, 3)));
+    EXPECT_FALSE(fileExists(checkpointStagePath(path)));
+
+    CheckpointManifest m;
+    ASSERT_TRUE(readCheckpointManifest(path, m));
+    EXPECT_EQ(m.keep, 3u);
+    ASSERT_EQ(m.generations.size(), 3u);
+    EXPECT_EQ(m.generations[0].file,
+              checkpointGenerationPath(path, 0));
+    EXPECT_EQ(m.generations[0].bytes, payloads[4].size());
+    EXPECT_EQ(m.generations[0].crc,
+              crc32(payloads[4].data(), payloads[4].size()));
+}
+
+TEST(CheckpointRotation, StageFailureLeavesGenerationsUntouched)
+{
+    const std::string path = tmpPath("rot_fail.bin");
+    fault::reset();
+    cleanFamily(path);
+    ASSERT_TRUE(saveCheckpointRotated(path, "good-head", 3));
+    ASSERT_TRUE(saveCheckpointRotated(path, "newer-head", 3));
+
+    // The stage write fails: no rotation may happen, both committed
+    // generations must still be exactly where they were.
+    {
+        fault::Config fc;
+        fc.failWriteNth = 1;
+        FaultScope scope(fc);
+        EXPECT_FALSE(saveCheckpointRotated(path, "doomed", 3));
+    }
+    std::string back;
+    ASSERT_TRUE(readFileValidated(checkpointGenerationPath(path, 0),
+                                  back));
+    EXPECT_EQ(back, "newer-head");
+    ASSERT_TRUE(readFileValidated(checkpointGenerationPath(path, 1),
+                                  back));
+    EXPECT_EQ(back, "good-head");
+    EXPECT_FALSE(fileExists(checkpointGenerationPath(path, 2)));
+}
+
+TEST(CheckpointRotation, ResumeScanSkipsCorruptNewest)
+{
+    Fixture f(400.0);
+    TgnnModel model = freshModel(f);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    const std::string path = tmpPath("scan.bin");
+    fault::reset();
+    cleanFamily(path);
+
+    for (uint64_t gb : {1, 2, 3}) {
+        ASSERT_TRUE(saveCheckpointRotated(
+            path, payloadAtBatch(f, model, batcher, gb), 3));
+    }
+    // Tear the newest generation: recovery must fall back to the
+    // previous one (global batch 2), counting the skip.
+    truncateFileTo(checkpointGenerationPath(path, 0), 60);
+
+    obs::MetricsRegistry metrics;
+    TrainerCursor cur;
+    const ResumeScan scan = resumeFromNewestValid(
+        path, 3, model, batcher, cur, &metrics);
+    EXPECT_EQ(scan.outcome, ResumeScan::Outcome::Resumed);
+    EXPECT_EQ(scan.generation, 1u);
+    EXPECT_EQ(scan.corruptSkipped, 1u);
+    EXPECT_EQ(scan.file, checkpointGenerationPath(path, 1));
+    EXPECT_EQ(cur.globalBatch, 2u);
+    EXPECT_EQ(metrics.counter("checkpoint.corrupt_skipped").value(),
+              1u);
+    EXPECT_EQ(metrics.gauge("checkpoint.recovered_generation").value(),
+              1.0);
+}
+
+TEST(CheckpointRotation, StagedArtifactIsTriedFirst)
+{
+    Fixture f(400.0);
+    TgnnModel model = freshModel(f);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    const std::string path = tmpPath("staged.bin");
+    fault::reset();
+    cleanFamily(path);
+
+    // Simulate a SIGKILL between the stage write and the promote
+    // rename: the head holds batch 1, the stage holds newer batch 2.
+    ASSERT_TRUE(saveCheckpointRotated(
+        path, payloadAtBatch(f, model, batcher, 1), 3));
+    ASSERT_TRUE(writeFileAtomic(checkpointStagePath(path),
+                                payloadAtBatch(f, model, batcher, 2)));
+
+    TrainerCursor cur;
+    const ResumeScan scan =
+        resumeFromNewestValid(path, 3, model, batcher, cur, nullptr);
+    EXPECT_EQ(scan.outcome, ResumeScan::Outcome::Resumed);
+    EXPECT_EQ(scan.file, checkpointStagePath(path));
+    EXPECT_EQ(cur.globalBatch, 2u);
+}
+
+TEST(CheckpointRotation, NoFilesVsAllCorruptOutcomes)
+{
+    Fixture f(400.0);
+    TgnnModel model = freshModel(f);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    const std::string path = tmpPath("outcomes.bin");
+    fault::reset();
+    cleanFamily(path);
+
+    EXPECT_FALSE(anyCheckpointGenerationExists(path, 3));
+    TrainerCursor cur;
+    EXPECT_EQ(resumeFromNewestValid(path, 3, model, batcher, cur,
+                                    nullptr)
+                  .outcome,
+              ResumeScan::Outcome::NoCheckpoint);
+
+    // One generation exists but is torn: that is AllCorrupt — the
+    // caller must fail loudly, never silently start fresh.
+    ASSERT_TRUE(saveCheckpointRotated(
+        path, payloadAtBatch(f, model, batcher, 1), 3));
+    EXPECT_TRUE(anyCheckpointGenerationExists(path, 3));
+    truncateFileTo(checkpointGenerationPath(path, 0), 60);
+    const ResumeScan scan =
+        resumeFromNewestValid(path, 3, model, batcher, cur, nullptr);
+    EXPECT_EQ(scan.outcome, ResumeScan::Outcome::AllCorrupt);
+    EXPECT_EQ(scan.corruptSkipped, 1u);
+}
+
+TEST(FaultTolerance, TornNewestGenerationResumesFromOlderBitIdentical)
+{
+    Fixture f;
+    const std::string path = tmpPath("ckpt_torn_gen.bin");
+    fault::reset();
+    cleanFamily(path);
+
+    TgnnModel ref = freshModel(f);
+    FixedBatcher rb(f.trainEnd, f.spec.baseBatch);
+    TrainReport want = trainModel(ref, f.data, f.adj, f.trainEnd, rb,
+                                  baseOptions(f));
+    ASSERT_GE(want.totalBatches, 6u);
+
+    TrainOptions copts = baseOptions(f);
+    copts.checkpointPath = path;
+    copts.checkpointEvery = 1;
+    copts.checkpointKeep = 3;
+    TgnnModel crashed = freshModel(f);
+    FixedBatcher cb(f.trainEnd, f.spec.baseBatch);
+    {
+        fault::Config fc;
+        fc.crashBatch = static_cast<long>(want.totalBatches / 2 + 1);
+        FaultScope scope(fc);
+        TrainReport r = trainModel(crashed, f.data, f.adj, f.trainEnd,
+                                   cb, copts);
+        ASSERT_TRUE(r.interrupted);
+    }
+
+    // The newest generation is torn after the fact (power loss, disk
+    // error). Resume must fall back one generation and — because the
+    // trajectory is deterministic — still land on the exact same
+    // final state as the uninterrupted run.
+    truncateFileTo(checkpointGenerationPath(path, 0), 100);
+    TrainOptions ropts = copts;
+    ropts.resume = true;
+    TgnnModel resumed = freshModel(f);
+    FixedBatcher nb(f.trainEnd, f.spec.baseBatch);
+    TrainReport got = trainModel(resumed, f.data, f.adj, f.trainEnd,
+                                 nb, ropts);
+    EXPECT_TRUE(got.resumed);
+    EXPECT_EQ(got.resumedGeneration, 1u);
+    EXPECT_EQ(got.corruptSkippedOnResume, 1u);
+    EXPECT_GE(got.degradations, 1u); // checkpoint-fallback rung
+
+    EXPECT_EQ(got.valLoss, want.valLoss);
+    ASSERT_EQ(got.epochs.size(), want.epochs.size());
+    for (size_t e = 0; e < want.epochs.size(); ++e) {
+        EXPECT_EQ(got.epochs[e].trainLoss, want.epochs[e].trainLoss);
+        EXPECT_EQ(got.epochs[e].batches, want.epochs[e].batches);
+    }
+    EXPECT_EQ(got.totalBatches, want.totalBatches);
+}
+
+TEST(FaultTolerance, ResumeIfPossibleStartsFreshWithoutFiles)
+{
+    Fixture f(400.0);
+    const std::string path = tmpPath("ckpt_auto.bin");
+    fault::reset();
+    cleanFamily(path);
+
+    // --resume-auto semantics: nothing on disk means a fresh start,
+    // not a fatal error — the contract a blind process-level
+    // relauncher (tools/chaos_kill) depends on.
+    TrainOptions opts = baseOptions(f, 1);
+    opts.checkpointPath = path;
+    opts.checkpointEvery = 1;
+    opts.resume = true;
+    opts.resumeIfPossible = true;
+    TgnnModel model = freshModel(f);
+    FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
+    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+                               batcher, opts);
+    EXPECT_FALSE(r.resumed);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_GT(r.totalBatches, 0u);
 }

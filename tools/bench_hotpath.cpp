@@ -237,7 +237,10 @@ main(int argc, char **argv)
                      ? static_cast<double>(ks.poolHits) /
                            static_cast<double>(ks.poolHits + ks.poolMisses)
                      : 0.0);
-    std::fclose(f);
+    if (std::fclose(f) != 0) {
+        std::fprintf(stderr, "close failed: %s\n", out_path.c_str());
+        return 1;
+    }
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

@@ -17,7 +17,8 @@
  *                 [--theta <t>] [--seed <n>] [--save <model.bin>]
  *                 [--csv <results.csv>]
  *                 [--checkpoint <ckpt.bin>] [--checkpoint-every <n>]
- *                 [--resume] [--threads <n>]
+ *                 [--checkpoint-keep <n>]
+ *                 [--resume] [--resume-auto] [--threads <n>]
  *                 [--metrics-out <metrics.json>]
  *                 [--trace-out <trace.json>]
  *                 [--retry-max <n>] [--retry-base-ms <ms>]
@@ -27,8 +28,13 @@
  *
  * With --checkpoint the trainer snapshots its full state (parameters,
  * optimizer moments, memories, batcher schedule, cursor) every
- * --checkpoint-every batches; --resume restarts from that file and
- * reproduces the uninterrupted run bit for bit. Fault injection for
+ * --checkpoint-every batches, keeping --checkpoint-keep rotating
+ * generations (ckpt.bin, ckpt.bin.1, ...); --resume restarts from the
+ * newest generation that validates — skipping torn or corrupt ones —
+ * and reproduces the uninterrupted run bit for bit. --resume-auto is
+ * the supervisor-friendly variant: it resumes when any generation
+ * exists and starts fresh otherwise, so a process-level relaunch loop
+ * (tools/chaos_kill) needs no state of its own. Fault injection for
  * resilience testing is driven by the CASCADE_FAULT_* environment
  * variables (util/fault.hh).
  *
@@ -48,6 +54,7 @@
  * (0 = off).
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -84,7 +91,9 @@ struct CliOptions
     std::string csvPath;
     std::string checkpointPath;
     size_t checkpointEvery = 50;
+    size_t checkpointKeep = 3;
     bool resume = false;
+    bool resumeAuto = false;
     std::string metricsOut;
     std::string traceOut;
     size_t threads = 0; ///< 0 = leave the pool at its default size
@@ -101,7 +110,9 @@ usage(const char *argv0)
                  "          [--scale S] [--epochs N] [--dim N]\n"
                  "          [--theta T] [--seed N] [--save FILE]\n"
                  "          [--csv FILE] [--checkpoint FILE]\n"
-                 "          [--checkpoint-every N] [--resume]\n"
+                 "          [--checkpoint-every N]\n"
+                 "          [--checkpoint-keep N] [--resume]\n"
+                 "          [--resume-auto]\n"
                  "          [--threads N] [--metrics-out FILE]\n"
                  "          [--trace-out FILE] [--retry-max N]\n"
                  "          [--retry-base-ms MS]\n"
@@ -188,8 +199,15 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         else if (arg == "--checkpoint-every" && (v = next()))
             opts.checkpointEvery =
                 static_cast<size_t>(parseUint("--checkpoint-every", v));
+        else if (arg == "--checkpoint-keep" && (v = next()))
+            opts.checkpointKeep =
+                static_cast<size_t>(parseUint("--checkpoint-keep", v));
         else if (arg == "--resume" && !has_inline)
             opts.resume = true;
+        else if (arg == "--resume-auto" && !has_inline) {
+            opts.resume = true;
+            opts.resumeAuto = true;
+        }
         else if (arg == "--metrics-out" && (v = next()))
             opts.metricsOut = v;
         else if (arg == "--trace-out" && (v = next()))
@@ -308,7 +326,9 @@ main(int argc, char **argv)
     toptions.evalBatch = base_batch;
     toptions.checkpointPath = opts.checkpointPath;
     toptions.checkpointEvery = opts.checkpointEvery;
+    toptions.checkpointKeep = std::max<size_t>(1, opts.checkpointKeep);
     toptions.resume = opts.resume;
+    toptions.resumeIfPossible = opts.resumeAuto;
     toptions.supervisor.retry.maxRetries = opts.retryMax;
     toptions.supervisor.retry.baseDelayMs = opts.retryBaseMs;
     toptions.supervisor.retry.seed = opts.seed + 3;
@@ -369,7 +389,11 @@ main(int argc, char **argv)
                      opts.policy.c_str(), opts.epochs, r.totalBatches,
                      r.avgBatchSize, r.deviceSeconds,
                      r.preprocessSeconds, r.valLoss);
-        std::fclose(f);
+        if (std::fclose(f) != 0) {
+            std::fprintf(stderr, "csv close failed: %s\n",
+                         opts.csvPath.c_str());
+            return 1;
+        }
     }
     if (!opts.savePath.empty() && !saveModel(model, opts.savePath)) {
         std::fprintf(stderr, "checkpoint save failed: %s\n",

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Process-level chaos runner: SIGKILL a training child at seeded-
+ * random batch boundaries — including inside the checkpoint write
+ * window — and relaunch it with --resume-auto until the run survives
+ * to completion.
+ *
+ * This is the uncooperative half of the fault story: every
+ * CASCADE_FAULT_* knob is a polite in-process trigger, but a real
+ * worker death is SIGKILL — no destructors, no atexit, no chance to
+ * finish a write. chaos_kill drives exactly that against the real
+ * cascade_train binary and the real filesystem:
+ *
+ *   chaos_kill --checkpoint ck.bin --kills 8 --window-kills 2 \
+ *              --seed 1234 -- ./cascade_train --dataset wiki ...
+ *
+ * Per round it forks/execs the child command (always appending
+ * --resume-auto, so round 0 starts fresh and later rounds resume),
+ * watches the checkpoint write-window marker file (`<ck>.writing`,
+ * maintained by TrainingSession), and kills:
+ *
+ *   random kill   after a seeded number of observed marker cycles
+ *                 (checkpoint commits) plus a seeded extra delay —
+ *                 i.e. at a random batch boundary;
+ *   window kill   the moment the marker appears, then verifies the
+ *                 marker SURVIVED the SIGKILL (the child never got to
+ *                 remove it), proving the kill landed inside the
+ *                 write window.
+ *
+ * Waiting for marker cycles before arming each kill guarantees every
+ * round makes checkpoint progress, so every relaunch truly resumes.
+ * After the kill budget is spent the child runs to completion and
+ * must exit 0. The summary line
+ *
+ *   chaos_kill: kills=8 window_kills=2 window_verified=2 ...
+ *
+ * is asserted by tools/chaos_soak.sh, which also checks the final
+ * trajectory is bit-identical to an uninterrupted run.
+ *
+ * POSIX-only by design (fork/kill/waitpid); the CI chaos lane runs on
+ * Linux.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+namespace {
+
+struct Options
+{
+    std::string checkpoint;
+    std::string marker; // default: checkpoint + ".writing"
+    long kills = 8;
+    long windowKills = 2;
+    unsigned long long seed = 1234;
+    long minCycles = 1;      // marker cycles to observe before a kill
+    long maxCycles = 4;
+    double maxExtraDelayMs = 50.0;
+    double roundTimeoutS = 60.0;
+    std::vector<char *> childArgv;
+};
+
+/** SplitMix64: tiny, seedable, good enough for kill scheduling. */
+struct Rng
+{
+    unsigned long long s;
+    explicit Rng(unsigned long long seed) : s(seed) {}
+    unsigned long long
+    next()
+    {
+        unsigned long long z = (s += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+    /** Uniform in [lo, hi] inclusive. */
+    long
+    range(long lo, long hi)
+    {
+        return lo + static_cast<long>(next() %
+                                      static_cast<unsigned long long>(
+                                          hi - lo + 1));
+    }
+};
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+void
+sleepMs(double ms)
+{
+    if (ms <= 0)
+        return;
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(ms / 1000.0);
+    ts.tv_nsec =
+        static_cast<long>((ms - static_cast<double>(ts.tv_sec) * 1000.0) *
+                          1e6);
+    nanosleep(&ts, nullptr);
+}
+
+double
+nowS()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --checkpoint FILE [--kills N] [--window-kills M]\n"
+        "          [--seed S] [--min-cycles A] [--max-cycles B]\n"
+        "          [--max-extra-delay-ms MS] [--round-timeout-s T]\n"
+        "          [--marker FILE] -- <cascade_train argv...>\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    int i = 1;
+    auto need = [&](const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", flag);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *v = nullptr;
+        if (arg == "--") {
+            for (int j = i + 1; j < argc; ++j)
+                o.childArgv.push_back(argv[j]);
+            break;
+        } else if (arg == "--checkpoint" && (v = need("--checkpoint"))) {
+            o.checkpoint = v;
+        } else if (arg == "--marker" && (v = need("--marker"))) {
+            o.marker = v;
+        } else if (arg == "--kills" && (v = need("--kills"))) {
+            o.kills = std::atol(v);
+        } else if (arg == "--window-kills" &&
+                   (v = need("--window-kills"))) {
+            o.windowKills = std::atol(v);
+        } else if (arg == "--seed" && (v = need("--seed"))) {
+            o.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--min-cycles" && (v = need("--min-cycles"))) {
+            o.minCycles = std::atol(v);
+        } else if (arg == "--max-cycles" && (v = need("--max-cycles"))) {
+            o.maxCycles = std::atol(v);
+        } else if (arg == "--max-extra-delay-ms" &&
+                   (v = need("--max-extra-delay-ms"))) {
+            o.maxExtraDelayMs = std::atof(v);
+        } else if (arg == "--round-timeout-s" &&
+                   (v = need("--round-timeout-s"))) {
+            o.roundTimeoutS = std::atof(v);
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return false;
+        }
+    }
+    if (o.checkpoint.empty() || o.childArgv.empty() || o.kills < 0 ||
+        o.windowKills < 0 || o.windowKills > o.kills ||
+        o.minCycles < 1 || o.maxCycles < o.minCycles) {
+        return false;
+    }
+    if (o.marker.empty())
+        o.marker = o.checkpoint + ".writing";
+    return true;
+}
+
+pid_t
+spawnChild(const Options &o)
+{
+    std::vector<char *> argv = o.childArgv;
+    static char resume_auto[] = "--resume-auto";
+    argv.push_back(resume_auto);
+    argv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execvp(argv[0], argv.data());
+        std::fprintf(stderr, "chaos_kill: execvp %s: %s\n", argv[0],
+                     std::strerror(errno));
+        _exit(127);
+    }
+    return pid;
+}
+
+/** waitpid wrapper: true when the child has exited. */
+bool
+reapIfExited(pid_t pid, int &status)
+{
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    return r == pid;
+}
+
+struct RoundResult
+{
+    bool childExitedEarly = false;
+    bool timedOut = false;
+    bool windowVerified = false;
+};
+
+/**
+ * One kill round: wait for `cycles` marker appearances (checkpoint
+ * commits), then kill — either immediately inside the next marker
+ * window, or after a random extra delay (a random batch boundary).
+ */
+RoundResult
+killRound(const Options &o, Rng &rng, bool window_kill)
+{
+    RoundResult res;
+    const pid_t pid = spawnChild(o);
+    if (pid < 0) {
+        std::fprintf(stderr, "chaos_kill: fork failed\n");
+        res.childExitedEarly = true;
+        return res;
+    }
+
+    const long cycles = rng.range(o.minCycles, o.maxCycles);
+    const double extra_ms =
+        static_cast<double>(rng.next() % 1000) / 1000.0 *
+        o.maxExtraDelayMs;
+    const double deadline = nowS() + o.roundTimeoutS;
+
+    long seen = 0;
+    bool marker_present = false;
+    int status = 0;
+    // Phase 1: observe `cycles` marker appearances. Phase 2 (random
+    // kill): sleep the extra delay, SIGKILL. Phase 2 (window kill):
+    // keep polling, SIGKILL the instant the marker is next present.
+    while (true) {
+        if (reapIfExited(pid, status)) {
+            res.childExitedEarly = true;
+            return res;
+        }
+        if (nowS() > deadline) {
+            res.timedOut = true;
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            return res;
+        }
+        const bool present = fileExists(o.marker);
+        if (present && !marker_present)
+            ++seen;
+        marker_present = present;
+        if (seen >= cycles) {
+            if (!window_kill)
+                break; // armed: kill after the extra delay
+            if (present)
+                break; // kill NOW, inside the write window
+        }
+        sleepMs(0.2);
+    }
+
+    if (!window_kill) {
+        // Sleep in small steps so an early child exit is noticed.
+        double remaining = extra_ms;
+        while (remaining > 0) {
+            if (reapIfExited(pid, status)) {
+                res.childExitedEarly = true;
+                return res;
+            }
+            const double step = remaining < 2.0 ? remaining : 2.0;
+            sleepMs(step);
+            remaining -= step;
+        }
+    }
+
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+    if (window_kill) {
+        // The child never got to remove the marker: the kill landed
+        // inside the write window.
+        res.windowVerified = fileExists(o.marker);
+        if (!res.windowVerified) {
+            std::fprintf(stderr,
+                         "chaos_kill: window kill missed the write "
+                         "window (marker already gone)\n");
+        }
+    }
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o)) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    Rng rng(o.seed);
+
+    // Spread the window kills across the schedule deterministically:
+    // every (kills / windowKills)-th round is a window kill.
+    std::vector<bool> is_window(static_cast<size_t>(o.kills), false);
+    if (o.windowKills > 0) {
+        const long stride = o.kills / o.windowKills;
+        for (long k = 0; k < o.windowKills; ++k)
+            is_window[static_cast<size_t>(k * stride)] = true;
+    }
+
+    long window_attempted = 0, window_verified = 0, kills_done = 0;
+    for (long round = 0; round < o.kills; ++round) {
+        const bool window_kill = is_window[static_cast<size_t>(round)];
+        const RoundResult res = killRound(o, rng, window_kill);
+        if (res.childExitedEarly) {
+            std::fprintf(stderr,
+                         "chaos_kill: child completed before kill %ld "
+                         "— size the workload up\n",
+                         round + 1);
+            return 1;
+        }
+        if (res.timedOut) {
+            std::fprintf(stderr,
+                         "chaos_kill: round %ld timed out waiting for "
+                         "checkpoint activity\n",
+                         round + 1);
+            return 1;
+        }
+        ++kills_done;
+        if (window_kill) {
+            ++window_attempted;
+            if (res.windowVerified)
+                ++window_verified;
+        }
+        std::fprintf(stderr, "chaos_kill: kill %ld/%ld done%s\n",
+                     round + 1, o.kills,
+                     window_kill
+                         ? (res.windowVerified
+                                ? " (verified in write window)"
+                                : " (window miss)")
+                         : "");
+    }
+
+    // Final round: run to completion.
+    const pid_t pid = spawnChild(o);
+    if (pid < 0) {
+        std::fprintf(stderr, "chaos_kill: fork failed\n");
+        return 1;
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) {
+        std::fprintf(stderr, "chaos_kill: waitpid failed\n");
+        return 1;
+    }
+    const int final_exit =
+        WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+
+    std::printf("chaos_kill: kills=%ld window_kills=%ld "
+                "window_verified=%ld relaunches=%ld final_exit=%d\n",
+                kills_done, window_attempted, window_verified,
+                kills_done + 1, final_exit);
+    if (final_exit != 0) {
+        std::fprintf(stderr,
+                     "chaos_kill: final run exited %d, expected 0\n",
+                     final_exit);
+        return 1;
+    }
+    if (window_verified < o.windowKills) {
+        std::fprintf(stderr,
+                     "chaos_kill: only %ld/%ld window kills verified "
+                     "inside the write window\n",
+                     window_verified, o.windowKills);
+        return 1;
+    }
+    return 0;
+}

@@ -3,7 +3,8 @@
 #
 #   tools/check.sh            # everything: lint, tidy, analyze, then
 #                             # default + sanitize + tsan suites, the
-#                             # fault matrix, and the bench smoke
+#                             # fault matrix, the bench smoke, and the
+#                             # chaos soak (tools/chaos_soak.sh)
 #   tools/check.sh <regex>    # same, only tests matching regex
 #   tools/check.sh -s [re]    # sanitize preset only (old behaviour)
 #   tools/check.sh -q         # quick lint-only gate (seconds): the
@@ -113,3 +114,10 @@ cmake --build --preset tsan -j "$(nproc)" --target bench_hotpath
 TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
     ./build-tsan/tools/bench_hotpath --smoke \
     --out build-tsan/BENCH_hotpath_smoke.json
+
+# Chaos soak: seeded SIGKILLs against the real CLI (some inside the
+# checkpoint write window), every relaunch resumes, and the final
+# trajectory must be byte-identical to an uninterrupted run.
+cmake --build --preset default -j "$(nproc)" \
+    --target cascade_train_cli chaos_kill
+sh tools/chaos_soak.sh build

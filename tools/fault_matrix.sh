@@ -106,6 +106,44 @@ run_case unknown-var 0 "unrecognized fault variable" typo.log -- \
     CASCADE_FAULT_NAN_BACH=1 -- \
     $COMMON --policy tgl
 
+# 9. Torn write: the only checkpoint save (the final one — the huge
+#    cadence suppresses mid-run saves) is cut in half but REPORTS
+#    SUCCESS, exactly like a real torn write under power loss. The
+#    run finishes happy; only the resume's CRC check can tell, and
+#    with a single generation there is nothing older to fall back to.
+run_case torn-write 0 "checkpointing=on" torn.log -- \
+    CASCADE_FAULT_TORN_WRITE_NTH=1 -- \
+    $COMMON --policy cascade --checkpoint "$WORK/ck_torn.bin" \
+    --checkpoint-every 100000 --checkpoint-keep 1
+run_case torn-write-resume 1 "missing or corrupt" torn_resume.log -- -- \
+    $COMMON --policy cascade --checkpoint "$WORK/ck_torn.bin" \
+    --checkpoint-every 100000 --checkpoint-keep 1 --resume
+
+# 10. One ENOSPC on a checkpoint write: fails visibly, absorbed by a
+#     supervisor retry, no degradation.
+run_case enospc-retry 0 "retries=1" enospc.log -- \
+    CASCADE_FAULT_ENOSPC_NTH=1 -- \
+    $COMMON --policy cascade --checkpoint "$WORK/ck_enospc.bin" \
+    --checkpoint-every 1 --retry-base-ms 0
+
+# 11. One short write (64 of N bytes reach the disk): the checked
+#     write path surfaces it as a failure; one retry recovers.
+run_case short-write-retry 0 "retries=1" short.log -- \
+    CASCADE_FAULT_SHORT_WRITE_BYTES=64 -- \
+    $COMMON --policy cascade --checkpoint "$WORK/ck_short.bin" \
+    --checkpoint-every 1 --retry-base-ms 0
+
+# 12. Newest generation torn after the fact: resume skips it and
+#     restores the previous generation instead of dying.
+run_case older-gen-setup 0 "checkpointing=on" older_setup.log -- -- \
+    $COMMON --policy cascade --checkpoint "$WORK/ck_older.bin" \
+    --checkpoint-every 1 --checkpoint-keep 3
+head -c 40 "$WORK/ck_older.bin" >"$WORK/ck_older.cut" &&
+    mv "$WORK/ck_older.cut" "$WORK/ck_older.bin"
+run_case older-gen-resume 0 "generation 1" older_resume.log -- -- \
+    $COMMON --policy cascade --checkpoint "$WORK/ck_older.bin" \
+    --checkpoint-every 1 --checkpoint-keep 3 --resume
+
 if [ "$FAILURES" -ne 0 ]; then
     echo "fault_matrix: $FAILURES case(s) failed" >&2
     exit 1

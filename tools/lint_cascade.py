@@ -62,6 +62,18 @@ tsan-supp-justified
     preceded by a ``#`` justification comment — an unexplained
     suppression hides a real race forever.
 
+unchecked-io
+    Statement-position (return value discarded) calls to the raw
+    durability primitives — ``::write``/``::close``/``::fsync``/
+    ``::fdatasync``/``::rename``/``std::rename``/``std::fclose``/
+    ``std::fwrite`` — are forbidden in ``src/ tools/ bench/`` outside
+    ``src/util/binio.*``: an unchecked return is exactly the silent
+    partial-write bug the checkpoint layer once shipped. Use the
+    checked helpers in ``util/binio.hh`` (``writeFileAtomic``,
+    ``renameFile``, ``touchFile``, ``removeFileIfExists``) or check
+    the return; a deliberate discard carries
+    ``cascade-lint: allow(unchecked-io)`` on the same line.
+
 Self-test: ``lint_cascade.py --self-test`` runs each rule against a
 synthetic violating file and exits non-zero unless every rule fires
 (and does not fire on a clean counterpart).
@@ -382,6 +394,54 @@ def rule_tsan_supp_justified(root: str) -> List[Violation]:
     return out
 
 
+# Raw durability primitives whose return value must be consumed. The
+# optional (void) prefix is matched so an explicit discard is still a
+# violation: silence needs the allow-comment, not a cast.
+_UNCHECKED_IO_RE = re.compile(
+    r"(?:\(\s*void\s*\)\s*)?"
+    r"(?:::(?:write|close|fsync|fdatasync|rename)"
+    r"|std::(?:rename|fclose|fwrite))\s*\("
+)
+_ALLOW_UNCHECKED_IO = "cascade-lint: allow(unchecked-io)"
+_UNCHECKED_IO_EXEMPT = ("src/util/binio.",)
+
+
+def rule_unchecked_io(root: str) -> List[Violation]:
+    out = []
+    for path in iter_repo_files(root, ["src", "tools", "bench"]):
+        relpath = rel(root, path)
+        if any(relpath.startswith(e) for e in _UNCHECKED_IO_EXEMPT):
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        code = strip_comments_and_strings(text)
+        for m in _UNCHECKED_IO_RE.finditer(code):
+            # Statement position = the call (or its (void) cast) is
+            # the first token of a statement: preceded by ';', '{',
+            # '}' or nothing. Anything else (=, if(, return, ==, ...)
+            # consumes the result.
+            before = code[: m.start()].rstrip()
+            if before and before[-1] not in ";{}":
+                continue
+            line_no = code.count("\n", 0, m.start()) + 1
+            if _ALLOW_UNCHECKED_IO in raw_lines[line_no - 1]:
+                continue
+            out.append(
+                Violation(
+                    relpath,
+                    line_no,
+                    "unchecked-io",
+                    "raw I/O primitive with the return value "
+                    "discarded — the silent-partial-write bug class; "
+                    "use the checked util/binio.hh helpers, check "
+                    "the return, or justify with "
+                    f"'{_ALLOW_UNCHECKED_IO}'",
+                )
+            )
+    return out
+
+
 RULES: List[tuple[str, Callable[[str], List[Violation]]]] = [
     ("determinism-clock", rule_determinism_clock),
     ("hot-path-iostream", rule_hot_path_iostream),
@@ -390,6 +450,7 @@ RULES: List[tuple[str, Callable[[str], List[Violation]]]] = [
     ("unguarded-mutex", rule_unguarded_mutex),
     ("deprecated-api", rule_deprecated_api),
     ("tsan-supp-justified", rule_tsan_supp_justified),
+    ("unchecked-io", rule_unchecked_io),
 ]
 
 
@@ -435,6 +496,11 @@ _SELF_TEST_CASES = {
         "tools/tsan.supp",
         "race:cascade::Unexplained\n",
         "# justified: false positive, see PR 5\nrace:cascade::Ok\n",
+    ),
+    "unchecked-io": (
+        "src/train/victim.cc",
+        "void f() { std::rename(a, b); }\n",
+        "void f() { if (std::rename(a, b) != 0) die(); }\n",
     ),
 }
 
