@@ -39,8 +39,10 @@ TgDiffuser::TgDiffuser(const EventSequence &seq,
 
 TgDiffuser::~TgDiffuser()
 {
-    if (pending_.valid())
-        pending_.wait();
+    // AsyncCell's destructor also drops, but doing it here keeps the
+    // join ahead of the members the worker lambda reads.
+    if (pending_.active())
+        pending_.drop();
 }
 
 void
@@ -72,14 +74,14 @@ TgDiffuser::unbindMetrics()
 void
 TgDiffuser::disablePipeline()
 {
-    if (pending_.valid()) {
+    if (pending_.active()) {
         // Drain the in-flight prefetch: keep a clean table, discard a
         // failed one (the failing prefetch is typically why we are
         // degrading; its chunk rebuilds synchronously on next use).
         const size_t c = pendingChunk_;
         pendingChunk_ = SIZE_MAX;
         try {
-            auto built = pending_.get();
+            auto built = pending_.collect();
             if (c < tables_.size() && !tables_[c])
                 tables_[c] = std::move(built);
         } catch (...) {
@@ -98,13 +100,13 @@ TgDiffuser::ensureChunk(size_t c)
         return *tables_[c];
     Timer t;
     try {
-        if (pendingChunk_ == c && pending_.valid()) {
+        if (pendingChunk_ == c && pending_.active()) {
             // Pipelined build in flight: only the stall is
-            // preprocessing. get() consumes the future either way, so
-            // a failed prefetch leaves no stale pending state and the
-            // supervisor's retry rebuilds synchronously below.
+            // preprocessing. collect() consumes the slot either way,
+            // so a failed prefetch leaves no stale pending state and
+            // the supervisor's retry rebuilds synchronously below.
             pendingChunk_ = SIZE_MAX;
-            tables_[c] = pending_.get();
+            tables_[c] = pending_.collect();
         } else {
             fault::maybeFailChunkBuild(c);
             tables_[c] =
@@ -137,14 +139,13 @@ TgDiffuser::enterChunk(size_t c)
         ptrs_[static_cast<size_t>(n)] = 0;
 
     // Prefetch the next chunk's table on a worker thread. A build
-    // that throws is captured in the future and surfaces at the
+    // that throws is captured in the cell and surfaces at the
     // consuming ensureChunk, never on the worker.
     if (opts_.pipeline && c + 1 < tables_.size() && !tables_[c + 1] &&
         pendingChunk_ == SIZE_MAX) {
         const auto [lo, hi] = chunkBounds_[c + 1];
         pendingChunk_ = c + 1;
-        pending_ = std::async(std::launch::async,
-                              [this, next = c + 1, lo, hi] {
+        pending_.launch([this, next = c + 1, lo, hi] {
             fault::maybeFailChunkBuild(next);
             return std::make_unique<DependencyTable>(
                 DependencyTable::build(seq_, adj_, lo, hi));

@@ -19,13 +19,13 @@
 #ifndef CASCADE_CORE_TG_DIFFUSER_HH
 #define CASCADE_CORE_TG_DIFFUSER_HH
 
-#include <future>
 #include <memory>
 #include <vector>
 
 #include "core/dependency_table.hh"
 #include "graph/adjacency.hh"
 #include "graph/event.hh"
+#include "util/queue.hh"
 
 namespace cascade {
 
@@ -158,7 +158,9 @@ class TgDiffuser
     /** chunkBounds_[c] = {lo, hi} of chunk c. */
     std::vector<std::pair<size_t, size_t>> chunkBounds_;
     std::vector<std::unique_ptr<DependencyTable>> tables_;
-    std::future<std::unique_ptr<DependencyTable>> pending_;
+    /** One-shot prefetch slot (util/queue.hh): chunk k+1's table
+     *  builds on its worker while chunk k trains. */
+    AsyncCell<std::unique_ptr<DependencyTable>> pending_;
     size_t pendingChunk_ = SIZE_MAX;
 
     size_t curChunk_ = SIZE_MAX;

@@ -158,8 +158,16 @@ class BufferPool
 constexpr size_t MR = 4;
 constexpr size_t NR = 64;
 
-/** Below this flop count the banding overhead dominates: run serial. */
-constexpr uint64_t kParallelFlops = 1ull << 21;
+/**
+ * Minimum flops *per worker* for banding to pay off. The cutover must
+ * scale with the pool size: a 2^22-flop product (128x256x64) amortizes
+ * fork/join fine on 1-2 workers but at 8 the per-band work drops under
+ * the dispatch cost and throughput collapses (the BENCH_hotpath
+ * regression: 39x over naive at 1 thread, 9x at 8). Requiring
+ * flops >= threads * 2^22 keeps big products banded on every pool size
+ * and runs small ones serial instead of slower-in-parallel.
+ */
+constexpr uint64_t kMinParallelFlopsPerThread = 1ull << 22;
 
 /**
  * C tile-range kernel: rows [MR*tile_lo, min(MR*tile_hi, m)) of
@@ -227,7 +235,10 @@ gemmDense(const float *A, const float *B, float *C, size_t m, size_t k,
         return;
     const size_t tiles = (m + MR - 1) / MR;
     const uint64_t flops = 2ull * m * k * n;
-    if (flops >= kParallelFlops && !ThreadPool::inWorker()) {
+    const uint64_t workers =
+        std::max<uint64_t>(1, ThreadPool::globalThreads());
+    if (flops >= workers * kMinParallelFlopsPerThread &&
+        !ThreadPool::inWorker()) {
         parallelForChunks(
             0, tiles,
             [&](size_t lo, size_t hi) {

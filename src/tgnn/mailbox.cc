@@ -66,6 +66,7 @@ void
 Mailbox::reset()
 {
     boxes_.clear();
+    appliedBatch_ = 0;
 }
 
 void
@@ -128,6 +129,8 @@ Mailbox::loadState(ByteReader &r)
         boxes.emplace(static_cast<NodeId>(node), std::move(box));
     }
     boxes_ = std::move(boxes);
+    // Transient pipeline watermark: restores happen at drain barriers.
+    appliedBatch_ = 0;
     return true;
 }
 

@@ -458,9 +458,29 @@ StepResult
 TgnnModel::step(const EventSequence &data, const TemporalAdjacency &adj,
                 size_t st, size_t ed, bool train)
 {
+    // The synchronous composition of the decomposed pipeline stages;
+    // the ordering (forward, backward+opt, writeback+messages) is the
+    // bit-determinism reference the S=0 pipeline must reproduce.
+    Forward f = stepForward(data, adj, st, ed);
+    if (train)
+        stepBackward(f);
+    StepResult result = std::move(f.result);
+    if (f.writeback.active) {
+        result.memCosine = applyWriteback(data, f.writeback);
+        result.updatedNodes = std::move(f.writeback.nodes);
+    }
+    recordStepMetrics(result);
+    return result;
+}
+
+TgnnModel::Forward
+TgnnModel::stepForward(const EventSequence &data,
+                       const TemporalAdjacency &adj, size_t st, size_t ed)
+{
     using namespace ops;
     CASCADE_CHECK(st < ed && ed <= data.size(), "step: bad batch range");
-    StepResult result;
+    Forward fwd;
+    StepResult &result = fwd.result;
     const size_t b = ed - st;
     result.numEvents = b;
 
@@ -518,24 +538,17 @@ TgnnModel::step(const EventSequence &data, const TemporalAdjacency &adj,
         ranked += pos.value().at(i, 0) > neg.value().at(i, 0);
     result.rankAccuracy = static_cast<double>(ranked) / b;
 
-    if (train) {
-        optimizer_->zeroGrad();
-        loss.backward();
-        double grad_sq = 0.0;
-        for (const auto &p : parameters()) {
-            const Tensor &g = p.grad();
-            for (size_t i = 0; i < g.size(); ++i) {
-                grad_sq += static_cast<double>(g.data()[i]) *
-                           g.data()[i];
-            }
-        }
-        result.gradNorm = std::sqrt(grad_sq);
-        optimizer_->step();
-    }
-
-    // Write back consumed memories (recording SG-Filter cosines).
+    // Stage the deferred writeback: detached value copies, so the
+    // update worker can apply it while backward/optimizer run. The
+    // values are forward outputs — extracting them here (before
+    // backward) is bit-identical to the seed's post-optimizer
+    // extraction because backward only ever touches gradients.
     if (config_.memory != MemoryKind::Identity) {
-        std::vector<NodeId> upd_nodes;
+        PendingWriteback &wb = fwd.writeback;
+        wb.active = true;
+        wb.st = st;
+        wb.ed = ed;
+        wb.writeTs = data.events[ed - 1].ts;
         std::vector<size_t> upd_rows;
         std::unordered_map<NodeId, char> in_batch;
         for (size_t i = 0; i < b; ++i) {
@@ -544,47 +557,82 @@ TgnnModel::step(const EventSequence &data, const TemporalAdjacency &adj,
         }
         for (size_t i = 0; i < fresh.nodes.size(); ++i) {
             if (fresh.consumed[i] && in_batch.count(fresh.nodes[i])) {
-                upd_nodes.push_back(fresh.nodes[i]);
+                wb.nodes.push_back(fresh.nodes[i]);
                 upd_rows.push_back(i);
             }
         }
-        if (!upd_nodes.empty()) {
-            Tensor vals(upd_nodes.size(), config_.memoryDim);
-            for (size_t i = 0; i < upd_rows.size(); ++i)
-                vals.copyRowFrom(i, fresh.values.value(), upd_rows[i]);
-            const double t_end = data.events[ed - 1].ts;
-            result.memCosine = memory_.write(upd_nodes, vals, t_end);
-            result.updatedNodes = std::move(upd_nodes);
-        }
-
-        // Generate this batch's messages (Eq. 2): payload is the
-        // other endpoint's current memory plus the edge features.
-        Tensor payload(1, msgDim_);
-        for (size_t i = 0; i < b; ++i) {
-            const Event &e = data.events[st + i];
-            const size_t fi = st + i;
-            auto fill = [&](NodeId to, NodeId other) {
-                const float *om =
-                    memory_.raw().row(static_cast<size_t>(other));
-                std::copy(om, om + config_.memoryDim, payload.row(0));
-                if (edgeFeatDim_ > 0) {
-                    std::copy(data.features.row(fi),
-                              data.features.row(fi) + edgeFeatDim_,
-                              payload.row(0) + config_.memoryDim);
-                }
-                mailbox_.push(to, payload.row(0), e.ts);
-            };
-            fill(e.src, e.dst);
-            fill(e.dst, e.src);
+        if (!wb.nodes.empty()) {
+            wb.values = Tensor(wb.nodes.size(), config_.memoryDim);
+            for (size_t i = 0; i < upd_rows.size(); ++i) {
+                wb.values.copyRowFrom(i, fresh.values.value(),
+                                      upd_rows[i]);
+            }
         }
     }
+
+    fwd.loss = std::move(loss);
+    return fwd;
+}
+
+void
+TgnnModel::stepBackward(Forward &f)
+{
+    optimizer_->zeroGrad();
+    f.loss.backward();
+    double grad_sq = 0.0;
+    for (const auto &p : parameters()) {
+        const Tensor &g = p.grad();
+        for (size_t i = 0; i < g.size(); ++i)
+            grad_sq += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+    f.result.gradNorm = std::sqrt(grad_sq);
+    optimizer_->step();
+}
+
+std::vector<double>
+TgnnModel::applyWriteback(const EventSequence &data, PendingWriteback &wb,
+                          uint64_t batch_stamp)
+{
+    std::vector<double> cosines;
+    if (!wb.active)
+        return cosines;
+
+    // Write back consumed memories (recording SG-Filter cosines).
+    if (!wb.nodes.empty())
+        cosines = memory_.write(wb.nodes, wb.values, wb.writeTs,
+                                batch_stamp);
+
+    // Generate this batch's messages (Eq. 2): payload is the other
+    // endpoint's current memory (post-writeback) plus edge features.
+    Tensor payload(1, msgDim_);
+    for (size_t i = wb.st; i < wb.ed; ++i) {
+        const Event &e = data.events[i];
+        auto fill = [&](NodeId to, NodeId other) {
+            const float *om =
+                memory_.raw().row(static_cast<size_t>(other));
+            std::copy(om, om + config_.memoryDim, payload.row(0));
+            if (edgeFeatDim_ > 0) {
+                std::copy(data.features.row(i),
+                          data.features.row(i) + edgeFeatDim_,
+                          payload.row(0) + config_.memoryDim);
+            }
+            mailbox_.push(to, payload.row(0), e.ts);
+        };
+        fill(e.src, e.dst);
+        fill(e.dst, e.src);
+    }
+    return cosines;
+}
+
+void
+TgnnModel::recordStepMetrics(const StepResult &r)
+{
     if (stepsCtr_) {
         stepsCtr_->add(1);
-        eventsCtr_->add(result.numEvents);
-        workRowsCtr_->add(result.workRows);
-        neighborsCtr_->add(result.sampledNeighbors);
+        eventsCtr_->add(r.numEvents);
+        workRowsCtr_->add(r.workRows);
+        neighborsCtr_->add(r.sampledNeighbors);
     }
-    return result;
 }
 
 double

@@ -98,6 +98,65 @@ class TgnnModel
                     size_t st, size_t ed, bool train);
 
     /**
+     * Deferred state mutation produced by a forward pass: the memory
+     * rows to overwrite plus the message-generation range (Eq. 2).
+     * Applying it is independent of backward/optimizer — the values
+     * are detached copies — which is what lets the pipeline overlap
+     * the memory+mailbox update with the gradient computation.
+     */
+    struct PendingWriteback
+    {
+        bool active = false;       ///< model has a memory writeback
+        std::vector<NodeId> nodes; ///< rows to overwrite (may be empty)
+        Tensor values;             ///< |nodes| x memoryDim new rows
+        double writeTs = 0.0;      ///< batch-end timestamp
+        size_t st = 0;             ///< message-generation range start
+        size_t ed = 0;             ///< message-generation range end
+    };
+
+    /**
+     * Forward-pass output: the loss graph root (stepBackward input),
+     * the partially filled StepResult (gradNorm / memCosine /
+     * updatedNodes pending), and the deferred writeback.
+     */
+    struct Forward
+    {
+        Variable loss;
+        StepResult result;
+        PendingWriteback writeback;
+    };
+
+    /**
+     * The decomposed step() — forward only. Reads memory/mailbox and
+     * draws from the sampling RNG (callers serialize against
+     * applyWriteback; the pipeline does so with its state lock).
+     */
+    Forward stepForward(const EventSequence &data,
+                        const TemporalAdjacency &adj, size_t st,
+                        size_t ed);
+
+    /** Backward + optimizer step; fills f.result.gradNorm. Touches
+     *  parameters and gradients only — never memory/mailbox. */
+    void stepBackward(Forward &f);
+
+    /**
+     * Apply a deferred writeback: overwrite memory rows (stamping
+     * them with batch_stamp when nonzero) and generate the batch's
+     * messages. Must run in batch order; returns the SG-Filter
+     * cosines. wb.nodes is left intact for the caller's feedback.
+     */
+    std::vector<double> applyWriteback(const EventSequence &data,
+                                       PendingWriteback &wb,
+                                       uint64_t batch_stamp = 0);
+
+    /** Bump the bound model.* counters for one completed step. */
+    void recordStepMetrics(const StepResult &r);
+
+    /** Direct mutable access for the pipeline's watermark updates. */
+    MemoryStore &memoryMutable() { return memory_; }
+    Mailbox &mailboxMutable() { return mailbox_; }
+
+    /**
      * Mean BCE loss over [st, ed) processed in eval batches of
      * batch_size; memories advance (values only) so the stream stays
      * temporally coherent.

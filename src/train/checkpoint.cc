@@ -174,24 +174,67 @@ namespace {
 constexpr uint32_t kManifestMagic = 0x43534d46; // "CSMF"
 constexpr uint32_t kManifestVersion = 1;
 
-/** Record the current generation family (best-effort, advisory). */
+/**
+ * Record the current generation family (best-effort, advisory).
+ *
+ * The rotation that just ran only renames complete artifacts, so the
+ * image now at generation g is byte-for-byte the one the previous
+ * manifest recorded at generation g-1, and the head is the payload
+ * this commit just staged. Carrying those records forward keeps the
+ * per-commit bookkeeping O(manifest bytes); the old implementation
+ * re-read and re-checksummed every surviving generation — tens of
+ * megabytes of page-cache traffic and CRC per cadence point, all of
+ * it charged to the commit path the async pipeline is trying to
+ * hide. Files the previous manifest cannot vouch for (first commit
+ * of a run, an interrupted rotation, a keep bump) fall back to the
+ * validated read.
+ */
 void
-writeManifest(const std::string &path, size_t keep)
+writeManifest(const std::string &path, size_t keep, size_t headBytes,
+              uint32_t headCrc)
 {
+    CheckpointManifest prev;
+    const bool have_prev = readCheckpointManifest(path, prev);
+
     ByteWriter w;
     w.u32(kManifestMagic);
     w.u32(kManifestVersion);
     w.u64(keep);
     std::vector<CheckpointGeneration> gens;
-    for (size_t g = 0; g < keep; ++g) {
+    {
+        CheckpointGeneration head;
+        head.file = checkpointGenerationPath(path, 0);
+        head.bytes = headBytes;
+        head.crc = headCrc;
+        gens.push_back(std::move(head));
+    }
+    for (size_t g = 1; g < keep; ++g) {
         const std::string file = checkpointGenerationPath(path, g);
-        std::string payload;
-        if (!readFileValidated(file, payload))
-            continue; // absent or torn: the manifest lists survivors
+        if (!fileExists(file))
+            continue; // dropped or never written: list survivors only
         CheckpointGeneration cg;
         cg.file = file;
-        cg.bytes = payload.size();
-        cg.crc = crc32(payload.data(), payload.size());
+        const CheckpointGeneration *carried = nullptr;
+        if (have_prev) {
+            const std::string was =
+                checkpointGenerationPath(path, g - 1);
+            for (const CheckpointGeneration &e : prev.generations) {
+                if (e.file == was) {
+                    carried = &e;
+                    break;
+                }
+            }
+        }
+        if (carried) {
+            cg.bytes = carried->bytes;
+            cg.crc = carried->crc;
+        } else {
+            std::string payload;
+            if (!readFileValidated(file, payload))
+                continue; // torn: the manifest lists survivors
+            cg.bytes = payload.size();
+            cg.crc = crc32(payload.data(), payload.size());
+        }
         gens.push_back(std::move(cg));
     }
     w.u64(gens.size());
@@ -296,7 +339,8 @@ saveCheckpointRotated(const std::string &path,
         metrics->counter("checkpoint.bytes_written")
             .add(payload.size());
     }
-    writeManifest(path, keep);
+    writeManifest(path, keep, payload.size(),
+                  crc32(payload.data(), payload.size()));
     return true;
 }
 

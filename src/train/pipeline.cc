@@ -1,0 +1,664 @@
+#include "train/pipeline.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "train/session.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+#include "util/queue.hh"
+#include "util/thread_annotations.hh"
+#include "util/timer.hh"
+
+namespace cascade {
+
+namespace {
+
+/** Stage execution scope: trace span + seconds histogram sample. */
+class StageScope
+{
+  public:
+    StageScope(obs::Histogram &hist, obs::TraceRecorder &trace,
+               const char *name)
+        : hist_(hist), span_(trace.span(name, "pipeline"))
+    {}
+
+    ~StageScope()
+    {
+        span_.end();
+        hist_.record(timer_.seconds());
+    }
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    obs::Histogram &hist_;
+    Timer timer_;
+    obs::TraceRecorder::Span span_;
+};
+
+/** Boundary worker -> model thread: one planned batch. */
+struct BatchPlan
+{
+    uint64_t seg = 0; ///< segment-local batch ordinal
+    size_t st = 0;
+    size_t ed = 0;
+};
+
+/** Model thread -> update worker: deferred state mutation. */
+struct WritebackJob
+{
+    uint64_t seg = 0;
+    TgnnModel::PendingWriteback wb;
+    // Feedback payload, forwarded once the verdict admits the batch.
+    size_t batchIndex = 0;
+    double loss = 0.0;
+    size_t numEvents = 0;
+    size_t workRows = 0;
+    size_t sampledNeighbors = 0;
+};
+
+/** Update worker -> boundary worker: admitted-batch feedback. */
+struct FeedbackEntry
+{
+    uint64_t seg = 0;
+    size_t batchIndex = 0;
+    size_t st = 0;
+    size_t ed = 0;
+    double loss = 0.0;
+    std::vector<NodeId> updatedNodes;
+    std::vector<double> memCosine;
+    size_t numEvents = 0;
+    size_t workRows = 0;
+    size_t sampledNeighbors = 0;
+};
+
+} // namespace
+
+/**
+ * Shared pipeline state. One coordination mutex (m) carries the
+ * watermark counters and cross-thread hand-offs; a second lock
+ * (memLock) serializes node-memory/mailbox access — the model
+ * thread's forward reads against the update worker's writebacks —
+ * without ever being held across a wait.
+ */
+struct TrainingPipeline::State
+{
+    explicit State(size_t depth)
+        : planQ(depth), updateQ(depth), ckptQ(2)
+    {}
+
+    AnnotatedMutex m;
+    std::condition_variable_any cv;
+
+    /** Batches whose memory/mailbox writeback has been applied. */
+    uint64_t writebackApplied CASCADE_GUARDED_BY(m) = 0;
+    /** Batches whose feedback reached the batcher/device. */
+    uint64_t feedbackApplied CASCADE_GUARDED_BY(m) = 0;
+    /** Batches fully finished on the model thread (incl. cadence). */
+    uint64_t modelDone CASCADE_GUARDED_BY(m) = 0;
+    /** Guard verdicts by segment ordinal (erased when consumed). */
+    std::map<uint64_t, bool> verdicts CASCADE_GUARDED_BY(m);
+    /** Admitted-batch feedback awaiting the boundary worker. */
+    std::deque<FeedbackEntry> feedback CASCADE_GUARDED_BY(m);
+    /** Hard stop: discard in-flight work (rollback / crash). */
+    bool aborted CASCADE_GUARDED_BY(m) = false;
+    /** Graceful stop: no new plans, finish in-flight (overload). */
+    bool draining CASCADE_GUARDED_BY(m) = false;
+    /** Set by the boundary worker when it stops issuing plans. */
+    bool boundaryDone CASCADE_GUARDED_BY(m) = false;
+    uint64_t totalPlans CASCADE_GUARDED_BY(m) = 0;
+
+    /** Serializes TgnnModel memory_/mailbox_ access (stepForward on
+     *  the model thread vs applyWriteback on the update worker). */
+    AnnotatedMutex memLock;
+
+    BoundedQueue<BatchPlan> planQ;
+    BoundedQueue<WritebackJob> updateQ;
+    BoundedQueue<std::string> ckptQ;
+};
+
+TrainingPipeline::TrainingPipeline(const Env &env, const Config &config)
+    : env_(env), cfg_(config)
+{
+    CASCADE_CHECK(cfg_.depth > 0, "pipeline depth must be >= 1");
+    CASCADE_CHECK(env_.model && env_.data && env_.adj && env_.batcher &&
+                      env_.guard && env_.supervisor && env_.device &&
+                      env_.metrics && env_.trace && env_.cursor &&
+                      env_.lastGood,
+                  "TrainingPipeline: incomplete wiring");
+}
+
+PipelineOutcome
+TrainingPipeline::runSegment()
+{
+    State st(cfg_.depth);
+    obs::MetricsRegistry &mx = *env_.metrics;
+    obs::TraceRecorder &tr = *env_.trace;
+    TrainerCursor &cur = *env_.cursor;
+    const size_t S = cfg_.staleness;
+    const uint64_t g0 = cur.globalBatch;        // starting global batch
+    const uint64_t b0 = cur.batchIndex;         // starting epoch batch
+    const size_t startSt = static_cast<size_t>(cur.st);
+
+    // Fresh staleness epoch: watermarks are segment-local ordinals.
+    env_.model->memoryMutable().clearStaleness();
+    env_.model->mailboxMutable().clearStaleness();
+
+    mx.counter("pipeline.segments").add(1);
+    auto seg_span = tr.span("pipeline-segment", "pipeline");
+    Timer seg_wall;
+
+    // Smallest cadence ordinal >= from (UINT64_MAX when no cadence).
+    // Ordinal c is a cadence point iff the post-increment global
+    // batch (g0 + c + 1) hits the checkpoint cadence — the same test
+    // the synchronous snapshotIfDue applies after advancing.
+    const auto next_cadence = [this, g0](uint64_t from) -> uint64_t {
+        if (cfg_.checkpointEvery == 0)
+            return UINT64_MAX;
+        const uint64_t every = cfg_.checkpointEvery;
+        const uint64_t r = (g0 + from + 1) % every;
+        return from + ((every - r) % every);
+    };
+
+    Accumulator boundary_busy, update_busy, writer_busy, model_busy;
+
+    // ---- boundary worker -------------------------------------------
+    std::thread boundary_thread([&] {
+        obs::Histogram &stall_h =
+            mx.histogram("pipeline.boundary_stall_seconds");
+        obs::Gauge &depth_g = mx.gauge("pipeline.plan_queue_depth");
+
+        // Apply one admitted batch's feedback to device + batcher.
+        const auto apply_feedback = [&](FeedbackEntry &fe) {
+            TimerGuard busy(boundary_busy);
+            StageScope stage(mx.histogram("stage.feedback.seconds"),
+                             tr, "feedback");
+            env_.device->charge(fe.numEvents, fe.workRows,
+                                fe.sampledNeighbors);
+            BatchFeedback fb;
+            fb.batchIndex = fe.batchIndex;
+            fb.st = fe.st;
+            fb.ed = fe.ed;
+            fb.loss = fe.loss;
+            fb.updatedNodes = &fe.updatedNodes;
+            fb.memCosine = &fe.memCosine;
+            env_.batcher->onBatchDone(fb);
+            LockGuard lock(st.m);
+            st.feedbackApplied = fe.seg + 1;
+            st.cv.notify_all();
+        };
+
+        uint64_t issued = 0;
+        size_t st_cur = startSt;
+        bool stopped = false;
+        while (!stopped && st_cur < env_.trainEnd) {
+            const uint64_t j = issued;
+            const uint64_t need_fb = j > S ? j - S : 0;
+            // Gate: feedback caught up to the staleness schedule and
+            // no unfinished cadence point behind us (drain-then-
+            // snapshot barrier). Feedback application happens inside
+            // the wait so the model thread's barriers can make
+            // progress while we are blocked here.
+            for (;;) {
+                FeedbackEntry fe;
+                bool have_fe = false;
+                {
+                    UniqueLock lock(st.m);
+                    while (true) {
+                        if (st.aborted || st.draining) {
+                            stopped = true;
+                            break;
+                        }
+                        if (!st.feedback.empty()) {
+                            fe = std::move(st.feedback.front());
+                            st.feedback.pop_front();
+                            have_fe = true;
+                            break;
+                        }
+                        if (st.feedbackApplied >= need_fb &&
+                            next_cadence(st.modelDone) >= j) {
+                            break;
+                        }
+                        Timer stall;
+                        st.cv.wait(lock);
+                        stall_h.record(stall.seconds());
+                    }
+                }
+                if (stopped)
+                    break;
+                if (have_fe) {
+                    apply_feedback(fe);
+                    continue;
+                }
+                break; // gate satisfied
+            }
+            if (stopped)
+                break;
+
+            // Stage `boundary` under the Supervisor's retry budget and
+            // the batcher degradation ladder — the synchronous loop's
+            // semantics, executed one stage ahead.
+            size_t ed = 0;
+            {
+                TimerGuard busy(boundary_busy);
+                StageScope stage(
+                    mx.histogram("stage.boundary.seconds"), tr,
+                    "boundary");
+                auto wd = env_.supervisor->watch("boundary");
+                while (!env_.supervisor->runSupervised("boundary", [&] {
+                           ed = env_.batcher->next(st_cur);
+                           return true;
+                       })) {
+                    const std::string mode = env_.batcher->degradeOnce();
+                    if (mode.empty()) {
+                        CASCADE_LOG(
+                            "boundary stage still failing with the "
+                            "degradation ladder exhausted: %s",
+                            env_.supervisor->lastError().c_str());
+                        CASCADE_FATAL("batch-boundary stage failed "
+                                      "beyond the degradation ladder");
+                    }
+                    if (env_.onDegrade)
+                        env_.onDegrade(mode);
+                }
+            }
+            CASCADE_CHECK(ed > st_cur && ed <= env_.trainEnd,
+                          "batcher returned a bad range");
+
+            BatchPlan plan;
+            plan.seg = j;
+            plan.st = st_cur;
+            plan.ed = ed;
+            if (!st.planQ.push(std::move(plan)))
+                break; // closed: hard abort
+            depth_g.set(static_cast<double>(st.planQ.size()));
+            st_cur = ed;
+            ++issued;
+        }
+        st.planQ.close();
+        {
+            LockGuard lock(st.m);
+            st.totalPlans = issued;
+            st.boundaryDone = true;
+            st.cv.notify_all();
+        }
+        // Drain: keep applying feedback for already-issued plans so
+        // the model thread's barriers and final drain can complete.
+        for (;;) {
+            FeedbackEntry fe;
+            {
+                UniqueLock lock(st.m);
+                while (!st.aborted && st.feedback.empty() &&
+                       st.feedbackApplied < issued) {
+                    st.cv.wait(lock);
+                }
+                if (st.aborted ||
+                    (st.feedback.empty() &&
+                     st.feedbackApplied >= issued)) {
+                    break;
+                }
+                fe = std::move(st.feedback.front());
+                st.feedback.pop_front();
+            }
+            apply_feedback(fe);
+        }
+    });
+
+    // ---- update worker ---------------------------------------------
+    std::thread update_thread([&] {
+        obs::Histogram &stall_h =
+            mx.histogram("pipeline.update_stall_seconds");
+        WritebackJob job;
+        for (;;) {
+            Timer stall;
+            if (!st.updateQ.pop(job))
+                break;
+            stall_h.record(stall.seconds());
+            {
+                LockGuard lock(st.m);
+                if (st.aborted)
+                    continue; // rollback/crash: discard in flight
+            }
+            {
+                TimerGuard busy(update_busy);
+                StageScope stage(mx.histogram("stage.update.seconds"),
+                                 tr, "update");
+                auto wd = env_.supervisor->watch("update");
+                std::vector<double> cos;
+                {
+                    LockGuard mem(st.memLock);
+                    cos = env_.model->applyWriteback(*env_.data, job.wb,
+                                                     job.seg + 1);
+                    env_.model->memoryMutable().markBatchApplied(
+                        job.seg + 1);
+                    env_.model->mailboxMutable().markBatchApplied(
+                        job.seg + 1);
+                }
+                FeedbackEntry fe;
+                fe.seg = job.seg;
+                fe.batchIndex = job.batchIndex;
+                fe.st = job.wb.st;
+                fe.ed = job.wb.ed;
+                fe.loss = job.loss;
+                fe.updatedNodes = std::move(job.wb.nodes);
+                fe.memCosine = std::move(cos);
+                fe.numEvents = job.numEvents;
+                fe.workRows = job.workRows;
+                fe.sampledNeighbors = job.sampledNeighbors;
+
+                bool admitted = false;
+                {
+                    UniqueLock lock(st.m);
+                    st.writebackApplied = job.seg + 1;
+                    st.cv.notify_all();
+                    // Wait for the guard verdict before forwarding
+                    // feedback: a rolled-back batch contributes none.
+                    while (!st.aborted) {
+                        auto it = st.verdicts.find(job.seg);
+                        if (it != st.verdicts.end()) {
+                            admitted = it->second;
+                            st.verdicts.erase(it);
+                            break;
+                        }
+                        st.cv.wait(lock);
+                    }
+                    if (admitted) {
+                        st.feedback.push_back(std::move(fe));
+                        st.cv.notify_all();
+                    }
+                }
+            }
+        }
+    });
+
+    // ---- checkpoint writer -----------------------------------------
+    std::thread writer_thread([&] {
+        obs::Histogram &stall_h =
+            mx.histogram("pipeline.checkpoint_stall_seconds");
+        std::string payload;
+        for (;;) {
+            Timer stall;
+            if (!st.ckptQ.pop(payload))
+                break;
+            stall_h.record(stall.seconds());
+            TimerGuard busy(writer_busy);
+            StageScope stage(mx.histogram("stage.checkpoint.seconds"),
+                             tr, "checkpoint-write");
+            if (env_.writeCheckpoint)
+                env_.writeCheckpoint(payload, "checkpoint");
+        }
+    });
+
+    // ---- model thread (this thread) --------------------------------
+    obs::Histogram &stall_h = mx.histogram("pipeline.stall_seconds");
+    obs::Histogram &staleness_h =
+        mx.histogram("pipeline.memory_staleness");
+    obs::Gauge &updepth_g = mx.gauge("pipeline.update_queue_depth");
+    uint64_t max_staleness = 0;
+    int overload_strikes = 0;
+    bool overloaded = false;
+    bool crashed = false;
+    bool rolled_back = false;
+
+    const auto quiesce = [&](bool hard) {
+        if (hard) {
+            LockGuard lock(st.m);
+            st.aborted = true;
+            st.cv.notify_all();
+        }
+        st.planQ.close();
+        st.updateQ.close();
+        boundary_thread.join();
+        update_thread.join();
+        st.ckptQ.close(); // writer drains queued snapshots, then exits
+        writer_thread.join();
+    };
+
+    BatchPlan plan;
+    for (;;) {
+        Timer stall;
+        if (!st.planQ.pop(plan))
+            break; // boundary finished (or aborted — not from here)
+        const uint64_t j = plan.seg;
+
+        // Staleness gate: forward(j) may run once writebacks through
+        // j-S are in. S=0 degenerates to "everything before j" — the
+        // synchronous data flow.
+        uint64_t wb_applied;
+        {
+            const uint64_t need_wb = j > S ? j - S : 0;
+            UniqueLock lock(st.m);
+            while (st.writebackApplied < need_wb)
+                st.cv.wait(lock);
+            wb_applied = st.writebackApplied;
+        }
+        const uint64_t stale = j - (wb_applied > j ? j : wb_applied);
+        CASCADE_CHECK(stale <= S,
+                      "staleness bound violated at the model gate");
+        staleness_h.record(static_cast<double>(stale));
+        max_staleness = std::max(max_staleness, stale);
+
+        const double stall_s = stall.seconds();
+        stall_h.record(stall_s);
+        if (cfg_.overloadDeadlineMs > 0.0) {
+            if (stall_s * 1e3 > cfg_.overloadDeadlineMs) {
+                if (++overload_strikes >= kOverloadStrikes &&
+                    !overloaded) {
+                    overloaded = true;
+                    CASCADE_LOG(
+                        "pipeline overloaded: model stage stalled "
+                        ">%g ms for %d consecutive batches",
+                        cfg_.overloadDeadlineMs, kOverloadStrikes);
+                    LockGuard lock(st.m);
+                    st.draining = true;
+                    st.cv.notify_all();
+                }
+            } else {
+                overload_strikes = 0;
+            }
+        }
+
+        // Stage `model`: forward under the memory lock, deferred
+        // writeback handed to the update worker, then backward +
+        // optimizer overlap with it.
+        TgnnModel::Forward fwd;
+        {
+            TimerGuard busy(model_busy);
+            StageScope stage(mx.histogram("stage.model.seconds"), tr,
+                             "model");
+            auto wd = env_.supervisor->watch("model");
+            {
+                LockGuard mem(st.memLock);
+                fwd = env_.model->stepForward(*env_.data, *env_.adj,
+                                              plan.st, plan.ed);
+            }
+            WritebackJob job;
+            job.seg = j;
+            job.wb = std::move(fwd.writeback);
+            job.batchIndex = static_cast<size_t>(b0 + j);
+            job.loss = fwd.result.loss;
+            job.numEvents = fwd.result.numEvents;
+            job.workRows = fwd.result.workRows;
+            job.sampledNeighbors = fwd.result.sampledNeighbors;
+            if (!job.wb.active) {
+                // Identity-memory models have no writeback, but the
+                // job still flows through so watermarks + feedback
+                // keep their uniform schedule.
+                job.wb.st = plan.st;
+                job.wb.ed = plan.ed;
+            }
+            if (!st.updateQ.push(std::move(job)))
+                break; // closed: abort (cannot happen from here)
+            updepth_g.set(static_cast<double>(st.updateQ.size()));
+            env_.model->stepBackward(fwd);
+        }
+        StepResult &r = fwd.result;
+        const uint64_t gb = cur.globalBatch;
+        if (fault::maybeInjectNan(gb, r.loss)) {
+            CASCADE_LOG("fault injection: NaN loss at batch %llu",
+                        (unsigned long long)gb);
+        }
+
+        // Stage `guard`: numeric admission; a trip quiesces the whole
+        // pipeline and restores the last good snapshot.
+        bool admitted;
+        {
+            StageScope stage(mx.histogram("stage.guard.seconds"), tr,
+                             "guard");
+            admitted = env_.guard->admit(r.loss, r.gradNorm);
+        }
+        if (!admitted) {
+            CASCADE_LOG("numeric guard tripped at batch %llu: %s",
+                        (unsigned long long)gb,
+                        env_.guard->lastReason().c_str());
+            if (env_.guard->exhausted()) {
+                CASCADE_FATAL("numeric guard: retry budget exhausted; "
+                              "training keeps diverging after "
+                              "rollbacks");
+            }
+            {
+                LockGuard lock(st.m);
+                st.verdicts[j] = false;
+                st.cv.notify_all();
+            }
+            quiesce(/*hard=*/true);
+            CASCADE_CHECK(decodeCheckpoint(*env_.lastGood, *env_.model,
+                                           *env_.batcher, cur),
+                          "rollback snapshot failed to apply");
+            env_.batcher->onNumericRollback();
+            mx.counter("train.rollbacks").add(1);
+            CASCADE_LOG("rolled back to epoch %llu batch %llu",
+                        (unsigned long long)cur.epoch,
+                        (unsigned long long)cur.batchIndex);
+            rolled_back = true;
+            break;
+        }
+        {
+            LockGuard lock(st.m);
+            st.verdicts[j] = true;
+            st.cv.notify_all();
+        }
+
+        // Cursor + accounting: the model thread owns the cursor, as
+        // the synchronous loop's caller thread did.
+        cur.lossSum += r.loss * r.numEvents;
+        cur.epochEvents += r.numEvents;
+        cur.totalEvents += r.numEvents;
+        ++cur.batchIndex;
+        ++cur.totalBatches;
+        ++cur.globalBatch;
+        cur.st = plan.ed;
+        mx.counter("train.batches").add(1);
+        mx.counter("pipeline.batches").add(1);
+        mx.counter("train.events").add(r.numEvents);
+        mx.histogram("train.batch_size")
+            .record(static_cast<double>(r.numEvents));
+        env_.model->recordStepMetrics(r);
+
+        if (env_.observer && *env_.observer) {
+            BatchRecord rec;
+            rec.globalBatch = gb;
+            rec.epoch = static_cast<size_t>(cur.epoch);
+            rec.st = plan.st;
+            rec.ed = plan.ed;
+            rec.loss = r.loss;
+            rec.numEvents = r.numEvents;
+            rec.memStaleness = static_cast<size_t>(stale);
+            (*env_.observer)(rec);
+        }
+
+        // Stage `checkpoint` (cadence): drain-then-snapshot barrier.
+        // Every in-flight batch must land before the encode so the
+        // payload byte-matches the synchronous run's; the disk write
+        // itself is handed to the writer thread.
+        if (cfg_.checkpointEvery != 0 &&
+            cur.globalBatch % cfg_.checkpointEvery == 0) {
+            StageScope stage(mx.histogram("stage.checkpoint.seconds"),
+                             tr, "checkpoint");
+            {
+                Timer barrier;
+                UniqueLock lock(st.m);
+                while (st.writebackApplied < j + 1 ||
+                       st.feedbackApplied < j + 1) {
+                    st.cv.wait(lock);
+                }
+                stall_h.record(barrier.seconds());
+            }
+            *env_.lastGood =
+                encodeCheckpoint(*env_.model, *env_.batcher, cur);
+            mx.counter("checkpoint.snapshots").add(1);
+            if (env_.wantDiskCheckpoints) {
+                st.ckptQ.push(*env_.lastGood);
+                mx.gauge("pipeline.checkpoint_queue_depth")
+                    .set(static_cast<double>(st.ckptQ.size()));
+            }
+        }
+        {
+            LockGuard lock(st.m);
+            st.modelDone = j + 1;
+            st.cv.notify_all();
+        }
+
+        if (fault::crashAfter(gb)) {
+            CASCADE_LOG("fault injection: simulated crash after "
+                        "batch %llu",
+                        (unsigned long long)gb);
+            crashed = true;
+            // Hard stop — but the writer queue still drains inside
+            // quiesce(), so cadence snapshots taken before the crash
+            // reach disk exactly as the synchronous loop's did.
+            quiesce(/*hard=*/true);
+            break;
+        }
+    }
+
+    if (!crashed && !rolled_back) {
+        // Normal end (epoch complete or overloaded drain): wait for
+        // every issued batch's writeback + feedback, then shut down.
+        st.updateQ.close();
+        {
+            UniqueLock lock(st.m);
+            while (!st.boundaryDone ||
+                   st.writebackApplied < st.totalPlans ||
+                   st.feedbackApplied < st.totalPlans) {
+                st.cv.wait(lock);
+            }
+        }
+        quiesce(/*hard=*/false);
+    }
+
+    const double wall = seg_wall.seconds();
+    if (wall > 0.0) {
+        mx.gauge("pipeline.model_occupancy")
+            .set(model_busy.seconds() / wall);
+        mx.gauge("pipeline.boundary_occupancy")
+            .set(boundary_busy.seconds() / wall);
+        mx.gauge("pipeline.update_occupancy")
+            .set(update_busy.seconds() / wall);
+        mx.gauge("pipeline.checkpoint_occupancy")
+            .set(writer_busy.seconds() / wall);
+    }
+    {
+        obs::Gauge &g = mx.gauge("pipeline.max_staleness");
+        g.set(std::max(g.value(), static_cast<double>(max_staleness)));
+    }
+    seg_span.end();
+
+    if (rolled_back)
+        return PipelineOutcome::RolledBack;
+    if (crashed)
+        return PipelineOutcome::Crashed;
+    if (overloaded) {
+        mx.counter("pipeline.overloads").add(1);
+        return PipelineOutcome::Overloaded;
+    }
+    return PipelineOutcome::Completed;
+}
+
+} // namespace cascade

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Staleness-aware asynchronous training pipeline (DESIGN.md §12).
+ *
+ * The synchronous TrainingSession runs each global batch through
+ * boundary → model → guard → feedback → checkpoint in lockstep. This
+ * orchestrator overlaps those stages across *batches* behind bounded
+ * queues, MSPipe-style, with the memory-update dependency relaxed by
+ * an explicit bounded staleness S:
+ *
+ *   boundary worker   pulls feedback, runs Batcher::next under the
+ *                     Supervisor's retry/degradation ladder, pushes
+ *                     BatchPlans into the bounded plan queue
+ *   model thread      (the caller) pops plans, runs stepForward /
+ *                     stepBackward + guard, publishes verdicts, owns
+ *                     the cursor, the observer and cadence snapshots
+ *   update worker     applies deferred memory writebacks + message
+ *                     generation, then forwards admitted batches'
+ *                     feedback to the boundary worker
+ *   checkpoint writer drains encoded snapshots to disk through the
+ *                     session's supervised write path
+ *
+ * Dependency schedule (segment-local batch ordinals j):
+ *   - model(j) may start only when writebacks through j-S have been
+ *     applied: node memory is read at most S batches stale. S=0
+ *     forces writeback(j-1) before forward(j) — the synchronous
+ *     data flow, hence bit-identical trajectories (the overlap that
+ *     remains is writeback(j) against backward(j), which touch
+ *     disjoint state, plus asynchronous checkpoint writes).
+ *   - boundary(j) may run once feedback through j-S has been applied
+ *     to the batcher, and never crosses an unfinished checkpoint
+ *     cadence point (the drain-then-snapshot barrier: a snapshot is
+ *     encoded only with zero batches in flight, so every checkpoint
+ *     byte-matches the synchronous run's).
+ *
+ * Failure semantics mirror the synchronous loop: boundary failures
+ * walk the batcher degradation ladder, guard trips quiesce the
+ * pipeline and roll back to the last good snapshot, injected crashes
+ * drain then stop, and a model thread stalled past the watchdog
+ * deadline for consecutive batches reports Overloaded so the session
+ * can degrade to the synchronous path for the rest of the run.
+ */
+
+#ifndef CASCADE_TRAIN_PIPELINE_HH
+#define CASCADE_TRAIN_PIPELINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "graph/adjacency.hh"
+#include "graph/event.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/device_model.hh"
+#include "tgnn/model.hh"
+#include "train/batcher.hh"
+#include "train/checkpoint.hh"
+#include "train/numeric_guard.hh"
+#include "train/supervisor.hh"
+
+namespace cascade {
+
+struct BatchRecord;
+
+/** How a pipelined segment ended. */
+enum class PipelineOutcome
+{
+    Completed, ///< cursor reached the epoch's train end
+    RolledBack,///< guard trip; state restored to the last snapshot
+    Crashed,   ///< injected crash; run ends interrupted
+    Overloaded ///< persistent stalls; degrade to the synchronous loop
+};
+
+/**
+ * One pipelined epoch segment: from the current cursor to trainEnd.
+ * Construct per attempt (cheap — three threads for a seconds-long
+ * segment); the TrainingSession re-enters with a fresh instance after
+ * a rollback.
+ */
+class TrainingPipeline
+{
+  public:
+    /** Borrowed wiring; everything must outlive runSegment(). */
+    struct Env
+    {
+        TgnnModel *model = nullptr;
+        const EventSequence *data = nullptr;
+        const TemporalAdjacency *adj = nullptr;
+        size_t trainEnd = 0;
+        Batcher *batcher = nullptr;
+        NumericGuard *guard = nullptr;
+        Supervisor *supervisor = nullptr;
+        DeviceModel *device = nullptr;
+        obs::MetricsRegistry *metrics = nullptr;
+        obs::TraceRecorder *trace = nullptr;
+        TrainerCursor *cursor = nullptr;
+        /** In-memory rollback target (shared with the session). */
+        std::string *lastGood = nullptr;
+        /** Queue cadence snapshots to the writer thread (false when
+         *  no checkpoint path is set or writes were disabled). */
+        bool wantDiskCheckpoints = false;
+        /** Admitted-batch observer (may be empty). */
+        const std::function<void(const BatchRecord &)> *observer =
+            nullptr;
+        /** The session's supervised checkpoint write (thread-safe;
+         *  called from the writer thread only while a segment runs). */
+        std::function<void(const std::string &, const char *)>
+            writeCheckpoint;
+        /** Degradation-ladder bookkeeping (metric + trace + report). */
+        std::function<void(const std::string &)> onDegrade;
+    };
+
+    struct Config
+    {
+        size_t depth = 2;          ///< plan-queue capacity (>= 1)
+        size_t staleness = 0;      ///< bound S in batches
+        size_t checkpointEvery = 0;///< cadence in global batches
+        /** Model-thread stall budget per batch (ms). After
+         *  `kOverloadStrikes` consecutive over-budget batches the
+         *  segment returns Overloaded. <= 0 disables detection. */
+        double overloadDeadlineMs = 0.0;
+    };
+
+    TrainingPipeline(const Env &env, const Config &config);
+
+    /** Run until epoch end / rollback / crash / overload. */
+    PipelineOutcome runSegment();
+
+    /** Consecutive over-deadline batches that trigger Overloaded. */
+    static constexpr int kOverloadStrikes = 3;
+
+  private:
+    struct State;
+
+    Env env_;
+    Config cfg_;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_TRAIN_PIPELINE_HH

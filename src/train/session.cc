@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tensor/kernels.hh"
+#include "train/pipeline.hh"
 #include "util/binio.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -299,6 +300,60 @@ TrainingSession::runBatch()
     return BatchOutcome::Admitted;
 }
 
+TrainingSession::BatchOutcome
+TrainingSession::runPipelinedSegment()
+{
+    TrainingPipeline::Env env;
+    env.model = &model_;
+    env.data = &data_;
+    env.adj = &adj_;
+    env.trainEnd = trainEnd_;
+    env.batcher = &batcher_;
+    env.guard = &guard_;
+    env.supervisor = supervisor_.get();
+    env.device = device_;
+    env.metrics = metrics_;
+    env.trace = trace_;
+    env.cursor = &cur_;
+    env.lastGood = &lastGood_;
+    env.observer = &observer_;
+    env.wantDiskCheckpoints =
+        !options_.checkpointPath.empty() && !checkpointingDisabled_;
+    env.writeCheckpoint = [this](const std::string &payload,
+                                 const char *what) {
+        writeCheckpoint(payload, what);
+    };
+    env.onDegrade = [this](const std::string &mode) {
+        recordDegradation(mode);
+        report_.degradedMode = mode;
+    };
+
+    TrainingPipeline::Config cfg;
+    cfg.depth = options_.pipelineDepth;
+    cfg.staleness = options_.stalenessBound;
+    cfg.checkpointEvery = options_.checkpointEvery;
+    cfg.overloadDeadlineMs = options_.supervisor.stageDeadlineMs;
+
+    TrainingPipeline pipe(env, cfg);
+    switch (pipe.runSegment()) {
+    case PipelineOutcome::RolledBack:
+        return BatchOutcome::RolledBack;
+    case PipelineOutcome::Crashed:
+        report_.interrupted = true;
+        return BatchOutcome::Crashed;
+    case PipelineOutcome::Overloaded:
+        // One-way: the rest of the run (this segment's remainder
+        // included) goes through the synchronous staged loop.
+        pipelineDisabled_ = true;
+        recordDegradation("pipeline-synchronous");
+        report_.degradedMode = "pipeline-synchronous";
+        return BatchOutcome::Admitted;
+    case PipelineOutcome::Completed:
+        break;
+    }
+    return BatchOutcome::Admitted;
+}
+
 void
 TrainingSession::snapshotIfDue()
 {
@@ -433,6 +488,21 @@ TrainingSession::assembleReport()
     report_.checkpointWriteFailures = static_cast<size_t>(
         metrics_->counter("checkpoint.write_failures").value());
 
+    // Asynchronous-pipeline accounting. find* keeps a synchronous
+    // run's metrics dump free of pipeline.* instruments.
+    if (const obs::Counter *pb =
+            metrics_->findCounter("pipeline.batches")) {
+        report_.pipelined = pb->value() > 0;
+    }
+    if (const obs::Gauge *ms =
+            metrics_->findGauge("pipeline.max_staleness")) {
+        report_.maxStaleness = static_cast<size_t>(ms->value());
+    }
+    if (const obs::Histogram *sh =
+            metrics_->findHistogram("pipeline.stall_seconds")) {
+        report_.pipelineStallSeconds = sh->sum();
+    }
+
     // Stage `eval`: the post-training validation pass.
     if (!report_.interrupted && options_.validate &&
         trainEnd_ < data_.size()) {
@@ -479,7 +549,10 @@ TrainingSession::run()
         bool rolled_back = false;
 
         while (cur_.st < trainEnd_) {
-            const BatchOutcome out = runBatch();
+            const BatchOutcome out =
+                (options_.pipelineDepth > 0 && !pipelineDisabled_)
+                    ? runPipelinedSegment()
+                    : runBatch();
             if (out == BatchOutcome::RolledBack) {
                 rolled_back = true;
                 break;

@@ -62,6 +62,12 @@ struct BatchRecord
     size_t ed = 0;            ///< one past the last event
     double loss = 0.0;
     size_t numEvents = 0;
+    /**
+     * How many batches stale the node memory was when this batch's
+     * model stage ran (0 in the synchronous loop and at S=0; bounded
+     * by --staleness-bound in the pipeline; train/pipeline.hh).
+     */
+    size_t memStaleness = 0;
 };
 
 /** Staged, observable training loop over one (model, batcher) pair. */
@@ -131,6 +137,16 @@ class TrainingSession
     /** One global batch through every stage. */
     BatchOutcome runBatch();
 
+    /**
+     * Run from the cursor to the epoch's train end through the
+     * asynchronous pipeline (train/pipeline.hh). Admitted means the
+     * segment completed (cursor at trainEnd_) or the pipeline
+     * declared overload and degraded to the synchronous loop
+     * (pipelineDisabled_ set; cursor mid-epoch, loop continues
+     * synchronously).
+     */
+    BatchOutcome runPipelinedSegment();
+
     /** Stage `checkpoint`: cadence snapshot + supervised write. */
     void snapshotIfDue();
 
@@ -177,6 +193,8 @@ class TrainingSession
     bool ran_ = false;
     /** One-way degradation: checkpoint writes kept failing. */
     bool checkpointingDisabled_ = false;
+    /** One-way degradation: pipeline overloaded; run synchronous. */
+    bool pipelineDisabled_ = false;
 };
 
 } // namespace cascade

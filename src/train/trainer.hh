@@ -91,6 +91,16 @@ struct TrainReport
     size_t checkpointWriteFailures = 0;
     /** @} */
 
+    /** @name Asynchronous-pipeline accounting (train/pipeline.hh) */
+    /** @{ */
+    /** At least one segment ran through the staleness pipeline. */
+    bool pipelined = false;
+    /** Largest memory staleness a model stage observed (batches). */
+    size_t maxStaleness = 0;
+    /** Model-thread seconds spent blocked on pipeline gates/queues. */
+    double pipelineStallSeconds = 0.0;
+    /** @} */
+
     /** End-to-end modeled latency: preprocessing + device time. */
     double
     totalDeviceSeconds() const
@@ -141,6 +151,23 @@ struct TrainOptions
     NumericGuardOptions guard;
     /** Retry/backoff schedule and stage deadlines. */
     SupervisorOptions supervisor;
+
+    /**
+     * Asynchronous pipeline depth: how many batch plans the boundary
+     * stage may run ahead of the model stage (the bounded plan-queue
+     * capacity; train/pipeline.hh). 0 = the classic synchronous
+     * staged loop.
+     */
+    size_t pipelineDepth = 0;
+    /**
+     * Bounded staleness S: a pipelined model stage may read node
+     * memory at most S batches stale (MSPipe-style). S=0 keeps the
+     * pipeline bit-identical to the synchronous trajectory — stage
+     * *executions* still overlap, but every cross-stage data
+     * dependency is honored exactly. S>0 relaxes the memory/feedback
+     * dependencies by up to S batches for more overlap.
+     */
+    size_t stalenessBound = 0;
 };
 
 /**

@@ -131,6 +131,12 @@ ThreadPool::global()
     return *globalShared();
 }
 
+size_t
+ThreadPool::globalThreads()
+{
+    return globalShared()->threads();
+}
+
 void
 ThreadPool::setGlobalThreads(size_t threads)
 {

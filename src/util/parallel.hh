@@ -102,6 +102,13 @@ class ThreadPool
      */
     static void setGlobalThreads(size_t threads);
 
+    /**
+     * Worker count of the process-wide pool (starting it lazily, like
+     * global()). The per-thread parallel-cutover heuristics (e.g. the
+     * GEMM banding threshold) size themselves with this.
+     */
+    static size_t globalThreads();
+
   private:
     void workerLoop();
 

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * BoundedQueue / AsyncCell semantics (util/queue.hh): FIFO order,
+ * capacity back-pressure, cooperative shutdown that drains queued
+ * items, exception propagation to the consumer side, and the
+ * one-shot launch/collect/drop lifecycle the TG-Diffuser prefetch
+ * and the training pipeline both rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/queue.hh"
+
+using namespace cascade;
+
+namespace {
+
+void
+briefSleep()
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
+
+} // namespace
+
+TEST(BoundedQueue, FifoWithinCapacity)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_EQ(q.capacity(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(q.push(i));
+    EXPECT_EQ(q.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        int v = -1;
+        EXPECT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, PushBlocksAtCapacityUntilPop)
+{
+    BoundedQueue<int> q(2);
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+
+    std::atomic<bool> third_landed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(3));
+        third_landed = true;
+    });
+
+    // The queue is full: the producer cannot complete until a pop
+    // makes room (this is the invariant, not a timing assumption —
+    // the sleep only gives a buggy non-blocking push time to betray
+    // itself).
+    briefSleep();
+    EXPECT_FALSE(third_landed.load());
+    EXPECT_EQ(q.size(), 2u);
+
+    int v = 0;
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    producer.join();
+    EXPECT_TRUE(third_landed.load());
+
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 3);
+}
+
+TEST(BoundedQueue, CloseDrainsQueuedItemsThenReturnsFalse)
+{
+    BoundedQueue<int> q(4);
+    ASSERT_TRUE(q.push(10));
+    ASSERT_TRUE(q.push(11));
+    q.close();
+    EXPECT_TRUE(q.closed());
+
+    // Producers fail fast after close; nothing is enqueued.
+    EXPECT_FALSE(q.push(12));
+    EXPECT_EQ(q.size(), 2u);
+
+    // Consumers still drain what was produced before the close.
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 10);
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 11);
+    EXPECT_FALSE(q.pop(v));
+    EXPECT_FALSE(q.pop(v)); // stays false, does not block
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer)
+{
+    BoundedQueue<int> q(2);
+    std::atomic<bool> pop_returned{false};
+    std::thread consumer([&] {
+        int v = 0;
+        EXPECT_FALSE(q.pop(v)); // blocks empty, then sees the close
+        pop_returned = true;
+    });
+    briefSleep();
+    EXPECT_FALSE(pop_returned.load());
+    q.close();
+    consumer.join();
+    EXPECT_TRUE(pop_returned.load());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(0));
+    std::atomic<bool> push_result{true};
+    std::thread producer([&] { push_result = q.push(1); });
+    briefSleep();
+    q.close();
+    producer.join();
+    // The blocked push observed the shutdown, not a successful
+    // enqueue: only the pre-close item remains.
+    EXPECT_FALSE(push_result.load());
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueue, CloseWithErrorRethrowsOnConsumerAfterDrain)
+{
+    BoundedQueue<int> q(4);
+    ASSERT_TRUE(q.push(7));
+    q.closeWithError(std::make_exception_ptr(
+        std::runtime_error("stage failed upstream")));
+    // A later error does not displace the first one.
+    q.closeWithError(
+        std::make_exception_ptr(std::runtime_error("second failure")));
+
+    // Items produced before the failure are still delivered — the
+    // consumer owns the decision to finish or unwind.
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 7);
+
+    try {
+        q.pop(v);
+        FAIL() << "drained pop after closeWithError must throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "stage failed upstream");
+    }
+}
+
+TEST(BoundedQueue, SpscStressPreservesOrder)
+{
+    constexpr int kItems = 2000;
+    BoundedQueue<int> q(3);
+    std::thread producer([&] {
+        for (int i = 0; i < kItems; ++i)
+            ASSERT_TRUE(q.push(i));
+        q.close();
+    });
+
+    std::vector<int> seen;
+    seen.reserve(kItems);
+    int v = 0;
+    while (q.pop(v))
+        seen.push_back(v);
+    producer.join();
+
+    ASSERT_EQ(seen.size(), static_cast<size_t>(kItems));
+    for (int i = 0; i < kItems; ++i)
+        ASSERT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(AsyncCell, CollectDeliversTheProducedValue)
+{
+    AsyncCell<int> cell;
+    EXPECT_FALSE(cell.active());
+    cell.launch([] { return 42; });
+    EXPECT_TRUE(cell.active());
+    EXPECT_EQ(cell.collect(), 42);
+    EXPECT_FALSE(cell.active());
+}
+
+TEST(AsyncCell, CollectRethrowsTheProducerException)
+{
+    AsyncCell<int> cell;
+    cell.launch([]() -> int {
+        throw std::runtime_error("producer blew up");
+    });
+    try {
+        cell.collect();
+        FAIL() << "collect must rethrow the producer's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "producer blew up");
+    }
+    EXPECT_FALSE(cell.active());
+}
+
+TEST(AsyncCell, DropDiscardsValueAndException)
+{
+    AsyncCell<int> cell;
+    cell.launch([] { return 1; });
+    cell.drop();
+    EXPECT_FALSE(cell.active());
+
+    // drop() swallows an exception outcome too — no deferred rethrow.
+    cell.launch([]() -> int { throw std::runtime_error("discarded"); });
+    cell.drop();
+    EXPECT_FALSE(cell.active());
+
+    // The cell is reusable after either outcome.
+    cell.launch([] { return 5; });
+    EXPECT_EQ(cell.collect(), 5);
+}
+
+TEST(AsyncCell, ReusableAcrossLaunchCollectCycles)
+{
+    AsyncCell<std::vector<int>> cell;
+    for (int round = 0; round < 3; ++round) {
+        cell.launch([round] {
+            return std::vector<int>{round, round + 1};
+        });
+        const std::vector<int> got = cell.collect();
+        ASSERT_EQ(got.size(), 2u);
+        EXPECT_EQ(got[0], round);
+        EXPECT_EQ(got[1], round + 1);
+    }
+}

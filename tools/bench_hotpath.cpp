@@ -168,6 +168,38 @@ main(int argc, char **argv)
     }
     ThreadPool::setGlobalThreads(0);
 
+    // Regression gate for the small-shape parallel cutover: 128x256x64
+    // (2^22 flops) must never get slower when threads are added. The
+    // thread-count-blind cutover regressed exactly this way — 39x over
+    // naive at 1 thread collapsing to 9x at 8 — so assert that every
+    // pinned thread count stays within 2x of the single-thread time
+    // (generous against timer noise; the regression was ~4.3x). The
+    // bigger shapes are skipped: their serial baselines are noisy and
+    // the 512^3 acceptance threshold already covers them.
+    for (const GemmShape &s : shapes) {
+        if (!(s.m == 128 && s.k == 256 && s.n == 64))
+            continue;
+        double t1 = 0.0;
+        for (const GemmResult &r : results)
+            if (r.shape.m == s.m && r.shape.k == s.k &&
+                r.shape.n == s.n && r.threads == 1)
+                t1 = r.seconds;
+        for (const GemmResult &r : results) {
+            if (!(r.shape.m == s.m && r.shape.k == s.k &&
+                  r.shape.n == s.n))
+                continue;
+            if (t1 > 0.0 && r.seconds > 2.0 * t1) {
+                std::fprintf(stderr,
+                             "FAIL: gemm %zux%zux%zu at %zu threads "
+                             "took %.3e s vs %.3e s single-threaded "
+                             "(>2x): the parallel cutover regressed "
+                             "small shapes again\n",
+                             s.m, s.k, s.n, r.threads, r.seconds, t1);
+                return 1;
+            }
+        }
+    }
+
     // --- End-to-end: one epoch of TGN/Cascade on the small dataset ---
     bench::BenchConfig cfg; // fixed defaults, NOT env: reproducibility
     cfg.scaleMultiplier = smoke ? 8.0 : 1.0;

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Reproducible synchronous-vs-pipelined training benchmark
+ * (README "Benchmarking the asynchronous pipeline").
+ *
+ * Runs the SAME workload — fixed dataset seed, fixed model seed, fixed
+ * checkpoint cadence — through three arms:
+ *
+ *   sync     the classic staged loop (pipelineDepth = 0);
+ *   pipe-s0  the asynchronous pipeline at staleness bound S=0, whose
+ *            trajectory is bit-identical to sync by design;
+ *   pipe-s2  the pipeline at S=2, the bounded-staleness configuration.
+ *
+ * The workload is deliberately checkpoint-heavy: a node-memory model
+ * (TGN) whose state dominates the snapshot payload, committed every
+ * batch. That is the regime the pipeline targets on a single core —
+ * the writer thread hides the blocking portion of each rotated
+ * fsync+rename commit behind the next batch's compute. Batch size is
+ * tuned so per-batch compute roughly matches per-commit blocked I/O,
+ * where the overlap win peaks.
+ *
+ * Arms are interleaved within each rep (sync, s0, s2, sync, …) so
+ * disk-speed drift hits all arms alike, and the per-arm statistic is
+ * the MEDIAN wall time across reps. Full mode enforces the acceptance
+ * thresholds and fails loudly if they regress; --smoke shrinks the
+ * workload to a seconds-long CI run with no thresholds.
+ *
+ * Results go to BENCH_pipeline.json (schema cascade.bench_pipeline.v1,
+ * documented in the README).
+ *
+ * Usage: bench_pipeline [--smoke] [--reps N] [--out PATH] [--work DIR]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "graph/dataset.hh"
+#include "obs/metrics.hh"
+#include "tgnn/model.hh"
+#include "train/checkpoint.hh"
+#include "train/session.hh"
+#include "train/trainer.hh"
+#include "util/binio.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+
+using namespace cascade;
+
+namespace {
+
+struct ArmSpec
+{
+    const char *name;
+    size_t depth;
+    size_t staleness;
+};
+
+struct ArmStats
+{
+    std::vector<double> walls;  ///< one entry per rep
+    double valLoss = 0.0;       ///< identical across reps (fixed seeds)
+    size_t maxStaleness = 0;    ///< largest across reps
+    double modelOccupancy = 0.0;
+    double boundaryOccupancy = 0.0;
+    double updateOccupancy = 0.0;
+    double writerOccupancy = 0.0;
+    double ckptSeconds = 0.0;   ///< stage.checkpoint total, last rep
+    double modelSeconds = 0.0;  ///< stage.model total, last rep
+};
+
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/** Benchmark workload: everything that defines one arm's run. */
+struct Workload
+{
+    double scale = 50.0;       ///< dataset divisor (1.0 = paper size)
+    size_t batchMultiplier = 4;///< widen spec.baseBatch by this factor
+    size_t dim = 128;          ///< node-memory width (payload driver)
+    size_t epochs = 3;
+    size_t checkpointEvery = 1;
+    size_t checkpointKeep = 3;
+    uint64_t seed = 42;
+};
+
+/** Remove every on-disk artifact a run at `path` can leave behind. */
+void
+cleanCheckpointFiles(const std::string &path, size_t keep)
+{
+    (void)removeFileIfExists(checkpointStagePath(path));
+    (void)removeFileIfExists(checkpointManifestPath(path));
+    (void)removeFileIfExists(checkpointMarkerPath(path));
+    for (size_t g = 0; g <= keep + 1; ++g)
+        (void)removeFileIfExists(checkpointGenerationPath(path, g));
+}
+
+/** One full training run; returns wall seconds, fills stats. */
+double
+runArm(const ArmSpec &arm, const Workload &w, const DatasetSpec &spec,
+       const EventSequence &data, const TemporalAdjacency &adj,
+       size_t train_end, const std::string &ckpt_path, ArmStats &out)
+{
+    // Fresh model + batcher per run: identical seeds give every rep of
+    // an arm the same trajectory, so wall time is the only variable.
+    TgnnModel model(tgnConfig(w.dim), spec.numNodes, data.featDim(),
+                    w.seed + 1);
+    FixedBatcher batcher(train_end, spec.baseBatch);
+
+    TrainOptions opts;
+    opts.epochs = w.epochs;
+    opts.evalBatch = spec.baseBatch;
+    opts.checkpointPath = ckpt_path;
+    opts.checkpointEvery = w.checkpointEvery;
+    opts.checkpointKeep = w.checkpointKeep;
+    opts.pipelineDepth = arm.depth;
+    opts.stalenessBound = arm.staleness;
+
+    cleanCheckpointFiles(ckpt_path, w.checkpointKeep);
+    TrainingSession session(model, data, adj, train_end, batcher,
+                            opts, nullptr);
+    TrainReport report = session.run();
+    cleanCheckpointFiles(ckpt_path, w.checkpointKeep);
+
+    obs::MetricsRegistry &mx = session.metrics();
+    out.valLoss = report.valLoss;
+    out.maxStaleness = std::max(out.maxStaleness, report.maxStaleness);
+    if (const obs::Gauge *g = mx.findGauge("pipeline.model_occupancy"))
+        out.modelOccupancy = g->value();
+    if (const obs::Gauge *g =
+            mx.findGauge("pipeline.boundary_occupancy"))
+        out.boundaryOccupancy = g->value();
+    if (const obs::Gauge *g = mx.findGauge("pipeline.update_occupancy"))
+        out.updateOccupancy = g->value();
+    if (const obs::Gauge *g =
+            mx.findGauge("pipeline.checkpoint_occupancy"))
+        out.writerOccupancy = g->value();
+    if (const obs::Histogram *h =
+            mx.findHistogram("stage.checkpoint.seconds"))
+        out.ckptSeconds = h->sum();
+    if (const obs::Histogram *h =
+            mx.findHistogram("stage.model.seconds"))
+        out.modelSeconds = h->sum();
+    return report.wallSeconds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    size_t reps = 5;
+    std::string out_path = "BENCH_pipeline.json";
+    std::string work_dir = "/tmp/bench_pipeline_work";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+            reps = static_cast<size_t>(std::stoul(argv[++i]));
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--work") == 0 &&
+                   i + 1 < argc) {
+            work_dir = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_pipeline [--smoke] [--reps N] "
+                         "[--out PATH] [--work DIR]\n");
+            return 2;
+        }
+    }
+
+    Workload w;
+    if (smoke) {
+        // Seconds-long CI shape: tiny dataset, thin memory, loose
+        // cadence. Exercises every pipeline thread and the JSON
+        // schema; makes NO performance claims.
+        w.scale = 400.0;
+        w.batchMultiplier = 1;
+        w.dim = 16;
+        w.epochs = 1;
+        w.checkpointEvery = 4;
+        reps = std::min<size_t>(reps, 2);
+    }
+
+    (void)::mkdir(work_dir.c_str(), 0755);
+    const std::string ckpt_path = work_dir + "/bench_pipeline_ck.bin";
+
+    // Single-threaded kernels: the benchmark isolates pipeline overlap
+    // from data-parallel speedup, and CI cores are not plentiful.
+    ThreadPool::setGlobalThreads(1);
+
+    DatasetSpec spec = wikiSpec(w.scale);
+    spec.baseBatch *= w.batchMultiplier;
+    Rng rng(w.seed);
+    EventSequence data = generateDataset(spec, rng);
+    TemporalAdjacency adj(data);
+    const size_t train_end = data.size() * 17 / 20;
+
+    const std::vector<ArmSpec> arms = {
+        {"sync", 0, 0},
+        {"pipe-s0", 4, 0},
+        {"pipe-s2", 4, 2},
+    };
+    std::vector<ArmStats> stats(arms.size());
+
+    // Untimed warmup (sync arm): page cache, allocator pools, branch
+    // predictors. Discarded.
+    {
+        ArmStats scratch;
+        (void)runArm(arms[0], w, spec, data, adj, train_end, ckpt_path,
+                     scratch);
+    }
+
+    // Interleave arms inside each rep so slow-disk minutes (the
+    // dominant noise on shared runners) penalize all arms equally.
+    for (size_t r = 0; r < reps; ++r) {
+        for (size_t a = 0; a < arms.size(); ++a) {
+            const double wall = runArm(arms[a], w, spec, data, adj,
+                                       train_end, ckpt_path, stats[a]);
+            stats[a].walls.push_back(wall);
+            std::printf("rep %zu  %-8s wall=%7.3fs  val_loss=%.6f  "
+                        "max_staleness=%zu\n",
+                        r + 1, arms[a].name, wall, stats[a].valLoss,
+                        stats[a].maxStaleness);
+        }
+    }
+    ThreadPool::setGlobalThreads(0);
+
+    const double wall_sync = median(stats[0].walls);
+    const double wall_s0 = median(stats[1].walls);
+    const double wall_s2 = median(stats[2].walls);
+    const double speedup_s0 = wall_s0 > 0.0 ? wall_sync / wall_s0 : 0.0;
+    const double speedup_s2 = wall_s2 > 0.0 ? wall_sync / wall_s2 : 0.0;
+    const double loss_sync = stats[0].valLoss;
+    const double loss_delta_s2 = loss_sync != 0.0
+        ? std::fabs(stats[2].valLoss - loss_sync) / std::fabs(loss_sync)
+        : 0.0;
+
+    std::printf("median wall: sync=%.3fs s0=%.3fs s2=%.3fs  "
+                "speedup: s0=%.2fx s2=%.2fx  loss_delta_s2=%.4f%%\n",
+                wall_sync, wall_s0, wall_s2, speedup_s0, speedup_s2,
+                loss_delta_s2 * 100.0);
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_pipeline: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"cascade.bench_pipeline.v1\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"reps\": %zu,\n", reps);
+    std::fprintf(f,
+                 "  \"workload\": {\"dataset\": \"WIKI\", "
+                 "\"scale\": %.1f, \"model\": \"TGN\", \"dim\": %zu, "
+                 "\"policy\": \"tgl\", \"base_batch\": %zu, "
+                 "\"epochs\": %zu, \"checkpoint_every\": %zu, "
+                 "\"checkpoint_keep\": %zu, \"seed\": %llu, "
+                 "\"train_events\": %zu},\n",
+                 w.scale, w.dim, spec.baseBatch, w.epochs,
+                 w.checkpointEvery, w.checkpointKeep,
+                 static_cast<unsigned long long>(w.seed), train_end);
+    std::fprintf(f, "  \"arms\": [\n");
+    for (size_t a = 0; a < arms.size(); ++a) {
+        const ArmStats &s = stats[a];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"pipeline_depth\": %zu, "
+                     "\"staleness_bound\": %zu,\n"
+                     "     \"wall_seconds_median\": %.4f, "
+                     "\"wall_seconds\": [",
+                     arms[a].name, arms[a].depth, arms[a].staleness,
+                     median(s.walls));
+        for (size_t i = 0; i < s.walls.size(); ++i)
+            std::fprintf(f, "%s%.4f", i ? ", " : "", s.walls[i]);
+        std::fprintf(f,
+                     "],\n     \"val_loss\": %.6f, "
+                     "\"max_staleness\": %zu,\n"
+                     "     \"occupancy\": {\"model\": %.3f, "
+                     "\"boundary\": %.3f, \"update\": %.3f, "
+                     "\"checkpoint_writer\": %.3f},\n"
+                     "     \"stage_seconds\": {\"model\": %.3f, "
+                     "\"checkpoint\": %.3f}}%s\n",
+                     s.valLoss, s.maxStaleness, s.modelOccupancy,
+                     s.boundaryOccupancy, s.updateOccupancy,
+                     s.writerOccupancy, s.modelSeconds, s.ckptSeconds,
+                     a + 1 < arms.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"headline\": {\"speedup_s0\": %.3f, "
+                 "\"speedup_s2\": %.3f, \"loss_delta_s2_pct\": %.4f}\n",
+                 speedup_s0, speedup_s2, loss_delta_s2 * 100.0);
+    std::fprintf(f, "}\n");
+    if (std::fclose(f) != 0) {
+        std::fprintf(stderr, "bench_pipeline: closing %s failed\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("bench_pipeline: wrote %s\n", out_path.c_str());
+
+    if (smoke)
+        return 0;
+
+    // Acceptance gates (full mode only): the pipelined S=2 arm must
+    // beat synchronous by >= 1.25x end to end with validation loss
+    // within 1%, and the staleness accounting must stay inside the
+    // configured bounds.
+    bool ok = true;
+    if (speedup_s2 < 1.25) {
+        std::fprintf(stderr,
+                     "FAIL: pipe-s2 speedup %.2fx < 1.25x\n",
+                     speedup_s2);
+        ok = false;
+    }
+    if (loss_delta_s2 > 0.01) {
+        std::fprintf(stderr,
+                     "FAIL: pipe-s2 val loss %.6f deviates %.2f%% "
+                     "from sync %.6f (> 1%%)\n",
+                     stats[2].valLoss, loss_delta_s2 * 100.0,
+                     loss_sync);
+        ok = false;
+    }
+    if (stats[1].valLoss != loss_sync) {
+        std::fprintf(stderr,
+                     "FAIL: pipe-s0 val loss %.6f != sync %.6f "
+                     "(S=0 must be bit-identical)\n",
+                     stats[1].valLoss, loss_sync);
+        ok = false;
+    }
+    if (stats[1].maxStaleness != 0 || stats[2].maxStaleness > 2) {
+        std::fprintf(stderr,
+                     "FAIL: staleness out of bounds (s0=%zu, s2=%zu)\n",
+                     stats[1].maxStaleness, stats[2].maxStaleness);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

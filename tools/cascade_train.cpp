@@ -23,6 +23,7 @@
  *                 [--trace-out <trace.json>]
  *                 [--retry-max <n>] [--retry-base-ms <ms>]
  *                 [--stage-deadline-ms <ms>]
+ *                 [--pipeline-depth <n>] [--staleness-bound <s>]
  *
  * Flags accept both `--flag value` and `--flag=value`.
  *
@@ -52,6 +53,16 @@
  * deadline misses and the final degraded mode. --stage-deadline-ms
  * arms a watchdog that counts stages overrunning the deadline
  * (0 = off).
+ *
+ * Pipelining: --pipeline-depth N > 0 runs training through the
+ * staleness-aware asynchronous pipeline (train/pipeline.hh): batch
+ * boundary construction, the model step, the memory/mailbox update
+ * and checkpoint writes overlap across batches behind bounded queues
+ * of depth N. --staleness-bound S lets the model read node memory at
+ * most S batches stale; S=0 (the default) keeps the pipelined
+ * trajectory bit-identical to the synchronous run. A persistently
+ * stalled pipeline degrades to the synchronous loop
+ * (degraded=pipeline-synchronous in the summary).
  */
 
 #include <algorithm>
@@ -100,6 +111,8 @@ struct CliOptions
     size_t retryMax = 3;
     double retryBaseMs = 10.0;
     double stageDeadlineMs = 0.0; ///< 0 = watchdog off
+    size_t pipelineDepth = 0;     ///< 0 = synchronous staged loop
+    size_t stalenessBound = 0;    ///< memory staleness bound S
 };
 
 void
@@ -116,7 +129,9 @@ usage(const char *argv0)
                  "          [--threads N] [--metrics-out FILE]\n"
                  "          [--trace-out FILE] [--retry-max N]\n"
                  "          [--retry-base-ms MS]\n"
-                 "          [--stage-deadline-ms MS]\n",
+                 "          [--stage-deadline-ms MS]\n"
+                 "          [--pipeline-depth N]\n"
+                 "          [--staleness-bound S]\n",
                  argv0);
 }
 
@@ -223,6 +238,12 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         else if (arg == "--stage-deadline-ms" && (v = next()))
             opts.stageDeadlineMs =
                 parseDouble("--stage-deadline-ms", v);
+        else if (arg == "--pipeline-depth" && (v = next()))
+            opts.pipelineDepth =
+                static_cast<size_t>(parseUint("--pipeline-depth", v));
+        else if (arg == "--staleness-bound" && (v = next()))
+            opts.stalenessBound =
+                static_cast<size_t>(parseUint("--staleness-bound", v));
         else
             return false;
     }
@@ -333,6 +354,8 @@ main(int argc, char **argv)
     toptions.supervisor.retry.baseDelayMs = opts.retryBaseMs;
     toptions.supervisor.retry.seed = opts.seed + 3;
     toptions.supervisor.stageDeadlineMs = opts.stageDeadlineMs;
+    toptions.pipelineDepth = opts.pipelineDepth;
+    toptions.stalenessBound = opts.stalenessBound;
     if (opts.resume && opts.checkpointPath.empty()) {
         std::fprintf(stderr, "--resume needs --checkpoint FILE\n");
         return 2;
@@ -368,14 +391,17 @@ main(int argc, char **argv)
                 "wall_s=%.3f device_s=%.4f prep_s=%.4f "
                 "util=%.3f val_loss=%.4f guard_trips=%zu "
                 "retries=%zu deadline_misses=%zu degraded=%s "
-                "checkpointing=%s\n",
+                "checkpointing=%s pipeline_depth=%zu staleness=%zu "
+                "max_staleness=%zu pipeline_stall_s=%.4f\n",
                 opts.dataset.c_str(), opts.model.c_str(),
                 opts.policy.c_str(), data.size(), opts.epochs,
                 r.totalBatches, r.avgBatchSize, r.wallSeconds,
                 r.deviceSeconds, r.preprocessSeconds,
                 r.deviceUtilization, r.valLoss, r.guardTrips,
                 r.retries, r.deadlineMisses, r.degradedMode.c_str(),
-                r.checkpointingDisabled ? "disabled" : "on");
+                r.checkpointingDisabled ? "disabled" : "on",
+                opts.pipelineDepth, opts.stalenessBound,
+                r.maxStaleness, r.pipelineStallSeconds);
 
     if (!opts.csvPath.empty()) {
         std::FILE *f = std::fopen(opts.csvPath.c_str(), "a");

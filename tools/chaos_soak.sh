@@ -126,7 +126,36 @@ else
         "$WORK/chaos.log"
 fi
 
-# --- 4. Torn newest generation: corrupt the head checkpoint of a
+# --- 4. Pipelined chaos: the same workload through the asynchronous
+# pipeline (S=0), SIGKILLed mid-pipeline. The drain-then-snapshot
+# barrier means every on-disk generation was encoded with zero batches
+# in flight, so recovery must land on the *same* byte-identical model
+# as the synchronous reference.
+# A lighter write latency than the synchronous soak: the pipeline's
+# writer thread runs commits back to back, so 40ms would merge the
+# marker windows into one long stretch and starve the kill scheduler
+# of distinct cycles. 10ms keeps the windows separated (and still
+# wide enough for the window kill to land).
+if CASCADE_FAULT_STAGE_LATENCY=checkpoint=10 \
+    "$KILLER" --checkpoint "$WORK/pipe_ck.bin" \
+        --kills 4 --window-kills 1 --min-cycles 1 --max-cycles 2 \
+        --seed "$SEED" --round-timeout-s 60 -- \
+        $BIN $WORKLOAD --pipeline-depth 4 --staleness-bound 0 \
+        --checkpoint "$WORK/pipe_ck.bin" \
+        --save "$WORK/pipe.model" >"$WORK/pipe.log" 2>&1; then
+    echo "ok   [pipeline-chaos-run]"
+else
+    fail pipeline-chaos-run "chaos_kill exited non-zero" "$WORK/pipe.log"
+fi
+if cmp -s "$WORK/ref.model" "$WORK/pipe.model"; then
+    echo "ok   [pipeline-model-bit-identical]"
+else
+    fail pipeline-model-bit-identical \
+        "pipelined chaos model differs from the synchronous reference" \
+        "$WORK/pipe.log"
+fi
+
+# --- 5. Torn newest generation: corrupt the head checkpoint of a
 # finished run, resume, and verify recovery falls back to the
 # previous generation instead of dying or trusting garbage.
 if ! $BIN $WORKLOAD --checkpoint "$WORK/torn_ck.bin" \

@@ -108,12 +108,37 @@ TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
 # Hot-path bench smoke: seconds-long shapes, verifies the runner and
 # the JSON it emits stay healthy. Also run it under TSan so the
 # parallel GEMM paths see race detection with real thread counts.
-cmake --build --preset default -j "$(nproc)" --target bench_hotpath
+cmake --build --preset default -j "$(nproc)" \
+    --target bench_hotpath bench_pipeline
 ./build/tools/bench_hotpath --smoke --out build/BENCH_hotpath_smoke.json
+./build/tools/bench_pipeline --smoke \
+    --out build/BENCH_pipeline_smoke.json
 cmake --build --preset tsan -j "$(nproc)" --target bench_hotpath
 TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
     ./build-tsan/tools/bench_hotpath --smoke \
     --out build-tsan/BENCH_hotpath_smoke.json
+
+# Pipeline smoke (mirrors the CI pipeline-smoke job): one real WIKI
+# epoch through every pipeline thread under TSan — S=0 byte-identical
+# to the synchronous loop, S=2 inside the staleness bound.
+cmake --build --preset tsan -j "$(nproc)" --target cascade_train_cli
+PIPE_WORK="$(mktemp -d)"
+PIPE_ARGS="--dataset wiki --scale 50 --epochs 1 --seed 42 \
+    --policy cascade --checkpoint-every 10"
+TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+    ./build-tsan/tools/cascade_train $PIPE_ARGS \
+    --save "$PIPE_WORK/sync.model" >/dev/null
+TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+    ./build-tsan/tools/cascade_train $PIPE_ARGS \
+    --pipeline-depth 4 --staleness-bound 0 \
+    --save "$PIPE_WORK/pipe0.model" >/dev/null
+cmp "$PIPE_WORK/sync.model" "$PIPE_WORK/pipe0.model"
+TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+    ./build-tsan/tools/cascade_train $PIPE_ARGS \
+    --pipeline-depth 4 --staleness-bound 2 \
+    | grep -Eq "max_staleness=[0-2] "
+rm -rf "$PIPE_WORK"
+echo "check.sh: pipeline smoke passed (S=0 bit-identical, S=2 bounded)"
 
 # Chaos soak: seeded SIGKILLs against the real CLI (some inside the
 # checkpoint write window), every relaunch resumes, and the final

@@ -62,6 +62,20 @@ tsan-supp-justified
     preceded by a ``#`` justification comment — an unexplained
     suppression hides a real race forever.
 
+cv-wait-predicate
+    A single-argument ``cv.wait(lock)`` call (any condition variable)
+    must sit inside a ``while``/``for`` loop re-checking its
+    predicate, or use the predicate overload. A naked wait is the
+    lost-wakeup/spurious-wakeup bug: the thread resumes with the
+    condition still false and proceeds anyway. Checked in ``src/
+    tools/ bench/ tests/``; the enclosing-loop check walks out
+    through up to three brace levels, so a wait guarded by a loop a
+    few statements up still passes. A deliberate naked wait carries
+    ``cascade-lint: allow(cv-wait)`` on the same line. (The project
+    convention is the explicit-loop form — the lambda-predicate
+    overload defeats Clang's thread-safety analysis through the
+    capture; see util/thread_annotations.hh.)
+
 unchecked-io
     Statement-position (return value discarded) calls to the raw
     durability primitives — ``::write``/``::close``/``::fsync``/
@@ -394,6 +408,79 @@ def rule_tsan_supp_justified(root: str) -> List[Violation]:
     return out
 
 
+# Single-identifier-argument wait: `cv.wait(lock)`. The zero-argument
+# future/pool `wait()` and the two-argument predicate overload
+# `wait(lock, pred)` deliberately do not match.
+_CV_WAIT_RE = re.compile(r"\.\s*wait\s*\(\s*[A-Za-z_]\w*\s*\)")
+_ALLOW_CV_WAIT = "cascade-lint: allow(cv-wait)"
+# A loop construct ending right where a block opens: `while (...) {`,
+# `for (...) {` (one paren-nesting level) or `do {`.
+_LOOP_BEFORE_BRACE_RE = re.compile(
+    r"\b(?:while|for)\s*\((?:[^()]|\([^()]*\))*\)\s*$|\bdo\s*$"
+)
+
+
+def _wait_inside_loop(code: str, pos: int) -> bool:
+    """True when the wait at `pos` is lexically inside a loop.
+
+    Two accepted shapes: the loop header on the same statement
+    (`while (!p) cv.wait(l);`), or the wait inside a brace block —
+    walking outward through up to three enclosing blocks — whose
+    opener is a `while`/`for`/`do`.
+    """
+    stmt_start = max(
+        code.rfind(";", 0, pos),
+        code.rfind("{", 0, pos),
+        code.rfind("}", 0, pos),
+    )
+    if re.search(r"\b(?:while|for)\b", code[stmt_start + 1 : pos]):
+        return True
+    depth = 0
+    levels = 0
+    i = pos
+    while i > 0 and levels < 3:
+        i -= 1
+        c = code[i]
+        if c == "}":
+            depth += 1
+        elif c == "{":
+            if depth:
+                depth -= 1
+                continue
+            if _LOOP_BEFORE_BRACE_RE.search(code[max(0, i - 300) : i]):
+                return True
+            levels += 1
+    return False
+
+
+def rule_cv_wait_predicate(root: str) -> List[Violation]:
+    out = []
+    for path in iter_repo_files(root, ["src", "tools", "bench", "tests"]):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        code = strip_comments_and_strings(text)
+        for m in _CV_WAIT_RE.finditer(code):
+            line_no = code.count("\n", 0, m.start()) + 1
+            if _ALLOW_CV_WAIT in raw_lines[line_no - 1]:
+                continue
+            if _wait_inside_loop(code, m.start()):
+                continue
+            out.append(
+                Violation(
+                    rel(root, path),
+                    line_no,
+                    "cv-wait-predicate",
+                    "condition-variable wait without an enclosing "
+                    "predicate loop — spurious/lost wakeups resume "
+                    "with the condition still false; wrap in "
+                    "`while (!pred) cv.wait(lock);` or justify with "
+                    f"'{_ALLOW_CV_WAIT}'",
+                )
+            )
+    return out
+
+
 # Raw durability primitives whose return value must be consumed. The
 # optional (void) prefix is matched so an explicit discard is still a
 # violation: silence needs the allow-comment, not a cast.
@@ -450,6 +537,7 @@ RULES: List[tuple[str, Callable[[str], List[Violation]]]] = [
     ("unguarded-mutex", rule_unguarded_mutex),
     ("deprecated-api", rule_deprecated_api),
     ("tsan-supp-justified", rule_tsan_supp_justified),
+    ("cv-wait-predicate", rule_cv_wait_predicate),
     ("unchecked-io", rule_unchecked_io),
 ]
 
@@ -496,6 +584,12 @@ _SELF_TEST_CASES = {
         "tools/tsan.supp",
         "race:cascade::Unexplained\n",
         "# justified: false positive, see PR 5\nrace:cascade::Ok\n",
+    ),
+    "cv-wait-predicate": (
+        "src/util/victim3.cc",
+        "void f() { UniqueLock l(m_); cv_.wait(l); }\n",
+        "void f() { UniqueLock l(m_); "
+        "while (!ready_) cv_.wait(l); }\n",
     ),
     "unchecked-io": (
         "src/train/victim.cc",
