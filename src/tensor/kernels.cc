@@ -235,8 +235,11 @@ gemmDense(const float *A, const float *B, float *C, size_t m, size_t k,
         return;
     const size_t tiles = (m + MR - 1) / MR;
     const uint64_t flops = 2ull * m * k * n;
+    // globalThreadsRequested, not globalThreads: the heuristic must
+    // not force the pool into existence in processes that will only
+    // ever take the serial branch (fork()ed single-thread workers).
     const uint64_t workers =
-        std::max<uint64_t>(1, ThreadPool::globalThreads());
+        std::max<uint64_t>(1, ThreadPool::globalThreadsRequested());
     if (flops >= workers * kMinParallelFlopsPerThread &&
         !ThreadPool::inWorker()) {
         parallelForChunks(

@@ -314,7 +314,7 @@ TgnnModel::sampleNeighbors(const TemporalAdjacency &adj, NodeId node,
 {
     if (config_.sampler == SamplerKind::MostRecent)
         return adj.lastKBefore(node, before, config_.fanout);
-    return adj.uniformKBefore(node, before, config_.fanout, rng_);
+    return adj.uniformKBefore(node, before, config_.fanout, activeRng());
 }
 
 Variable
@@ -491,7 +491,7 @@ TgnnModel::stepForward(const EventSequence &data,
         srcs[i] = e.src;
         dsts[i] = e.dst;
         times[i] = e.ts;
-        negs[i] = static_cast<NodeId>(rng_.uniformInt(numNodes_));
+        negs[i] = static_cast<NodeId>(activeRng().uniformInt(numNodes_));
     }
 
     const double t_now = data.events[st].ts;
@@ -572,6 +572,60 @@ TgnnModel::stepForward(const EventSequence &data,
 
     fwd.loss = std::move(loss);
     return fwd;
+}
+
+TgnnModel::Forward
+TgnnModel::stepForwardWithRng(const EventSequence &data,
+                              const TemporalAdjacency &adj, size_t st,
+                              size_t ed, Rng &rng)
+{
+    // Exception-safe override scope: a throwing forward must not
+    // leave a dangling RNG pointer behind.
+    struct RngScope
+    {
+        TgnnModel &m;
+        ~RngScope() { m.extRng_ = nullptr; }
+    } scope{*this};
+    extRng_ = &rng;
+    return stepForward(data, adj, st, ed);
+}
+
+std::vector<float>
+TgnnModel::collectGradients(Forward &f)
+{
+    optimizer_->zeroGrad();
+    f.loss.backward();
+    std::vector<float> flat;
+    flat.reserve(gradScalarCount());
+    for (const auto &p : parameters()) {
+        const Tensor &g = p.grad();
+        flat.insert(flat.end(), g.data(), g.data() + g.size());
+    }
+    return flat;
+}
+
+void
+TgnnModel::applyMergedGradients(const std::vector<float> &flat)
+{
+    size_t off = 0;
+    for (auto &p : parameters()) {
+        Tensor &g = p.node()->ensureGrad();
+        CASCADE_CHECK(off + g.size() <= flat.size(),
+                      "applyMergedGradients: flat gradient too short");
+        std::copy(flat.begin() + static_cast<long>(off),
+                  flat.begin() + static_cast<long>(off + g.size()),
+                  g.data());
+        off += g.size();
+    }
+    CASCADE_CHECK(off == flat.size(),
+                  "applyMergedGradients: flat gradient size mismatch");
+    optimizer_->step();
+}
+
+size_t
+TgnnModel::gradScalarCount() const
+{
+    return optimizer_->numScalars();
 }
 
 void

@@ -135,6 +135,39 @@ class TgnnModel
                         const TemporalAdjacency &adj, size_t st,
                         size_t ed);
 
+    /**
+     * stepForward drawing negatives and neighbor samples from `rng`
+     * instead of the model's own sampling RNG. The sharded trainer
+     * (train/shard.hh) seeds one RNG per (batch, shard), which makes
+     * a shard's forward a pure function of the replica state and the
+     * shard id — the property that lets any worker (or the master,
+     * after a worker death) recompute it bit-identically. The model's
+     * internal RNG state is not advanced.
+     */
+    Forward stepForwardWithRng(const EventSequence &data,
+                               const TemporalAdjacency &adj, size_t st,
+                               size_t ed, Rng &rng);
+
+    /**
+     * Gradients of f.loss, flattened in parameters() order: zero,
+     * backward, concatenate. No optimizer step — the sharded trainer
+     * merges flats across shards first (train/collective.hh) and
+     * applies the merged update with applyMergedGradients.
+     */
+    std::vector<float> collectGradients(Forward &f);
+
+    /**
+     * Scatter a flat gradient vector (parameters() order, as produced
+     * by collectGradients / the shard collective) into the parameter
+     * gradients and take one optimizer step. Applied to bit-identical
+     * replicas with bit-identical flats, the replicas stay
+     * bit-identical — the sharded determinism contract.
+     */
+    void applyMergedGradients(const std::vector<float> &flat);
+
+    /** Scalars a flat gradient vector carries (== Adam's count). */
+    size_t gradScalarCount() const;
+
     /** Backward + optimizer step; fills f.result.gradNorm. Touches
      *  parameters and gradients only — never memory/mailbox. */
     void stepBackward(Forward &f);
@@ -207,6 +240,15 @@ class TgnnModel
     const MemoryStore &memory() const { return memory_; }
     const ModelConfig &config() const { return config_; }
 
+    /** Node universe size (replica construction; train/shard.hh). */
+    size_t numNodes() const { return numNodes_; }
+
+    /** Edge feature width (replica construction; train/shard.hh). */
+    size_t edgeFeatDim() const { return edgeFeatDim_; }
+
+    /** Construction seed (feeds the sharded trainer's shardSeed). */
+    uint64_t seed() const { return seed_; }
+
     /** All trainable parameters. */
     std::vector<Variable> parameters() const;
 
@@ -275,12 +317,17 @@ class TgnnModel
     std::vector<EventIdx> sampleNeighbors(const TemporalAdjacency &adj,
                                           NodeId node, EventIdx before);
 
+    /** Sampling RNG for the current forward (external override). */
+    Rng &activeRng() { return extRng_ ? *extRng_ : rng_; }
+
     ModelConfig config_;
     size_t numNodes_;
     size_t edgeFeatDim_;
     size_t msgDim_;     ///< mailbox payload width
     size_t updInDim_;   ///< UPDT input width
     Rng rng_;
+    /** Non-null only inside stepForwardWithRng (never serialized). */
+    Rng *extRng_ = nullptr;
     uint64_t seed_;
 
     MemoryStore memory_;

@@ -374,6 +374,7 @@ resumeFromNewestValid(const std::string &path, size_t keep,
         candidates.emplace_back(checkpointGenerationPath(path, g), g);
 
     ResumeScan scan;
+    const std::string stage_file = candidates.front().first;
     bool any_file = false;
     for (const auto &[file, gen] : candidates) {
         if (!fileExists(file))
@@ -397,17 +398,32 @@ resumeFromNewestValid(const std::string &path, size_t keep,
         scan.outcome = ResumeScan::Outcome::Resumed;
         scan.generation = gen;
         scan.file = file;
+        scan.stagedRecovery = file == stage_file;
         break;
+    }
+    if (scan.stagedRecovery) {
+        // A stage-slot win means the previous commit died between
+        // writing the staged artifact and promoting it. That is a
+        // partial-rotation recovery even when no numbered generation
+        // was corrupt — warn and count so it cannot pass silently.
+        CASCADE_LOG("warning: resumed from the staged checkpoint %s "
+                    "(previous commit was interrupted mid-rotation)",
+                    scan.file.c_str());
     }
     if (scan.outcome != ResumeScan::Outcome::Resumed) {
         scan.outcome = any_file ? ResumeScan::Outcome::AllCorrupt
                                 : ResumeScan::Outcome::NoCheckpoint;
     }
     if (metrics) {
-        if (scan.corruptSkipped > 0) {
+        // The counter is emitted (zero-valued instrument created) on
+        // a staged recovery too, so the metrics summary always shows
+        // the partial-rotation path was taken.
+        if (scan.corruptSkipped > 0 || scan.stagedRecovery) {
             metrics->counter("checkpoint.corrupt_skipped")
                 .add(scan.corruptSkipped);
         }
+        if (scan.stagedRecovery)
+            metrics->counter("checkpoint.staged_recoveries").add(1);
         if (scan.outcome == ResumeScan::Outcome::Resumed) {
             metrics->gauge("checkpoint.recovered_generation")
                 .set(static_cast<double>(scan.generation));

@@ -172,6 +172,14 @@ struct ResumeScan
     size_t generation = 0;
     /** Generations skipped for corruption/mismatch before the win. */
     size_t corruptSkipped = 0;
+    /**
+     * Recovery landed on the staged `ck.bin.new` artifact: the
+     * previous process died mid-rotation after writing the stage file
+     * but before promoting it. A partial-rotation recovery — visible
+     * in the summary even when corruptSkipped is 0 (the interrupted
+     * rotation may have left every numbered generation intact).
+     */
+    bool stagedRecovery = false;
     /** File the run resumed from (empty unless Resumed). */
     std::string file;
 };

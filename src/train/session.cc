@@ -4,6 +4,7 @@
 
 #include "tensor/kernels.hh"
 #include "train/pipeline.hh"
+#include "train/shard.hh"
 #include "util/binio.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -83,6 +84,32 @@ TrainingSession::TrainingSession(TgnnModel &model,
 
     supervisor_ = std::make_unique<Supervisor>(options_.supervisor,
                                                *metrics_, trace_);
+
+    CASCADE_CHECK(options_.workers >= 1,
+                  "TrainingSession: --workers must be >= 1");
+    const bool sharded = options_.workers > 1 ||
+                         options_.workerProcs || options_.shards > 0;
+    if (sharded) {
+        // The pipeline reorders the very stages the worker group
+        // replaces; the two overlap schemes do not compose.
+        CASCADE_CHECK(options_.pipelineDepth == 0,
+                      "TrainingSession: sharded workers and the "
+                      "pipeline are mutually exclusive");
+        WorkerGroupOptions wo;
+        wo.workers = options_.workers;
+        wo.shards = options_.shards;
+        wo.processes = options_.workerProcs;
+        wo.seed = model_.seed();
+        wo.heartbeatMs = options_.workerHeartbeatMs;
+        if (!options_.checkpointPath.empty())
+            wo.pidFile = options_.checkpointPath + ".workers";
+        workerGroup_ = std::make_unique<WorkerGroup>(
+            model_, data_, adj_, wo, metrics_);
+        workerGroup_->setOnDegrade([this](const std::string &mode) {
+            recordDegradation(mode);
+            report_.degradedMode = mode;
+        });
+    }
 }
 
 TrainingSession::~TrainingSession()
@@ -150,9 +177,12 @@ TrainingSession::initOrResume()
                         (unsigned long long)cur_.st, scan.generation);
             // The degradation ladder's durability rung: the newest
             // generation was unusable and an older one carried the
-            // run. Loudly accounted, never fatal.
-            if (scan.generation > 0 || scan.corruptSkipped > 0)
+            // run — or the run recovered from the staged artifact of
+            // an interrupted rotation. Loudly accounted, never fatal.
+            if (scan.generation > 0 || scan.corruptSkipped > 0 ||
+                scan.stagedRecovery) {
                 recordDegradation("checkpoint-fallback");
+            }
             lastGood_ = encodeCheckpoint(model_, batcher_, cur_);
             report_.resumed = true;
             report_.resumedGeneration = scan.generation;
@@ -213,7 +243,10 @@ TrainingSession::runBatch()
         StageScope stage(metrics_->histogram("stage.model.seconds"),
                          *trace_, "model");
         auto wd = supervisor_->watch("model");
-        r = model_.step(data_, adj_, st, ed, true);
+        r = workerGroup_
+                ? workerGroup_->runBatch(
+                      static_cast<uint64_t>(cur_.globalBatch), st, ed)
+                : model_.step(data_, adj_, st, ed, true);
     }
     const uint64_t gb = cur_.globalBatch;
     if (fault::maybeInjectNan(gb, r.loss)) {
@@ -240,6 +273,11 @@ TrainingSession::runBatch()
                                            cur_),
                           "rollback snapshot failed to apply");
             batcher_.onNumericRollback();
+            // Replicas only ever advance via the per-batch merged
+            // updates; an out-of-band master restore must be
+            // rebroadcast or they silently diverge.
+            if (workerGroup_)
+                workerGroup_->resyncReplicas();
             metrics_->counter("train.rollbacks").add(1);
             CASCADE_LOG("rolled back to epoch %llu batch %llu",
                         (unsigned long long)cur_.epoch,
@@ -503,6 +541,16 @@ TrainingSession::assembleReport()
         report_.pipelineStallSeconds = sh->sum();
     }
 
+    // Sharded-worker accounting (train/shard.hh). The group object
+    // outlives its shutdown, so the tallies stay readable here.
+    if (workerGroup_) {
+        report_.workers = options_.workers;
+        report_.shards = workerGroup_->shards();
+        report_.workerProcs = options_.workerProcs;
+        report_.workerDeaths = workerGroup_->deaths();
+        report_.workerRebalances = workerGroup_->rebalances();
+    }
+
     // Stage `eval`: the post-training validation pass.
     if (!report_.interrupted && options_.validate &&
         trainEnd_ < data_.size()) {
@@ -534,6 +582,12 @@ TrainingSession::run()
 
     initOrResume();
 
+    // Bring the worker shards up at this quiescent point: the master
+    // replica is final (resume applied), so forked children inherit
+    // it copy-on-write and in-process replicas clone it directly.
+    if (workerGroup_)
+        workerGroup_->start();
+
     auto run_span = trace_->span("train", "session");
     while (cur_.epoch < options_.epochs) {
         if (cur_.st == 0 && cur_.batchIndex == 0) {
@@ -542,6 +596,8 @@ TrainingSession::run()
             // trajectory of the uninterrupted run.
             model_.resetState();
             batcher_.reset();
+            if (workerGroup_)
+                workerGroup_->resetReplicas();
         }
         auto epoch_span = trace_->span("epoch", "session");
         Timer epoch_timer;
@@ -568,6 +624,12 @@ TrainingSession::run()
         finishEpoch(epoch_timer.seconds(), dev_before);
     }
     run_span.end();
+
+    // Workers are only needed for training batches; stop them before
+    // the final checkpoint and validation (master state is
+    // authoritative, so nothing is lost).
+    if (workerGroup_)
+        workerGroup_->shutdown();
 
     // Final checkpoint (before validation advances the memories) so a
     // finished run can be extended with more epochs later.

@@ -53,6 +53,8 @@
 
 namespace cascade {
 
+class WorkerGroup;
+
 /** One finished batch, as seen by observers. */
 struct BatchRecord
 {
@@ -186,6 +188,8 @@ class TrainingSession
     // --- run state --------------------------------------------------
     NumericGuard guard_;
     std::unique_ptr<Supervisor> supervisor_;
+    /** Sharded multi-worker runtime; null in the unsharded loop. */
+    std::unique_ptr<WorkerGroup> workerGroup_;
     TrainerCursor cur_;
     std::string lastGood_; ///< in-memory rollback target
     TrainReport report_;

@@ -101,6 +101,20 @@ struct TrainReport
     double pipelineStallSeconds = 0.0;
     /** @} */
 
+    /** @name Sharded-worker accounting (train/shard.hh) */
+    /** @{ */
+    /** Worker count the run was configured with (1 = unsharded). */
+    size_t workers = 1;
+    /** Logical shard count K (trajectory-defining; 0 = unsharded). */
+    size_t shards = 0;
+    /** The workers ran as forked processes (vs in-process replicas). */
+    bool workerProcs = false;
+    /** Workers that died (SIGKILL, crash) and were folded away. */
+    size_t workerDeaths = 0;
+    /** Shard reassignments performed after worker deaths. */
+    size_t workerRebalances = 0;
+    /** @} */
+
     /** End-to-end modeled latency: preprocessing + device time. */
     double
     totalDeviceSeconds() const
@@ -168,6 +182,34 @@ struct TrainOptions
      * dependencies by up to S batches for more overlap.
      */
     size_t stalenessBound = 0;
+
+    /**
+     * Worker shards (train/shard.hh): number of workers computing the
+     * batch's logical shards. 1 = classic unsharded loop. >1 is a
+     * NEW deterministic trajectory governed by `shards`, mutually
+     * exclusive with pipelineDepth.
+     */
+    size_t workers = 1;
+    /**
+     * Run the workers as fork()ed processes joined by CRC-framed
+     * socketpairs instead of in-process replicas. Same trajectory as
+     * in-process for equal (workers→any, shards) — but a SIGKILL'd
+     * worker becomes a survivable fault instead of process death.
+     */
+    bool workerProcs = false;
+    /**
+     * Logical shard count K — trajectory-defining, like the batch
+     * size: runs with equal K are bit-identical for ANY worker count.
+     * 0 = workers (one shard per worker; then changing workers
+     * changes the trajectory).
+     */
+    size_t shards = 0;
+    /**
+     * Watchdog deadline for one worker compute reply, in ms. A worker
+     * that misses it is declared dead (SIGKILL + fold into
+     * survivors).
+     */
+    size_t workerHeartbeatMs = 30000;
 };
 
 /**

@@ -9,7 +9,10 @@
 #ifdef _WIN32
 #include <io.h>
 #else
+#include <cerrno>
 #include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 #endif
@@ -369,5 +372,112 @@ readFileValidated(const std::string &path, std::string &payload)
     payload = std::move(data);
     return true;
 }
+
+#ifndef _WIN32
+
+namespace {
+
+/** Frame header: magic, payload length, payload CRC32. */
+constexpr uint32_t kFrameMagic = 0x43534652u; // "CSFR"
+/** Sanity bound on frame payloads (state blobs are megabytes). */
+constexpr uint32_t kFrameMaxBytes = 1u << 30;
+
+/**
+ * Send every byte, retrying EINTR and short writes. MSG_NOSIGNAL
+ * turns a dead peer into a clean EPIPE failure instead of SIGPIPE —
+ * the supervisor must survive writing to a SIGKILL'd worker.
+ */
+bool
+sendAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Receive exactly `len` bytes, polling with `timeout_ms` before each
+ * read so a hung or dead peer is detected instead of waited on.
+ */
+FrameStatus
+recvAll(int fd, void *out, size_t len, int timeout_ms)
+{
+    char *p = static_cast<char *>(out);
+    while (len > 0) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int pr = ::poll(&pfd, 1, timeout_ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return FrameStatus::Error;
+        }
+        if (pr == 0)
+            return FrameStatus::Timeout;
+        const ssize_t n = ::recv(fd, p, len, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return FrameStatus::Error;
+        }
+        if (n == 0)
+            return FrameStatus::Eof;
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return FrameStatus::Ok;
+}
+
+} // namespace
+
+bool
+writeFrameFd(int fd, const std::string &payload)
+{
+    if (payload.size() > kFrameMaxBytes)
+        return false;
+    uint32_t header[3];
+    header[0] = kFrameMagic;
+    header[1] = static_cast<uint32_t>(payload.size());
+    header[2] = crc32(payload.data(), payload.size());
+    return sendAll(fd, header, sizeof(header)) &&
+           (payload.empty() ||
+            sendAll(fd, payload.data(), payload.size()));
+}
+
+FrameStatus
+readFrameFd(int fd, std::string &payload, int timeout_ms)
+{
+    uint32_t header[3];
+    FrameStatus st = recvAll(fd, header, sizeof(header), timeout_ms);
+    if (st != FrameStatus::Ok)
+        return st;
+    if (header[0] != kFrameMagic || header[1] > kFrameMaxBytes)
+        return FrameStatus::Error;
+    std::string body(header[1], '\0');
+    if (!body.empty()) {
+        st = recvAll(fd, body.data(), body.size(), timeout_ms);
+        if (st != FrameStatus::Ok)
+            return st;
+    }
+    if (crc32(body.data(), body.size()) != header[2])
+        return FrameStatus::Error;
+    payload = std::move(body);
+    return FrameStatus::Ok;
+}
+
+#endif // !_WIN32
 
 } // namespace cascade

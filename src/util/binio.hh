@@ -133,6 +133,43 @@ bool touchFile(const std::string &path);
 
 /** @} */
 
+/**
+ * @name Framed message I/O over local stream sockets
+ * The supervisor <-> worker transport of the sharded trainer
+ * (train/shard.hh): length-prefixed, CRC32-checked frames over a
+ * SOCK_STREAM socketpair. Writes never raise SIGPIPE (a SIGKILL'd
+ * peer surfaces as a clean write failure); reads take a poll()
+ * deadline so a hung worker trips the supervisor's watchdog instead
+ * of blocking the run forever. Like the atomic-file path, every raw
+ * syscall return is checked here, inside the sanctioned zone.
+ */
+/** @{ */
+
+/** Outcome of one framed read. */
+enum class FrameStatus
+{
+    Ok,      ///< a complete, CRC-valid frame was read
+    Eof,     ///< the peer closed (or died — SIGKILL looks like this)
+    Timeout, ///< no complete frame within the deadline
+    Error    ///< syscall failure or a corrupt/oversized frame
+};
+
+/**
+ * Write one frame (header + payload + CRC32) to a local stream
+ * socket, retrying short writes and EINTR. @return false when the
+ * peer is gone or any write fails.
+ */
+bool writeFrameFd(int fd, const std::string &payload);
+
+/**
+ * Read one complete frame. `timeout_ms` bounds each wait for more
+ * bytes (-1 = block indefinitely); a deadline expiry mid-frame also
+ * returns Timeout. `payload` is only assigned on Ok.
+ */
+FrameStatus readFrameFd(int fd, std::string &payload, int timeout_ms);
+
+/** @} */
+
 } // namespace cascade
 
 #endif // CASCADE_UTIL_BINIO_HH

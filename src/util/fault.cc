@@ -25,6 +25,9 @@ struct State
     bool nanArmed = false;
     bool crashArmed = false;
     long chunkBudget = 0;
+    /** Per-entry one-shot flags for cfg.workerKills. */
+    std::vector<char> workerKillArmed;
+    bool workerHangArmed = false;
     size_t injected = 0;
     bool initialized = false;
 };
@@ -61,6 +64,8 @@ arm(State &s)
     s.crashArmed = s.cfg.crashBatch >= 0;
     s.chunkBudget = s.cfg.chunkBuildFailures > 0
         ? s.cfg.chunkBuildFailures : 0;
+    s.workerKillArmed.assign(s.cfg.workerKills.size(), 1);
+    s.workerHangArmed = s.cfg.workerHangBatch >= 0 && s.cfg.hangMs > 0.0;
     s.injected = 0;
     s.initialized = true;
 }
@@ -76,6 +81,8 @@ const char *const kKnownVars[] = {
     "CASCADE_FAULT_CRASH_BATCH",
     "CASCADE_FAULT_CHUNK_BUILD_FAIL",
     "CASCADE_FAULT_STAGE_LATENCY",
+    "CASCADE_FAULT_WORKER_KILL_NTH",
+    "CASCADE_FAULT_WORKER_HANG_MS",
 };
 
 bool
@@ -162,6 +169,61 @@ parseEnvConfig(Config &out, std::vector<std::string> &unknown,
         }
         cfg.latencyStage = text.substr(0, eq);
         cfg.latencyMs = ms;
+    }
+
+    const char *kills = std::getenv("CASCADE_FAULT_WORKER_KILL_NTH");
+    if (kills && *kills) {
+        const std::string text(kills);
+        size_t pos = 0;
+        while (pos <= text.size()) {
+            size_t comma = text.find(',', pos);
+            if (comma == std::string::npos)
+                comma = text.size();
+            const std::string entry = text.substr(pos, comma - pos);
+            const size_t at = entry.find('@');
+            long batch = -1, rank = 0;
+            const bool ok =
+                !entry.empty() &&
+                parseLongStrict(entry.substr(0, at), batch) &&
+                batch >= 0 &&
+                (at == std::string::npos ||
+                 (parseLongStrict(entry.substr(at + 1), rank) &&
+                  rank >= 0));
+            if (!ok) {
+                error = "CASCADE_FAULT_WORKER_KILL_NTH: expected "
+                        "'B[@R],...' with B,R >= 0, got '" +
+                        text + "'";
+                return false;
+            }
+            cfg.workerKills.emplace_back(batch, rank);
+            pos = comma + 1;
+        }
+    }
+
+    const char *hang = std::getenv("CASCADE_FAULT_WORKER_HANG_MS");
+    if (hang && *hang) {
+        const std::string text(hang);
+        const size_t at = text.find('@');
+        const size_t eq = text.find('=', at == std::string::npos
+                                            ? 0 : at + 1);
+        long batch = -1, rank = 0;
+        double ms = 0.0;
+        const bool ok =
+            at != std::string::npos && eq != std::string::npos &&
+            at > 0 && eq > at + 1 &&
+            parseLongStrict(text.substr(0, at), batch) && batch >= 0 &&
+            parseLongStrict(text.substr(at + 1, eq - at - 1), rank) &&
+            rank >= 0 &&
+            parseDoubleStrict(text.substr(eq + 1), ms) && ms >= 0.0;
+        if (!ok) {
+            error = "CASCADE_FAULT_WORKER_HANG_MS: expected "
+                    "'B@R=ms' with B,R >= 0 and ms >= 0, got '" +
+                    text + "'";
+            return false;
+        }
+        cfg.workerHangBatch = batch;
+        cfg.workerHangRank = rank;
+        cfg.hangMs = ms;
     }
 
     // Catch typos: any other CASCADE_FAULT_* variable is unknown.
@@ -302,6 +364,42 @@ stageLatencyMs(const std::string &stage)
         return 0.0;
     ++s.injected;
     return s.cfg.latencyMs;
+}
+
+bool
+workerKillNow(uint64_t globalBatch, size_t rank)
+{
+    GuardedState &g = guarded();
+    LockGuard lock(g.m);
+    State &s = ensureInitLocked(g);
+    for (size_t i = 0; i < s.cfg.workerKills.size(); ++i) {
+        if (!s.workerKillArmed[i])
+            continue;
+        const auto &kill = s.cfg.workerKills[i];
+        if (globalBatch == static_cast<uint64_t>(kill.first) &&
+            rank == static_cast<size_t>(kill.second)) {
+            s.workerKillArmed[i] = 0;
+            ++s.injected;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+workerStallMs(uint64_t globalBatch, size_t rank)
+{
+    GuardedState &g = guarded();
+    LockGuard lock(g.m);
+    State &s = ensureInitLocked(g);
+    if (!s.workerHangArmed ||
+        globalBatch != static_cast<uint64_t>(s.cfg.workerHangBatch) ||
+        rank != static_cast<size_t>(s.cfg.workerHangRank)) {
+        return 0.0;
+    }
+    s.workerHangArmed = false;
+    ++s.injected;
+    return s.cfg.hangMs;
 }
 
 size_t

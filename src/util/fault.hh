@@ -54,6 +54,26 @@
  *                                     the named session stage
  *                                     (boundary/model/checkpoint/…);
  *                                     drives deadline-miss testing
+ *   CASCADE_FAULT_WORKER_KILL_NTH=B[@R][,...]
+ *                                     worker rank R (default 0) of a
+ *                                     multi-process sharded run
+ *                                     raises SIGKILL on itself when
+ *                                     asked to compute global batch B
+ *                                     — the impolite worker death the
+ *                                     supervisor's fold-into-
+ *                                     survivors recovery must absorb
+ *                                     (one-shot per entry; consulted
+ *                                     only by the forked worker
+ *                                     runtime, train/shard.cc)
+ *   CASCADE_FAULT_WORKER_HANG_MS=B@R=ms
+ *                                     worker rank R stalls `ms`
+ *                                     milliseconds before replying to
+ *                                     global batch B's compute
+ *                                     command; with a short
+ *                                     --worker-heartbeat-ms this
+ *                                     deterministically trips the
+ *                                     supervisor's watchdog deadline
+ *                                     (one-shot)
  *
  * Values are parsed strictly: a malformed value ("3x", "", "1e")
  * aborts with a clear error instead of being silently coerced, and
@@ -112,6 +132,16 @@ struct Config
     std::string latencyStage;
     /** Injected latency per execution of latencyStage. */
     double latencyMs = 0.0;
+    /** (globalBatch, workerRank) pairs at which the matching forked
+     *  worker SIGKILLs itself; each entry is one-shot. */
+    std::vector<std::pair<long, long>> workerKills;
+    /** Global batch at which workerHangRank stalls hangMs before
+     *  replying; -1 = never. One-shot. */
+    long workerHangBatch = -1;
+    /** Worker rank that performs the armed hang. */
+    long workerHangRank = 0;
+    /** Stall duration for the armed worker hang. */
+    double hangMs = 0.0;
 };
 
 /** Install a plan and rearm all triggers (tests). */
@@ -184,6 +214,24 @@ void maybeFailChunkBuild(size_t chunk);
  * whenever latencyMs comfortably exceeds the deadline.
  */
 double stageLatencyMs(const std::string &stage);
+
+/**
+ * True when the forked worker with rank `rank` should SIGKILL itself
+ * before computing `globalBatch` (WORKER_KILL_NTH). Each armed
+ * (batch, rank) entry fires at most once; only the forked worker
+ * runtime (train/shard.cc) consults this — in-process workers share
+ * the supervisor's fate and cannot die independently.
+ */
+bool workerKillNow(uint64_t globalBatch, size_t rank);
+
+/**
+ * Milliseconds the worker with rank `rank` should stall before
+ * replying to `globalBatch`'s compute command (WORKER_HANG_MS);
+ * 0 when not armed for this (batch, rank). One-shot. The caller
+ * performs the sleep so the stall is real wall time and the
+ * supervisor's heartbeat deadline trips deterministically.
+ */
+double workerStallMs(uint64_t globalBatch, size_t rank);
 
 /** Total faults injected since the last configure/reset. */
 size_t injectedCount();

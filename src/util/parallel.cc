@@ -151,6 +151,33 @@ ThreadPool::setGlobalThreads(size_t threads)
 }
 
 void
+ThreadPool::reinitAfterFork(size_t threads)
+{
+    LockGuard lock(globalPoolMutex);
+    // The parent's worker threads do not exist in this child process;
+    // running ~ThreadPool would block forever in join(). Leak the
+    // inherited object on purpose — its memory is reclaimed when the
+    // worker _exit()s.
+    if (globalPool) {
+        // NOLINTNEXTLINE(clang-analyzer-cplusplus.NewDeleteLeaks)
+        new std::shared_ptr<ThreadPool>(std::move(globalPool));
+        globalPool.reset();
+    }
+    requestedThreads = threads;
+}
+
+size_t
+ThreadPool::globalThreadsRequested()
+{
+    LockGuard lock(globalPoolMutex);
+    if (globalPool)
+        return globalPool->threads();
+    if (requestedThreads != 0)
+        return requestedThreads;
+    return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+void
 parallelFor(size_t begin, size_t end,
             const std::function<void(size_t)> &body, size_t grain)
 {
@@ -170,11 +197,20 @@ parallelForChunks(size_t begin, size_t end,
     if (end <= begin)
         return;
     const size_t n = end - begin;
+    // A single-thread request runs inline WITHOUT starting the pool:
+    // a fork()ed worker (ThreadPool::reinitAfterFork(1)) must never
+    // spawn a thread — TSan forbids new threads after a
+    // multi-threaded fork — and for everyone else a 1-worker pool is
+    // pure dispatch overhead anyway.
+    if (n <= grain || ThreadPool::globalThreadsRequested() == 1) {
+        body(begin, end);
+        return;
+    }
     // Pin the pool for the whole call so a concurrent
     // setGlobalThreads() cannot destroy it under us.
     const std::shared_ptr<ThreadPool> pool = ThreadPool::globalShared();
     const size_t workers = pool->threads();
-    if (n <= grain || workers <= 1) {
+    if (workers <= 1) {
         body(begin, end);
         return;
     }

@@ -109,6 +109,30 @@ class ThreadPool
      */
     static size_t globalThreads();
 
+    /**
+     * Make the global pool usable in the child of a fork(). fork()
+     * copies only the calling thread: the inherited pool object still
+     * lists workers_ that do not exist in the child, so destroying or
+     * wait()ing on it would hang forever. This intentionally LEAKS
+     * the inherited pool (its threads are gone; joining is
+     * impossible) and installs a fresh request for `threads` workers,
+     * started lazily on first use. Call this first thing in a forked
+     * worker, before any parallel code runs.
+     */
+    static void reinitAfterFork(size_t threads);
+
+    /**
+     * The thread count the global pool has — or WOULD get if started
+     * now — without starting one: the live pool's size if it exists,
+     * else the requested size (hardware concurrency when unset).
+     * Sizing heuristics (the GEMM parallel cutover) and parallelFor's
+     * single-thread inline path use this so that a process which will
+     * only ever run serial work (notably a fork()ed worker, where
+     * creating even one pool thread is forbidden under TSan's
+     * multi-threaded-fork rule) never forces the pool into existence.
+     */
+    static size_t globalThreadsRequested();
+
   private:
     void workerLoop();
 

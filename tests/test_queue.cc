@@ -175,6 +175,88 @@ TEST(BoundedQueue, SpscStressPreservesOrder)
         ASSERT_EQ(seen[static_cast<size_t>(i)], i);
 }
 
+TEST(BoundedQueue, CloseRacingFullQueueProducerNeverEnqueues)
+{
+    // close() vs a producer stuck on a full queue, raced with no
+    // synchronization between the two threads. With capacity 1
+    // pre-filled and no consumer, there is no interleaving in which
+    // the push can legally land: it either observes the close before
+    // blocking (fail fast) or is woken by it. Either way it must
+    // report false and leave the queue contents untouched — a push
+    // that returns false yet enqueued, or returns true after a close,
+    // would hand the pipeline a phantom batch. Many short iterations
+    // probe different interleavings (and give TSan real schedules to
+    // bite on) where one long sleep would always test the same one.
+    for (int iter = 0; iter < 200; ++iter) {
+        BoundedQueue<int> q(1);
+        ASSERT_TRUE(q.push(iter));
+
+        std::atomic<bool> push_result{true};
+        std::thread producer([&] { push_result = q.push(-1); });
+        std::thread closer([&] { q.close(); });
+        producer.join();
+        closer.join();
+
+        EXPECT_FALSE(push_result.load());
+        EXPECT_EQ(q.size(), 1u);
+        int v = -1;
+        EXPECT_TRUE(q.pop(v));
+        EXPECT_EQ(v, iter);
+        EXPECT_FALSE(q.pop(v));
+    }
+}
+
+TEST(AsyncCell, DropWhileProducerStillRunningJoinsBeforeReturning)
+{
+    // drop() on a producer that has not finished yet must *join* it,
+    // not abandon it: the producer may reference stack state of the
+    // dropper (the pipeline's prefetch closures capture the batcher
+    // by reference). If drop() returned while the producer was still
+    // running, `finished` would be observably false here.
+    AsyncCell<int> cell;
+    std::atomic<bool> release{false};
+    std::atomic<bool> finished{false};
+    cell.launch([&]() -> int {
+        while (!release.load())
+            std::this_thread::yield();
+        finished = true;
+        return 9;
+    });
+    EXPECT_TRUE(cell.active());
+
+    std::thread releaser([&] {
+        briefSleep();
+        release = true;
+    });
+    cell.drop(); // producer is mid-flight; drop must wait it out
+    EXPECT_TRUE(finished.load());
+    EXPECT_FALSE(cell.active());
+    releaser.join();
+
+    // The cell is immediately reusable after a mid-flight drop.
+    cell.launch([] { return 13; });
+    EXPECT_EQ(cell.collect(), 13);
+}
+
+TEST(AsyncCell, TakeAfterDropStartsCleanNotStale)
+{
+    // A collect() on the cycle *after* a drop must deliver the fresh
+    // producer's value, never the dropped one's — drop() has to clear
+    // the value/error slots, not just join the thread.
+    AsyncCell<int> cell;
+    cell.launch([] { return 111; });
+    cell.drop();
+    cell.launch([] { return 222; });
+    EXPECT_EQ(cell.collect(), 222);
+
+    // Same for a dropped *exception*: it must not resurface on the
+    // next cycle's collect.
+    cell.launch([]() -> int { throw std::runtime_error("dropped"); });
+    cell.drop();
+    cell.launch([] { return 333; });
+    EXPECT_EQ(cell.collect(), 333);
+}
+
 TEST(AsyncCell, CollectDeliversTheProducedValue)
 {
     AsyncCell<int> cell;

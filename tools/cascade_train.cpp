@@ -113,6 +113,10 @@ struct CliOptions
     double stageDeadlineMs = 0.0; ///< 0 = watchdog off
     size_t pipelineDepth = 0;     ///< 0 = synchronous staged loop
     size_t stalenessBound = 0;    ///< memory staleness bound S
+    size_t workers = 1;           ///< worker shards (1 = unsharded)
+    bool workerProcs = false;     ///< fork() the workers
+    size_t shards = 0;            ///< logical shard count K (0 = workers)
+    size_t workerHeartbeatMs = 30000; ///< worker reply deadline
 };
 
 void
@@ -131,7 +135,10 @@ usage(const char *argv0)
                  "          [--retry-base-ms MS]\n"
                  "          [--stage-deadline-ms MS]\n"
                  "          [--pipeline-depth N]\n"
-                 "          [--staleness-bound S]\n",
+                 "          [--staleness-bound S]\n"
+                 "          [--workers N] [--worker-procs]\n"
+                 "          [--shards K]\n"
+                 "          [--worker-heartbeat-ms MS]\n",
                  argv0);
 }
 
@@ -244,6 +251,17 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         else if (arg == "--staleness-bound" && (v = next()))
             opts.stalenessBound =
                 static_cast<size_t>(parseUint("--staleness-bound", v));
+        else if (arg == "--workers" && (v = next()))
+            opts.workers =
+                static_cast<size_t>(parseUint("--workers", v));
+        else if (arg == "--worker-procs" && !has_inline)
+            opts.workerProcs = true;
+        else if (arg == "--shards" && (v = next()))
+            opts.shards =
+                static_cast<size_t>(parseUint("--shards", v));
+        else if (arg == "--worker-heartbeat-ms" && (v = next()))
+            opts.workerHeartbeatMs = static_cast<size_t>(
+                parseUint("--worker-heartbeat-ms", v));
         else
             return false;
     }
@@ -356,6 +374,22 @@ main(int argc, char **argv)
     toptions.supervisor.stageDeadlineMs = opts.stageDeadlineMs;
     toptions.pipelineDepth = opts.pipelineDepth;
     toptions.stalenessBound = opts.stalenessBound;
+    toptions.workers = opts.workers;
+    toptions.workerProcs = opts.workerProcs;
+    toptions.shards = opts.shards;
+    toptions.workerHeartbeatMs = opts.workerHeartbeatMs;
+    if (opts.workers == 0) {
+        std::fprintf(stderr, "--workers must be >= 1\n");
+        return 2;
+    }
+    const bool sharded = opts.workers > 1 || opts.workerProcs ||
+                         opts.shards > 0;
+    if (sharded && opts.pipelineDepth > 0) {
+        std::fprintf(stderr, "--workers/--worker-procs/--shards and "
+                             "--pipeline-depth are mutually "
+                             "exclusive\n");
+        return 2;
+    }
     if (opts.resume && opts.checkpointPath.empty()) {
         std::fprintf(stderr, "--resume needs --checkpoint FILE\n");
         return 2;
@@ -392,7 +426,9 @@ main(int argc, char **argv)
                 "util=%.3f val_loss=%.4f guard_trips=%zu "
                 "retries=%zu deadline_misses=%zu degraded=%s "
                 "checkpointing=%s pipeline_depth=%zu staleness=%zu "
-                "max_staleness=%zu pipeline_stall_s=%.4f\n",
+                "max_staleness=%zu pipeline_stall_s=%.4f "
+                "workers=%zu worker_procs=%d shards=%zu "
+                "worker_deaths=%zu worker_rebalances=%zu\n",
                 opts.dataset.c_str(), opts.model.c_str(),
                 opts.policy.c_str(), data.size(), opts.epochs,
                 r.totalBatches, r.avgBatchSize, r.wallSeconds,
@@ -401,7 +437,9 @@ main(int argc, char **argv)
                 r.retries, r.deadlineMisses, r.degradedMode.c_str(),
                 r.checkpointingDisabled ? "disabled" : "on",
                 opts.pipelineDepth, opts.stalenessBound,
-                r.maxStaleness, r.pipelineStallSeconds);
+                r.maxStaleness, r.pipelineStallSeconds, r.workers,
+                r.workerProcs ? 1 : 0, r.shards, r.workerDeaths,
+                r.workerRebalances);
 
     if (!opts.csvPath.empty()) {
         std::FILE *f = std::fopen(opts.csvPath.c_str(), "a");

@@ -9,6 +9,9 @@
 # exercise polite failures, tools/chaos_kill exercises the impolite
 # one (SIGKILL, no destructors), and this driver closes the loop by
 # comparing the surviving run against a reference run byte for byte.
+# Section 6 covers the second fault domain (DESIGN.md "Worker-level
+# fault domains"): tools/chaos_worker_kill SIGKILLs individual
+# --worker-procs workers while the supervisor stays up.
 #
 #   tools/chaos_soak.sh [build-dir]     # default: build
 #
@@ -25,7 +28,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 BIN="$BUILD_DIR/tools/cascade_train"
 KILLER="$BUILD_DIR/tools/chaos_kill"
-for exe in "$BIN" "$KILLER"; do
+WORKER_KILLER="$BUILD_DIR/tools/chaos_worker_kill"
+for exe in "$BIN" "$KILLER" "$WORKER_KILLER"; do
     if [ ! -x "$exe" ]; then
         echo "chaos_soak: $exe not built (run cmake --build $BUILD_DIR)" >&2
         exit 1
@@ -161,9 +165,15 @@ fi
 if ! $BIN $WORKLOAD --checkpoint "$WORK/torn_ck.bin" \
         >"$WORK/torn_setup.log" 2>&1; then
     fail torn-setup "setup run failed" "$WORK/torn_setup.log"
+elif ! head -c 50 "$WORK/torn_ck.bin" >"$WORK/torn_ck.bin.cut" ||
+    ! mv "$WORK/torn_ck.bin.cut" "$WORK/torn_ck.bin"; then
+    # Without this explicit check a failed truncation (missing head
+    # file, full disk) used to leave the checkpoint intact and let
+    # the resume "pass" without exercising the fallback path at all
+    # — `cmd && cmd` inside an if/else body never fails the script.
+    fail torn-truncate \
+        "could not truncate the head checkpoint" "$WORK/torn_setup.log"
 else
-    head -c 50 "$WORK/torn_ck.bin" >"$WORK/torn_ck.bin.cut" &&
-        mv "$WORK/torn_ck.bin.cut" "$WORK/torn_ck.bin"
     if $BIN $WORKLOAD --checkpoint "$WORK/torn_ck.bin" --resume \
             >"$WORK/torn_resume.log" 2>&1 &&
         grep -q "generation 1" "$WORK/torn_resume.log" &&
@@ -173,6 +183,62 @@ else
         fail torn-newest-fallback \
             "resume did not fall back to generation 1" \
             "$WORK/torn_resume.log"
+    fi
+fi
+
+# --- 6. Worker fault domains: the same workload sharded across 4
+# worker processes, with chaos_worker_kill SIGKILLing 2 of them by
+# PID mid-run (uncooperative, wall-clock-timed — the kill can land
+# mid-compute or mid-frame). The supervisor must detect each death,
+# fold the dead worker's shards into the survivors, and still save a
+# model byte-identical to an unkilled sharded run. Exit codes of BOTH
+# halves are captured explicitly: the training run goes to the
+# background, so a bare `wait` would silently discard its status.
+SHARDED="$WORKLOAD --shards 4"
+if ! $BIN $SHARDED --workers 1 --save "$WORK/wref.model" \
+        >"$WORK/wref.log" 2>&1; then
+    fail worker-reference "sharded reference run failed" "$WORK/wref.log"
+else
+    $BIN $SHARDED --workers 4 --worker-procs \
+        --checkpoint "$WORK/wchaos_ck.bin" \
+        --save "$WORK/wchaos.model" >"$WORK/wchaos.log" 2>&1 &
+    train_pid=$!
+    "$WORKER_KILLER" --roster "$WORK/wchaos_ck.bin.workers" \
+        --kills 2 --seed "$SEED" --initial-delay-ms 200 \
+        >"$WORK/wkill.log" 2>&1
+    killer_rc=$?
+    wait "$train_pid"
+    train_rc=$?
+    if [ "$train_rc" -ne 0 ]; then
+        fail worker-chaos-run \
+            "sharded run exited $train_rc after worker kills" \
+            "$WORK/wchaos.log"
+    elif [ "$killer_rc" -ne 0 ]; then
+        fail worker-chaos-run \
+            "chaos_worker_kill exited $killer_rc" "$WORK/wkill.log"
+    else
+        echo "ok   [worker-chaos-run]"
+    fi
+    wsummary="$(grep '^chaos_worker_kill: kills=' "$WORK/wkill.log" || true)"
+    echo "     $wsummary"
+    case "$wsummary" in
+    *"kills=2"*"rebalances_seen=2"*) echo "ok   [worker-kill-count]" ;;
+    *) fail worker-kill-count \
+        "expected kills=2 rebalances_seen=2" "$WORK/wkill.log" ;;
+    esac
+    if grep -q "worker_deaths=2 worker_rebalances=2" "$WORK/wchaos.log"; then
+        echo "ok   [worker-deaths-reported]"
+    else
+        fail worker-deaths-reported \
+            "summary missing worker_deaths=2 worker_rebalances=2" \
+            "$WORK/wchaos.log"
+    fi
+    if cmp -s "$WORK/wref.model" "$WORK/wchaos.model"; then
+        echo "ok   [worker-chaos-model-bit-identical]"
+    else
+        fail worker-chaos-model-bit-identical \
+            "model after 2 worker SIGKILLs differs from unkilled run" \
+            "$WORK/wchaos.log"
     fi
 fi
 

@@ -140,9 +140,28 @@ TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
 rm -rf "$PIPE_WORK"
 echo "check.sh: pipeline smoke passed (S=0 bit-identical, S=2 bounded)"
 
+# Worker smoke (mirrors the CI worker-chaos-smoke job): a sharded
+# 4-worker-process run with one worker SIGKILLed mid-epoch must fold
+# the dead worker's shards into the survivors and save a model
+# byte-identical to the unkilled 1-worker reference.
+cmake --build --preset default -j "$(nproc)" --target cascade_train_cli
+WORKER_WORK="$(mktemp -d)"
+WORKER_ARGS="--dataset wiki --scale 60 --epochs 2 --seed 42 \
+    --policy cascade --shards 4"
+./build/tools/cascade_train $WORKER_ARGS --workers 1 \
+    --save "$WORKER_WORK/ref.model" >/dev/null
+CASCADE_FAULT_WORKER_KILL_NTH="5@1" \
+    ./build/tools/cascade_train $WORKER_ARGS --workers 4 --worker-procs \
+    --save "$WORKER_WORK/killed.model" >"$WORKER_WORK/killed.log" 2>&1
+grep -q "worker_deaths=1 worker_rebalances=1" "$WORKER_WORK/killed.log"
+cmp "$WORKER_WORK/ref.model" "$WORKER_WORK/killed.model"
+rm -rf "$WORKER_WORK"
+echo "check.sh: worker smoke passed (1 of 4 killed, bit-identical)"
+
 # Chaos soak: seeded SIGKILLs against the real CLI (some inside the
-# checkpoint write window), every relaunch resumes, and the final
-# trajectory must be byte-identical to an uninterrupted run.
+# checkpoint write window), every relaunch resumes, worker processes
+# are killed by PID (section 6), and the final trajectory must be
+# byte-identical to an uninterrupted run.
 cmake --build --preset default -j "$(nproc)" \
-    --target cascade_train_cli chaos_kill
+    --target cascade_train_cli chaos_kill chaos_worker_kill
 sh tools/chaos_soak.sh build

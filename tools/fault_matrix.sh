@@ -138,8 +138,13 @@ run_case short-write-retry 0 "retries=1" short.log -- \
 run_case older-gen-setup 0 "checkpointing=on" older_setup.log -- -- \
     $COMMON --policy cascade --checkpoint "$WORK/ck_older.bin" \
     --checkpoint-every 1 --checkpoint-keep 3
-head -c 40 "$WORK/ck_older.bin" >"$WORK/ck_older.cut" &&
-    mv "$WORK/ck_older.cut" "$WORK/ck_older.bin"
+if ! head -c 40 "$WORK/ck_older.bin" >"$WORK/ck_older.cut" ||
+    ! mv "$WORK/ck_older.cut" "$WORK/ck_older.bin"; then
+    # An unchecked truncation would leave the head intact and let the
+    # resume below "pass" without exercising the fallback at all.
+    echo "FAIL [older-gen-tear]: could not truncate $WORK/ck_older.bin" >&2
+    FAILURES=$((FAILURES + 1))
+fi
 run_case older-gen-resume 0 "generation 1" older_resume.log -- -- \
     $COMMON --policy cascade --checkpoint "$WORK/ck_older.bin" \
     --checkpoint-every 1 --checkpoint-keep 3 --resume
@@ -162,6 +167,25 @@ run_case pipeline-ckpt-fail 0 "checkpointing=disabled" pipe_ckpt.log -- \
     $COMMON --policy cascade --pipeline-depth 2 \
     --checkpoint "$WORK/ck_pipe.bin" --checkpoint-every 1 \
     --retry-max 2 --retry-base-ms 0
+
+# 15. Worker SIGKILLs itself mid-epoch (the cooperative knob — the
+#     uncooperative by-PID variant lives in chaos_soak.sh section 6):
+#     the supervisor sees the socket close, folds the dead worker's
+#     shards into the survivor, and the run completes with the death
+#     on the books.
+run_case worker-kill-recovers 0 "worker_deaths=1" worker_kill.log -- \
+    CASCADE_FAULT_WORKER_KILL_NTH=4@1 -- \
+    $COMMON --policy cascade --workers 2 --worker-procs --shards 4
+
+# 16. Worker hangs instead of dying: no EOF ever arrives, so only the
+#     heartbeat watchdog can notice. The stall (2s) dwarfs the
+#     deadline (200ms); the supervisor must declare the worker dead,
+#     SIGKILL it, and finish without it.
+run_case worker-hang-watchdog 0 "heartbeat deadline missed" \
+    worker_hang.log -- \
+    CASCADE_FAULT_WORKER_HANG_MS=3@1=2000 -- \
+    $COMMON --policy cascade --workers 2 --worker-procs --shards 4 \
+    --worker-heartbeat-ms 200
 
 if [ "$FAILURES" -ne 0 ]; then
     echo "fault_matrix: $FAILURES case(s) failed" >&2

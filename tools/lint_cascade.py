@@ -76,6 +76,16 @@ cv-wait-predicate
     overload defeats Clang's thread-safety analysis through the
     capture; see util/thread_annotations.hh.)
 
+raw-process
+    ``fork``/``vfork``/``exec*``/``kill``/``raise`` are forbidden in
+    ``src/ tools/ bench/`` outside the sanctioned worker-runtime and
+    chaos-tool zones (``src/train/shard.*``, ``tools/chaos_kill``,
+    ``tools/chaos_worker_kill``): process control scattered through
+    the codebase is how orphaned children, unreaped zombies and
+    accidental self-kills happen. Route process lifecycle through the
+    WorkerGroup runtime; a deliberate exception carries
+    ``cascade-lint: allow(raw-process)`` on the same line.
+
 unchecked-io
     Statement-position (return value discarded) calls to the raw
     durability primitives — ``::write``/``::close``/``::fsync``/
@@ -481,6 +491,49 @@ def rule_cv_wait_predicate(root: str) -> List[Violation]:
     return out
 
 
+# Process-control primitives: confined to the worker runtime and the
+# chaos tools so every fork has exactly one reaper and every kill an
+# audited target.
+_RAW_PROCESS_RE = re.compile(
+    r"\b(?:::)?(?:fork|vfork|execv|execvp|execve|execl|execlp"
+    r"|kill|raise)\s*\("
+)
+_ALLOW_RAW_PROCESS = "cascade-lint: allow(raw-process)"
+_RAW_PROCESS_EXEMPT = (
+    "src/train/shard.",
+    "tools/chaos_kill",
+    "tools/chaos_worker_kill",
+)
+
+
+def rule_raw_process(root: str) -> List[Violation]:
+    out = []
+    for path in iter_repo_files(root, ["src", "tools", "bench"]):
+        relpath = rel(root, path)
+        if any(relpath.startswith(e) for e in _RAW_PROCESS_EXEMPT):
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        code = strip_comments_and_strings(text)
+        for m in _RAW_PROCESS_RE.finditer(code):
+            line_no = code.count("\n", 0, m.start()) + 1
+            if _ALLOW_RAW_PROCESS in raw_lines[line_no - 1]:
+                continue
+            out.append(
+                Violation(
+                    relpath,
+                    line_no,
+                    "raw-process",
+                    "raw process-control call outside the worker "
+                    "runtime / chaos-tool zones; route through "
+                    "train/shard.hh or justify with "
+                    f"'{_ALLOW_RAW_PROCESS}'",
+                )
+            )
+    return out
+
+
 # Raw durability primitives whose return value must be consumed. The
 # optional (void) prefix is matched so an explicit discard is still a
 # violation: silence needs the allow-comment, not a cast.
@@ -538,6 +591,7 @@ RULES: List[tuple[str, Callable[[str], List[Violation]]]] = [
     ("deprecated-api", rule_deprecated_api),
     ("tsan-supp-justified", rule_tsan_supp_justified),
     ("cv-wait-predicate", rule_cv_wait_predicate),
+    ("raw-process", rule_raw_process),
     ("unchecked-io", rule_unchecked_io),
 ]
 
@@ -590,6 +644,11 @@ _SELF_TEST_CASES = {
         "void f() { UniqueLock l(m_); cv_.wait(l); }\n",
         "void f() { UniqueLock l(m_); "
         "while (!ready_) cv_.wait(l); }\n",
+    ),
+    "raw-process": (
+        "src/util/victim4.cc",
+        "void f() { ::kill(pid, 9); }\n",
+        "void f() { group.shutdown(); }\n",
     ),
     "unchecked-io": (
         "src/train/victim.cc",
