@@ -31,13 +31,13 @@ runConfigured(DatasetHandle &ds, const BenchConfig &cfg,
     copts.maxrInitFactor = init_factor;
     copts.decaySchedule = schedule;
     copts.seed = cfg.seed + 2;
-    CascadeBatcher batcher(ds.data, ds.adj, ds.trainEnd, copts);
+    CascadeBatcher batcher(ds.src, ds.adj, ds.trainEnd, copts);
 
     TrainOptions options;
     options.epochs = cfg.epochs;
     options.evalBatch = ds.spec.baseBatch;
     DeviceModel device(scaledDeviceParams(ds.spec.baseBatch));
-    return trainModel(model, ds.data, ds.adj, ds.trainEnd, batcher,
+    return trainModel(model, ds.src, ds.adj, ds.trainEnd, batcher,
                       options, &device);
 }
 

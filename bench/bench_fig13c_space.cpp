@@ -32,12 +32,12 @@ main()
                             cfg.seed + 1);
             CascadeBatcher::Options copts;
             copts.baseBatch = spec.baseBatch;
-            CascadeBatcher batcher(ds->data, ds->adj, ds->trainEnd,
+            CascadeBatcher batcher(ds->src, ds->adj, ds->trainEnd,
                                    copts);
             TrainOptions topt;
             topt.epochs = 1;
             topt.validate = false;
-            trainModel(model, ds->data, ds->adj, ds->trainEnd, batcher,
+            trainModel(model, ds->src, ds->adj, ds->trainEnd, batcher,
                        topt);
 
             const double dt =

@@ -137,7 +137,7 @@ runPolicy(DatasetHandle &ds, const std::string &model_name, Policy policy,
             copts.pipeline = true;
         }
         batcher = std::make_unique<CascadeBatcher>(
-            ds.data, ds.adj, ds.trainEnd, copts);
+            ds.src, ds.adj, ds.trainEnd, copts);
         break;
       }
     }
@@ -148,7 +148,7 @@ runPolicy(DatasetHandle &ds, const std::string &model_name, Policy policy,
     options.validate = ovr.validate;
 
     DeviceModel device(scaledDeviceParams(ds.spec.baseBatch));
-    TrainingSession session(model, ds.data, ds.adj, ds.trainEnd,
+    TrainingSession session(model, ds.src, ds.adj, ds.trainEnd,
                             *batcher, options, &device, metrics);
     return session.run();
 }

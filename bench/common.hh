@@ -41,12 +41,13 @@ struct DatasetHandle
 {
     DatasetSpec spec;
     EventSequence data;
+    VectorEventSource src;
     TemporalAdjacency adj;
     size_t trainEnd;
 
     DatasetHandle(DatasetSpec s, EventSequence d)
-        : spec(std::move(s)), data(std::move(d)), adj(data),
-          trainEnd(data.size() * 17 / 20)
+        : spec(std::move(s)), data(std::move(d)), src(data),
+          adj(data), trainEnd(data.size() * 17 / 20)
     {}
 };
 

@@ -36,6 +36,7 @@ main()
     DatasetSpec spec = moocSpec(scale);
     Rng rng(31);
     EventSequence data = generateDataset(spec, rng);
+    VectorEventSource src(data);
     TemporalAdjacency adj(data);
     const size_t train_end = data.size() * 7 / 10;
     // A short horizon separates churners (low-rate tail of the Zipf
@@ -49,11 +50,11 @@ main()
     TgnnModel model(tgnConfig(), spec.numNodes, data.featDim(), 17);
     CascadeBatcher::Options copts;
     copts.baseBatch = spec.baseBatch;
-    CascadeBatcher batcher(data, adj, train_end, copts);
+    CascadeBatcher batcher(src, adj, train_end, copts);
     TrainOptions options;
     options.epochs = epochs;
     options.validate = false;
-    trainModel(model, data, adj, train_end, batcher, options);
+    trainModel(model, src, adj, train_end, batcher, options);
 
     // 2. Embed every node active in the training range.
     std::vector<NodeId> nodes;

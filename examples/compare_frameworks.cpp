@@ -32,6 +32,7 @@ main()
     DatasetSpec spec = redditSpec(scale);
     Rng rng(7);
     EventSequence data = generateDataset(spec, rng);
+    VectorEventSource src(data);
     TemporalAdjacency adj(data);
     const size_t train_end = data.size() * 17 / 20;
     std::printf("dataset %s: %zu nodes, %zu events, base batch %zu, "
@@ -48,7 +49,7 @@ main()
         options.epochs = epochs;
         options.evalBatch = spec.baseBatch;
         DeviceModel device(scaledDeviceParams(spec.baseBatch));
-        TrainReport r = trainModel(model, data, adj, train_end, batcher,
+        TrainReport r = trainModel(model, src, adj, train_end, batcher,
                                    options, &device);
         std::printf("%-14s %8zu %9.1f %10.3f %10.4f %9.4f\n",
                     batcher.name().c_str(), r.totalBatches,
@@ -69,12 +70,12 @@ main()
     CascadeBatcher::Options tb_opts;
     tb_opts.baseBatch = spec.baseBatch;
     tb_opts.enableSgFilter = false;
-    CascadeBatcher tb(data, adj, train_end, tb_opts);
+    CascadeBatcher tb(src, adj, train_end, tb_opts);
     run(tb);
 
     CascadeBatcher::Options full_opts;
     full_opts.baseBatch = spec.baseBatch;
-    CascadeBatcher cascade(data, adj, train_end, full_opts);
+    CascadeBatcher cascade(src, adj, train_end, full_opts);
     run(cascade);
 
     return 0;

@@ -34,6 +34,7 @@ main()
     DatasetSpec spec = gdeltSpec(scale);
     Rng rng(5);
     EventSequence data = generateDataset(spec, rng);
+    VectorEventSource src(data);
     TemporalAdjacency adj(data);
     const size_t train_end = data.size() * 17 / 20;
     std::printf("news-event stream (GDELT-like): %zu nodes, %zu "
@@ -47,13 +48,13 @@ main()
         copts.baseBatch = spec.baseBatch;
         copts.chunkSize = chunk_size;
         copts.pipeline = pipeline;
-        CascadeBatcher batcher(data, adj, train_end, copts);
+        CascadeBatcher batcher(src, adj, train_end, copts);
 
         TrainOptions options;
         options.epochs = epochs;
         options.evalBatch = spec.baseBatch;
         DeviceModel device(scaledDeviceParams(spec.baseBatch));
-        TrainReport r = trainModel(model, data, adj, train_end,
+        TrainReport r = trainModel(model, src, adj, train_end,
                                    batcher, options, &device);
         std::printf("%-22s chunks=%zu prep=%7.4fs lookup=%7.4fs "
                     "device=%7.3fs val_loss=%.4f\n",

@@ -30,6 +30,7 @@ main()
     Rng rng(42);
     EventSequence data = generateDataset(spec, rng);
     const size_t train_end = static_cast<size_t>(data.size() * 0.85);
+    VectorEventSource src(data);
     TemporalAdjacency adj(data);
     std::printf("dataset %s: %zu nodes, %zu events (%zu train)\n",
                 spec.name.c_str(), spec.numNodes, data.size(),
@@ -44,7 +45,7 @@ main()
         TgnnModel model(tgnConfig(), spec.numNodes, data.featDim(), 1);
         FixedBatcher batcher(train_end, spec.baseBatch);
         DeviceModel device(scaledDeviceParams(spec.baseBatch));
-        TrainReport r = trainModel(model, data, adj, train_end, batcher,
+        TrainReport r = trainModel(model, src, adj, train_end, batcher,
                                    options, &device);
         std::printf("[TGL]     batches=%zu avg_bs=%.0f wall=%.2fs "
                     "device=%.3fs util=%.0f%% val_loss=%.4f\n",
@@ -58,9 +59,9 @@ main()
         TgnnModel model(tgnConfig(), spec.numNodes, data.featDim(), 1);
         CascadeBatcher::Options copts;
         copts.baseBatch = spec.baseBatch;
-        CascadeBatcher batcher(data, adj, train_end, copts);
+        CascadeBatcher batcher(src, adj, train_end, copts);
         DeviceModel device(scaledDeviceParams(spec.baseBatch));
-        TrainReport r = trainModel(model, data, adj, train_end, batcher,
+        TrainReport r = trainModel(model, src, adj, train_end, batcher,
                                    options, &device);
         std::printf("[Cascade] batches=%zu avg_bs=%.0f wall=%.2fs "
                     "device=%.3fs util=%.0f%% val_loss=%.4f "

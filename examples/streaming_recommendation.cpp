@@ -33,6 +33,7 @@ main()
     DatasetSpec spec = wikiSpec(scale);
     Rng rng(123);
     EventSequence data = generateDataset(spec, rng);
+    VectorEventSource src(data);
     TemporalAdjacency adj(data);
     const size_t train_end = data.size() * 4 / 5;
     std::printf("interaction stream: %zu users+items, %zu events "
@@ -44,14 +45,14 @@ main()
     TgnnModel model(jodieConfig(), spec.numNodes, data.featDim(), 9);
     CascadeBatcher::Options copts;
     copts.baseBatch = spec.baseBatch;
-    CascadeBatcher batcher(data, adj, train_end, copts);
+    CascadeBatcher batcher(src, adj, train_end, copts);
 
     TrainOptions options;
     options.epochs = epochs;
     options.evalBatch = spec.baseBatch;
     options.validate = false;
     TrainReport report =
-        trainModel(model, data, adj, train_end, batcher, options);
+        trainModel(model, src, adj, train_end, batcher, options);
     std::printf("trained %zu epochs: %zu batches (avg %.0f events, "
                 "base %zu), final train loss %.4f\n",
                 epochs, report.totalBatches, report.avgBatchSize,

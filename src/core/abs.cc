@@ -17,10 +17,10 @@ AdaptiveBatchSensor::AdaptiveBatchSensor(Options opts)
 }
 
 EnduranceStats
-AdaptiveBatchSensor::profile(const EventSequence &seq,
+AdaptiveBatchSensor::profile(const EventSource &src,
                              const DependencyTable &table)
 {
-    const size_t n = std::min(seq.size(), table.rangeHi());
+    const size_t n = std::min(src.size(), table.rangeHi());
     EnduranceStats stats;
     stats.batchCount = (n + opts_.baseBatch - 1) / opts_.baseBatch;
 
@@ -49,8 +49,9 @@ AdaptiveBatchSensor::profile(const EventSequence &seq,
         // dependency-table entry restricted to the batch window.
         std::unordered_set<NodeId> touched;
         for (size_t i = st; i < ed; ++i) {
-            touched.insert(seq.events[i].src);
-            touched.insert(seq.events[i].dst);
+            const Event ev = src.event(static_cast<EventIdx>(i));
+            touched.insert(ev.src);
+            touched.insert(ev.dst);
         }
         size_t max_endurance = 0;
         for (NodeId node : touched) {

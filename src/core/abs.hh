@@ -90,8 +90,15 @@ class AdaptiveBatchSensor
      * Max-endurance profiling (Figure 9): counts each involved
      * node's dependency-table entries inside sampled base batches.
      */
-    EnduranceStats profile(const EventSequence &seq,
+    EnduranceStats profile(const EventSource &src,
                            const DependencyTable &table);
+
+    /** Profile a resident sequence. */
+    EnduranceStats
+    profile(const EventSequence &seq, const DependencyTable &table)
+    {
+        return profile(VectorEventSource(seq), table);
+    }
 
     /** Adopt externally computed stats (testing hook). */
     void setStats(const EnduranceStats &stats);

@@ -7,7 +7,7 @@
 
 namespace cascade {
 
-CascadeBatcher::CascadeBatcher(const EventSequence &seq,
+CascadeBatcher::CascadeBatcher(const EventSource &src,
                                const TemporalAdjacency &adj,
                                size_t train_end, Options opts)
     : opts_(opts), trainEnd_(train_end)
@@ -17,10 +17,10 @@ CascadeBatcher::CascadeBatcher(const EventSequence &seq,
     dopts.pipeline = opts.pipeline;
     dopts.maxBatchCap = opts.maxBatchCap;
     diffuser_ =
-        std::make_unique<TgDiffuser>(seq, adj, train_end, dopts);
+        std::make_unique<TgDiffuser>(src, adj, train_end, dopts);
 
     sgFilter_ =
-        std::make_unique<SgFilter>(seq.numNodes, opts.simThreshold);
+        std::make_unique<SgFilter>(src.numNodes(), opts.simThreshold);
 
     AdaptiveBatchSensor::Options aopts;
     aopts.baseBatch = opts.baseBatch;
@@ -37,7 +37,7 @@ CascadeBatcher::CascadeBatcher(const EventSequence &seq,
     const DependencyTable *profile_table = diffuser_->table(0);
     CASCADE_CHECK(profile_table != nullptr,
                   "diffuser must have built its first table");
-    abs_->profile(seq, *profile_table);
+    abs_->profile(src, *profile_table);
     profileSeconds_ = t.seconds();
     diffuser_->setMaxRevisit(abs_->currentMaxRevisit());
 }

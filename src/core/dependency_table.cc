@@ -9,23 +9,23 @@
 namespace cascade {
 
 DependencyTable
-DependencyTable::build(const EventSequence &seq,
+DependencyTable::build(const EventSource &src,
                        const TemporalAdjacency &adj, size_t lo, size_t hi)
 {
-    CASCADE_CHECK(lo <= hi && hi <= seq.size(),
+    CASCADE_CHECK(lo <= hi && hi <= src.size(),
                   "DependencyTable: bad range");
     Timer timer;
     DependencyTable table;
     table.lo_ = lo;
     table.hi_ = hi;
-    table.entries_.resize(seq.numNodes);
+    table.entries_.resize(src.numNodes());
 
     const EventIdx ilo = static_cast<EventIdx>(lo);
     const EventIdx ihi = static_cast<EventIdx>(hi);
 
     // Loop-parallel over nodes (Algorithm 2): each node's entry is
     // built independently, so no synchronization is needed.
-    parallelFor(0, seq.numNodes, [&](size_t n) {
+    parallelFor(0, src.numNodes(), [&](size_t n) {
         const auto &own = adj.eventsOf(static_cast<NodeId>(n));
         auto first = std::lower_bound(own.begin(), own.end(), ilo);
         auto last = std::lower_bound(own.begin(), own.end(), ihi);
@@ -39,7 +39,7 @@ DependencyTable::build(const EventSequence &seq,
         // Step 2: each connected neighbor's future events (after the
         // connecting event, truncated at the range end).
         for (auto it = first; it != last; ++it) {
-            const Event &e = seq.events[static_cast<size_t>(*it)];
+            const Event e = src.event(*it);
             const NodeId q = e.src == static_cast<NodeId>(n)
                 ? e.dst : e.src;
             if (q == static_cast<NodeId>(n))

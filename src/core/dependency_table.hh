@@ -21,6 +21,7 @@
 
 #include "graph/adjacency.hh"
 #include "graph/event.hh"
+#include "graph/event_source.hh"
 
 namespace cascade {
 
@@ -33,9 +34,17 @@ class DependencyTable
      * Neighbor future-events are truncated to < hi, which is exactly
      * the chunk-boundary rule; lo=0, hi=N gives the full table.
      */
-    static DependencyTable build(const EventSequence &seq,
+    static DependencyTable build(const EventSource &src,
                                  const TemporalAdjacency &adj,
                                  size_t lo, size_t hi);
+
+    /** Build from a resident sequence. */
+    static DependencyTable
+    build(const EventSequence &seq, const TemporalAdjacency &adj,
+          size_t lo, size_t hi)
+    {
+        return build(VectorEventSource(seq), adj, lo, hi);
+    }
 
     /** Sorted unique dependent-event indices of node n within range. */
     const std::vector<EventIdx> &

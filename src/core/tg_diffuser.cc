@@ -13,14 +13,14 @@
 
 namespace cascade {
 
-TgDiffuser::TgDiffuser(const EventSequence &seq,
+TgDiffuser::TgDiffuser(const EventSource &src,
                        const TemporalAdjacency &adj, size_t train_end,
                        Options opts)
-    : seq_(seq), adj_(adj), trainEnd_(train_end), opts_(opts),
-      ptrs_(seq.numNodes, 0)
+    : src_(src), adj_(adj), trainEnd_(train_end), opts_(opts),
+      ptrs_(src.numNodes(), 0)
 {
-    CASCADE_CHECK(train_end <= seq.size(),
-                  "TgDiffuser: train_end beyond sequence");
+    CASCADE_CHECK(train_end <= src.size(),
+                  "TgDiffuser: train_end beyond stream");
     const size_t chunk =
         opts_.chunkSize == 0 ? trainEnd_ : opts_.chunkSize;
     for (size_t lo = 0; lo < trainEnd_; lo += chunk)
@@ -33,7 +33,7 @@ TgDiffuser::TgDiffuser(const EventSequence &seq,
     // with); its cost is charged as preprocessing either way.
     Timer t;
     tables_[0] = std::make_unique<DependencyTable>(DependencyTable::build(
-        seq_, adj_, chunkBounds_[0].first, chunkBounds_[0].second));
+        src_, adj_, chunkBounds_[0].first, chunkBounds_[0].second));
     prepSeconds_ += t.seconds();
 }
 
@@ -111,7 +111,7 @@ TgDiffuser::ensureChunk(size_t c)
             fault::maybeFailChunkBuild(c);
             tables_[c] =
                 std::make_unique<DependencyTable>(DependencyTable::build(
-                    seq_, adj_, chunkBounds_[c].first,
+                    src_, adj_, chunkBounds_[c].first,
                     chunkBounds_[c].second));
         }
     } catch (...) {
@@ -148,7 +148,7 @@ TgDiffuser::enterChunk(size_t c)
         pending_.launch([this, next = c + 1, lo, hi] {
             fault::maybeFailChunkBuild(next);
             return std::make_unique<DependencyTable>(
-                DependencyTable::build(seq_, adj_, lo, hi));
+                DependencyTable::build(src_, adj_, lo, hi));
         });
     }
 }

@@ -54,12 +54,21 @@ class TgDiffuser
     };
 
     /**
-     * @param seq        training events (tables cover [0, train_end))
-     * @param adj        adjacency over seq
+     * @param src        training events (tables cover [0, train_end));
+     *                   must outlive the diffuser
+     * @param adj        adjacency over src
      * @param train_end  number of training events
      */
-    TgDiffuser(const EventSequence &seq, const TemporalAdjacency &adj,
+    TgDiffuser(const EventSource &src, const TemporalAdjacency &adj,
                size_t train_end, Options opts);
+
+    /** Construct over a resident sequence (borrowed, not copied). */
+    TgDiffuser(const EventSequence &seq, const TemporalAdjacency &adj,
+               size_t train_end, Options opts)
+        : TgDiffuser(std::make_unique<VectorEventSource>(seq), adj,
+                     train_end, opts)
+    {}
+
     ~TgDiffuser();
 
     TgDiffuser(const TgDiffuser &) = delete;
@@ -149,7 +158,18 @@ class TgDiffuser
     /** Enter chunk c: reset pointers, prefetch c+1. */
     void enterChunk(size_t c);
 
-    const EventSequence &seq_;
+    /** Adapter-owning delegate for the EventSequence convenience
+     *  constructor: the wrapper must live as long as src_. */
+    TgDiffuser(std::unique_ptr<VectorEventSource> owned,
+               const TemporalAdjacency &adj, size_t train_end,
+               Options opts)
+        : TgDiffuser(*owned, adj, train_end, opts)
+    {
+        ownedSrc_ = std::move(owned);
+    }
+
+    std::unique_ptr<VectorEventSource> ownedSrc_;
+    const EventSource &src_;
     const TemporalAdjacency &adj_;
     size_t trainEnd_;
     Options opts_;

@@ -6,11 +6,12 @@
 
 namespace cascade {
 
-TemporalAdjacency::TemporalAdjacency(const EventSequence &seq)
-    : lists_(seq.numNodes)
+TemporalAdjacency::TemporalAdjacency(const EventSource &src)
+    : lists_(src.numNodes())
 {
-    for (size_t i = 0; i < seq.events.size(); ++i) {
-        const Event &e = seq.events[i];
+    const size_t n = src.size();
+    for (size_t i = 0; i < n; ++i) {
+        const Event e = src.event(static_cast<EventIdx>(i));
         CASCADE_CHECK(e.src >= 0 &&
                           static_cast<size_t>(e.src) < lists_.size() &&
                           e.dst >= 0 &&

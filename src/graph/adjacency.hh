@@ -14,16 +14,29 @@
 #include <vector>
 
 #include "graph/event.hh"
+#include "graph/event_source.hh"
 #include "util/rng.hh"
 
 namespace cascade {
 
-/** Chronological per-node incidence lists over an event sequence. */
+/**
+ * Chronological per-node incidence lists over an event stream.
+ *
+ * Following the TGL out-of-core split, the *structure* (event indices
+ * per node, 16 bytes/event) stays resident even when the events and
+ * features themselves live in an mmap'd log — samplers need random
+ * access to history, features are fetched lazily per batch.
+ */
 class TemporalAdjacency
 {
   public:
-    /** Build from a sequence (parallel over nodes). */
-    explicit TemporalAdjacency(const EventSequence &seq);
+    /** Build by one sequential pass over any source. */
+    explicit TemporalAdjacency(const EventSource &src);
+
+    /** Build from a resident sequence. */
+    explicit TemporalAdjacency(const EventSequence &seq)
+        : TemporalAdjacency(VectorEventSource(seq))
+    {}
 
     /** All events touching node n, ascending by event index. */
     const std::vector<EventIdx> &

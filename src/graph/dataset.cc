@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
+#include "graph/io.hh"
 #include "util/logging.hh"
 
 namespace cascade {
@@ -193,15 +195,12 @@ class RecentPartners
 
 } // namespace
 
-EventSequence
-generateDataset(const DatasetSpec &spec, Rng &rng)
+void
+generateDatasetStream(const DatasetSpec &spec, Rng &rng,
+                      const EventSink &sink)
 {
     CASCADE_CHECK(spec.numNodes >= 8, "dataset too small");
-    EventSequence seq;
-    seq.numNodes = spec.numNodes;
-    seq.events.reserve(spec.numEvents);
-    if (spec.featDim > 0)
-        seq.features = Tensor(spec.numEvents, spec.featDim);
+    std::vector<float> feat_row(spec.featDim, 0.0f);
 
     // Bipartite interaction graphs put ~1/9 of nodes on the item side
     // (matching WIKI's 1000 pages vs 8227 editors); unipartite graphs
@@ -268,7 +267,6 @@ generateDataset(const DatasetSpec &spec, Rng &rng)
                     dst_perm[rng.uniformInt(dst_count)]);
         }
 
-        seq.events.push_back({src, dst, t});
         recent.push(static_cast<size_t>(src), dst);
         if (!spec.bipartite)
             recent.push(static_cast<size_t>(dst), src);
@@ -277,7 +275,7 @@ generateDataset(const DatasetSpec &spec, Rng &rng)
         // signal, the tail is noise (mimicking the paper's random
         // features for featureless datasets).
         if (spec.featDim > 0) {
-            float *row = seq.features.row(e);
+            float *row = feat_row.data();
             const float *ls = latents.row(static_cast<size_t>(src));
             const float *ld = latents.row(static_cast<size_t>(dst));
             const size_t sig = std::min(spec.featDim, kLatentDim);
@@ -289,6 +287,9 @@ generateDataset(const DatasetSpec &spec, Rng &rng)
                 row[c] = 0.1f * static_cast<float>(rng.gaussian());
         }
 
+        sink(Event{src, dst, t},
+             spec.featDim > 0 ? feat_row.data() : nullptr);
+
         // Preference drift is what makes memory freshness matter:
         // active sources drift fastest, destinations slowly.
         latents.drift(static_cast<size_t>(src), spec.drift, rng);
@@ -297,9 +298,130 @@ generateDataset(const DatasetSpec &spec, Rng &rng)
                           rng);
         }
     }
+}
 
+EventSequence
+generateDataset(const DatasetSpec &spec, Rng &rng)
+{
+    EventSequence seq;
+    seq.numNodes = spec.numNodes;
+    seq.events.reserve(spec.numEvents);
+    if (spec.featDim > 0)
+        seq.features = Tensor(spec.numEvents, spec.featDim);
+    size_t e = 0;
+    generateDatasetStream(
+        spec, rng, [&](const Event &ev, const float *feat) {
+            seq.events.push_back(ev);
+            if (feat != nullptr) {
+                std::copy(feat, feat + spec.featDim,
+                          seq.features.row(e));
+            }
+            ++e;
+        });
     CASCADE_CHECK(seq.isChronological(), "generator broke time order");
     return seq;
+}
+
+bool
+generateDatasetToLog(const DatasetSpec &spec, Rng &rng,
+                     const std::string &path, size_t events_per_chunk)
+{
+    EventLogWriter writer(path, spec.numNodes, spec.featDim,
+                          events_per_chunk);
+    if (!writer.ok())
+        return false;
+    bool ok = true;
+    generateDatasetStream(
+        spec, rng, [&](const Event &ev, const float *feat) {
+            ok = writer.append(ev, feat) && ok;
+        });
+    return writer.finish() && ok;
+}
+
+Dataset::Format
+Dataset::sniffFormat(const std::string &path)
+{
+    // Magic bytes first — extensions lie, headers rarely do.
+    MappedFile probe;
+    if (probe.open(path) && probe.size() >= 4) {
+        uint32_t magic = 0;
+        std::memcpy(&magic, probe.data(), sizeof(magic));
+        if (magic == 0x4C564543u) // "CEVL"
+            return Format::EventLog;
+        if (magic == 0x43534556u) // "CSEV"
+            return Format::Binary;
+    }
+    probe.close();
+    const size_t dot = path.find_last_of('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : path.substr(dot);
+    if (ext == ".csv")
+        return Format::Csv;
+    if (ext == ".evlog")
+        return Format::EventLog;
+    return Format::Binary;
+}
+
+std::unique_ptr<EventSource>
+Dataset::open(const std::string &path, Format format,
+              const LoadOptions &opts, std::string *error)
+{
+    const auto fail = [&](const std::string &msg)
+        -> std::unique_ptr<EventSource> {
+        if (error != nullptr)
+            *error = msg;
+        return nullptr;
+    };
+    if (format == Format::Auto)
+        format = sniffFormat(path);
+
+    if (format == Format::EventLog) {
+        EventLog log;
+        std::string why;
+        if (!EventLog::open(path, log, &why))
+            return fail(why);
+        if (log.truncatedTail() && !opts.allowTruncatedTail)
+            return fail("event log: torn tail at " + path);
+        CASCADE_CHECK(opts.numNodesOverride == 0 ||
+                          opts.numNodesOverride >= log.numNodes(),
+                      "numNodesOverride below stored node count");
+        // The log header already carries the node count; an override
+        // larger than it is not representable without rewriting the
+        // header, so it is applied by the in-memory path only.
+        return std::make_unique<EventLogSource>(std::move(log));
+    }
+
+    EventSequence seq;
+    const bool loaded = format == Format::Csv
+        ? detail::loadCsvImpl(seq, path)
+        : detail::loadBinaryImpl(seq, path);
+    if (!loaded)
+        return fail("cannot load " + path);
+    if (opts.numNodesOverride > 0) {
+        CASCADE_CHECK(opts.numNodesOverride >= seq.numNodes,
+                      "numNodesOverride below inferred node count");
+        seq.numNodes = opts.numNodesOverride;
+    }
+    return std::make_unique<VectorEventSource>(std::move(seq));
+}
+
+std::unique_ptr<EventSource>
+Dataset::open(const std::string &path, Format format,
+              std::string *error)
+{
+    return open(path, format, LoadOptions(), error);
+}
+
+bool
+Dataset::saveCsv(const EventSequence &seq, const std::string &path)
+{
+    return detail::saveCsvImpl(seq, path);
+}
+
+bool
+Dataset::saveBinary(const EventSequence &seq, const std::string &path)
+{
+    return detail::saveBinaryImpl(seq, path);
 }
 
 TrainValSplit

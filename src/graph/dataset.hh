@@ -21,10 +21,13 @@
 #ifndef CASCADE_GRAPH_DATASET_HH
 #define CASCADE_GRAPH_DATASET_HH
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/event.hh"
+#include "graph/event_source.hh"
 #include "util/rng.hh"
 
 namespace cascade {
@@ -80,6 +83,82 @@ std::vector<DatasetSpec> benchmarkSpecs(double scale);
  * affinity so they carry signal.
  */
 EventSequence generateDataset(const DatasetSpec &spec, Rng &rng);
+
+/**
+ * Streaming variant of generateDataset: the generator's event loop is
+ * single-pass, so events can be emitted one at a time without ever
+ * materializing the sequence. `feat` points at featDim floats (null
+ * when featDim is 0) and is only valid during the callback. The RNG
+ * consumption order is identical to generateDataset — the two produce
+ * bit-identical streams for the same (spec, seed).
+ */
+using EventSink = std::function<void(const Event &ev, const float *feat)>;
+void generateDatasetStream(const DatasetSpec &spec, Rng &rng,
+                           const EventSink &sink);
+
+/**
+ * Synthesize a spec straight into a chunked event log at `path`
+ * (graph/eventlog.hh) with O(chunk) peak memory — the out-of-core
+ * ingest path for GDELT/MAG-scale streams. @return false on I/O
+ * failure.
+ */
+bool generateDatasetToLog(const DatasetSpec &spec, Rng &rng,
+                          const std::string &path,
+                          size_t events_per_chunk =
+                              kEventLogDefaultChunkEvents);
+
+/**
+ * The unified loader surface. Collapses the old graph/io free
+ * functions and the event-log backend behind one entry point that
+ * yields an EventSource, so callers are agnostic to whether the data
+ * is resident (CSV/binary) or mmap'd out-of-core (event log).
+ */
+class Dataset
+{
+  public:
+    /** On-disk format selector; Auto sniffs magic bytes / extension. */
+    enum class Format
+    {
+        Auto,
+        Csv,      ///< "src,dst,ts" text, no features
+        Binary,   ///< CSEV atomic container (events + features)
+        EventLog  ///< CEVL chunked mmap log (graph/eventlog.hh)
+    };
+
+    struct LoadOptions
+    {
+        /** Override the node count (e.g. a CSV whose max id undercounts
+         *  the graph); 0 keeps the stored/inferred count. */
+        size_t numNodesOverride = 0;
+        /** Accept an event log whose torn tail was truncated to the
+         *  last valid chunk; false fails the open instead. */
+        bool allowTruncatedTail = true;
+    };
+
+    /**
+     * Open `path` as an EventSource. CSV/Binary load fully resident;
+     * EventLog maps the file and stays out-of-core.
+     * @return nullptr with `error` set on failure
+     */
+    static std::unique_ptr<EventSource>
+    open(const std::string &path, Format format,
+         const LoadOptions &opts, std::string *error = nullptr);
+
+    /** Convenience overload: default LoadOptions. */
+    static std::unique_ptr<EventSource>
+    open(const std::string &path, Format format = Format::Auto,
+         std::string *error = nullptr);
+
+    /** Best-effort format detection (magic bytes, then extension). */
+    static Format sniffFormat(const std::string &path);
+
+    /** Write "src,dst,ts" CSV (features are dropped). */
+    static bool saveCsv(const EventSequence &seq,
+                        const std::string &path);
+    /** Write the full sequence (events + features) atomically. */
+    static bool saveBinary(const EventSequence &seq,
+                           const std::string &path);
+};
 
 /** Chronological train/validation split at the given fraction. */
 struct TrainValSplit

@@ -1,0 +1,31 @@
+#include "graph/event_source.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace cascade {
+
+EventSequence
+EventSource::materialize(size_t begin, size_t end) const
+{
+    CASCADE_CHECK(begin <= end && end <= size(),
+                  "materialize range out of bounds");
+    EventSequence seq;
+    seq.numNodes = numNodes();
+    seq.events.reserve(end - begin);
+    const size_t dim = featDim();
+    if (dim > 0)
+        seq.features = Tensor(end - begin, dim);
+    for (size_t i = begin; i < end; ++i) {
+        seq.events.push_back(event(static_cast<EventIdx>(i)));
+        if (dim > 0) {
+            std::memcpy(seq.features.row(i - begin),
+                        featureRow(static_cast<EventIdx>(i)),
+                        dim * sizeof(float));
+        }
+    }
+    return seq;
+}
+
+} // namespace cascade

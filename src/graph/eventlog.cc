@@ -1,0 +1,320 @@
+#include "graph/eventlog.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace cascade {
+
+namespace {
+
+constexpr uint32_t kLogMagic = 0x4C564543u;   // "CEVL"
+constexpr uint32_t kChunkMagic = 0x4B4E4843u; // "CHNK"
+constexpr uint32_t kLogVersion = 1;
+/** header: magic u32 | version u32 | featDim u64 | numNodes u64
+ *  | eventsPerChunk u64 | crc u32 */
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8 + 4;
+/** chunk header: marker u32 | chunkIndex u64 | eventCount u64
+ *  | payloadCrc u32 */
+constexpr size_t kChunkHeaderBytes = 4 + 8 + 8 + 4;
+constexpr size_t kEventBytes = 24; ///< src i64 | dst i64 | ts f64
+/** Drop validated pages behind the open-time CRC scan at this
+ *  granularity, so opening a file ≫ RAM never spikes the RSS
+ *  high-water mark the out-of-core contract is measured against. */
+constexpr size_t kScanDropBytes = 8u << 20;
+/** Sanity bounds against absurd headers from corrupt files. */
+constexpr size_t kMaxFeatDim = 1u << 20;
+constexpr size_t kMaxEventsPerChunk = 1u << 24;
+
+uint64_t
+loadU64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+uint32_t
+loadU32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+void
+setError(std::string *error, const std::string &msg)
+{
+    if (error != nullptr)
+        *error = msg;
+}
+
+} // namespace
+
+EventLogWriter::EventLogWriter(const std::string &path, size_t num_nodes,
+                               size_t feat_dim, size_t events_per_chunk)
+    : path_(path), featDim_(feat_dim),
+      eventsPerChunk_(events_per_chunk == 0 ? 1 : events_per_chunk)
+{
+    if (!file_.open(path_))
+        return;
+    ByteWriter header;
+    header.u32(kLogMagic);
+    header.u32(kLogVersion);
+    header.u64(feat_dim);
+    header.u64(num_nodes);
+    header.u64(eventsPerChunk_);
+    header.u32(crc32(header.buffer().data(), header.buffer().size()));
+    ok_ = file_.append(header.buffer().data(), header.buffer().size());
+    buf_.reserve(eventsPerChunk_ * (kEventBytes + 4 * featDim_));
+}
+
+EventLogWriter::~EventLogWriter()
+{
+    (void)finish();
+}
+
+bool
+EventLogWriter::append(const Event &ev, const float *feat)
+{
+    if (!ok_ || finished_)
+        return false;
+    const int64_t src = ev.src;
+    const int64_t dst = ev.dst;
+    const double ts = ev.ts;
+    buf_.append(reinterpret_cast<const char *>(&src), sizeof(src));
+    buf_.append(reinterpret_cast<const char *>(&dst), sizeof(dst));
+    buf_.append(reinterpret_cast<const char *>(&ts), sizeof(ts));
+    if (featDim_ > 0) {
+        buf_.append(reinterpret_cast<const char *>(feat),
+                    4 * featDim_);
+    }
+    ++bufEvents_;
+    ++events_;
+    if (bufEvents_ == eventsPerChunk_)
+        ok_ = commitChunk();
+    return ok_;
+}
+
+bool
+EventLogWriter::commitChunk()
+{
+    if (bufEvents_ == 0)
+        return true;
+
+    ByteWriter head;
+    head.u32(kChunkMagic);
+    head.u64(chunks_);
+    head.u64(bufEvents_);
+    head.u32(crc32(buf_.data(), buf_.size()));
+
+    // One chunk commit is one logical write on the injectable fault
+    // surface, sharing the TORN/ENOSPC/... counters with
+    // writeFileAtomic so existing CASCADE_FAULT_* plans drive the log
+    // too. The torn/ENOSPC cut slices the framed chunk byte stream
+    // exactly like a mid-append crash would.
+    using Kind = fault::WriteFaultAction::Kind;
+    const fault::WriteFaultAction fa = fault::onAtomicFileWrite(path_);
+    const std::string frame = head.buffer() + buf_;
+    bool committed;
+    switch (fa.kind) {
+    case Kind::FailEarly:
+        committed = false;
+        break;
+    case Kind::Torn:
+        // Torn chunk: half the frame lands, success is reported —
+        // only the CRC scan on the next open can catch it.
+        (void)file_.appendPrefix(frame, frame.size() / 2);
+        committed = true;
+        break;
+    case Kind::Enospc:
+        (void)file_.appendPrefix(frame, frame.size() / 2);
+        committed = false;
+        break;
+    case Kind::Short:
+        (void)file_.appendPrefix(
+            frame, fa.bytes < 0 ? 0 : static_cast<size_t>(fa.bytes));
+        committed = false;
+        break;
+    default:
+        committed = file_.append(frame.data(), frame.size());
+        break;
+    }
+    buf_.clear();
+    bufEvents_ = 0;
+    if (committed)
+        ++chunks_;
+    return committed;
+}
+
+bool
+EventLogWriter::finish()
+{
+    if (finished_)
+        return ok_;
+    finished_ = true;
+    ok_ = ok_ && commitChunk();
+    ok_ = file_.close() && ok_;
+    return ok_;
+}
+
+bool
+EventLog::open(const std::string &path, EventLog &out, std::string *error)
+{
+    EventLog log;
+    if (!log.map_.open(path)) {
+        setError(error, "event log: cannot map " + path);
+        return false;
+    }
+    const uint8_t *base = log.map_.data();
+    const size_t file_len = log.map_.size();
+    if (file_len < kHeaderBytes) {
+        setError(error, "event log: file shorter than header");
+        return false;
+    }
+    if (loadU32(base) != kLogMagic) {
+        setError(error, "event log: bad magic");
+        return false;
+    }
+    if (loadU32(base + 4) != kLogVersion) {
+        setError(error, "event log: unsupported version");
+        return false;
+    }
+    if (crc32(base, kHeaderBytes - 4) !=
+        loadU32(base + kHeaderBytes - 4)) {
+        setError(error, "event log: header CRC mismatch");
+        return false;
+    }
+    const uint64_t feat_dim = loadU64(base + 8);
+    const uint64_t num_nodes = loadU64(base + 16);
+    const uint64_t per_chunk = loadU64(base + 24);
+    if (feat_dim > kMaxFeatDim || per_chunk == 0 ||
+        per_chunk > kMaxEventsPerChunk) {
+        setError(error, "event log: implausible header fields");
+        return false;
+    }
+    log.featDim_ = static_cast<size_t>(feat_dim);
+    log.numNodes_ = static_cast<size_t>(num_nodes);
+    log.eventsPerChunk_ = static_cast<size_t>(per_chunk);
+    log.recordBytes_ = kEventBytes + 4 * log.featDim_;
+
+    // Sequential chunk scan. The CRC pass touches every byte once;
+    // validated pages are dropped behind the cursor so the scan's
+    // resident footprint stays O(kScanDropBytes) however large the
+    // file is.
+    log.map_.adviseSequential();
+    size_t off = kHeaderBytes;
+    size_t next_drop = kScanDropBytes;
+    bool saw_partial = false;
+    while (off < file_len) {
+        if (file_len - off < kChunkHeaderBytes) {
+            log.truncatedTail_ = true; // torn mid-chunk-header
+            break;
+        }
+        const uint8_t *ch = base + off;
+        const uint64_t count = loadU64(ch + 12);
+        const size_t payload_off = off + kChunkHeaderBytes;
+        if (loadU32(ch) != kChunkMagic ||
+            loadU64(ch + 4) != log.chunkOffsets_.size() || count == 0 ||
+            count > per_chunk || saw_partial ||
+            count * log.recordBytes_ > file_len - payload_off ||
+            crc32(base + payload_off, count * log.recordBytes_) !=
+                loadU32(ch + 20)) {
+            // A crashing writer can only tear its FINAL append, so a
+            // recoverable tear leaves at most one chunk's worth of
+            // bytes past the failure point. More than that means the
+            // corruption sits in front of committed data — refusing
+            // is the only honest answer, since "resuming" here would
+            // silently discard intact events.
+            const size_t full_chunk_bytes =
+                kChunkHeaderBytes + per_chunk * log.recordBytes_;
+            if (file_len - off > full_chunk_bytes) {
+                setError(error,
+                         "event log: corrupt chunk " +
+                             std::to_string(log.chunkOffsets_.size()) +
+                             " followed by further data (mid-file "
+                             "corruption, not a torn tail)");
+                return false;
+            }
+            log.truncatedTail_ = true;
+            break;
+        }
+        saw_partial = count < per_chunk;
+        log.chunkOffsets_.push_back(payload_off);
+        log.numEvents_ += static_cast<size_t>(count);
+        off = payload_off + count * log.recordBytes_;
+        if (off >= next_drop) {
+            log.map_.dropBehind(off);
+            next_drop = off + kScanDropBytes;
+        }
+    }
+    log.map_.dropBehind(off);
+
+    // A torn tail is recoverable — every chunk before it is intact
+    // and the log resumes at the last valid boundary. But if nothing
+    // valid precedes the tear the file is garbage, not a short log.
+    if (log.truncatedTail_ && log.chunkOffsets_.empty()) {
+        setError(error, "event log: no valid chunk before torn tail");
+        return false;
+    }
+    if (log.truncatedTail_) {
+        CASCADE_LOG("warning: event log %s has a torn tail; resuming "
+                    "at chunk boundary %zu (%zu events)",
+                    path.c_str(), log.chunkOffsets_.size(),
+                    log.numEvents_);
+    }
+    out = std::move(log);
+    return true;
+}
+
+const uint8_t *
+EventLog::record(EventIdx i) const
+{
+    const size_t idx = static_cast<size_t>(i);
+    const size_t chunk = idx / eventsPerChunk_;
+    const size_t within = idx % eventsPerChunk_;
+    return map_.data() + chunkOffsets_[chunk] + within * recordBytes_;
+}
+
+Event
+EventLog::event(EventIdx i) const
+{
+    const uint8_t *p = record(i);
+    Event ev;
+    int64_t src;
+    int64_t dst;
+    double ts;
+    std::memcpy(&src, p, sizeof(src));
+    std::memcpy(&dst, p + 8, sizeof(dst));
+    std::memcpy(&ts, p + 16, sizeof(ts));
+    ev.src = src;
+    ev.dst = dst;
+    ev.ts = ts;
+    return ev;
+}
+
+const float *
+EventLog::featureRow(EventIdx i) const
+{
+    if (featDim_ == 0)
+        return nullptr;
+    // Records and the payload start are 4-aligned by construction, so
+    // the float rows can be handed out in place.
+    return reinterpret_cast<const float *>(record(i) + kEventBytes);
+}
+
+void
+EventLog::dropBehind(EventIdx i) const
+{
+    const size_t idx = static_cast<size_t>(i);
+    if (idx == 0 || chunkOffsets_.empty())
+        return;
+    const size_t chunk =
+        std::min(idx / eventsPerChunk_, chunkOffsets_.size() - 1);
+    map_.dropBehind(chunkOffsets_[chunk]);
+}
+
+} // namespace cascade

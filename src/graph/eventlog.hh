@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Mmap-backed chunked event log — the out-of-core dataset format.
+ *
+ * A log holds one chronological event stream plus its edge features
+ * in fixed-size records, framed into CRC32-checked chunk segments:
+ *
+ *   header : magic "CEVL" | version | featDim | numNodes
+ *          | eventsPerChunk | crc32(header)
+ *   chunk* : marker "CHNK" | chunkIndex | eventCount
+ *          | crc32(payload) | payload
+ *   record : src i64 | dst i64 | ts f64 | feat f32 × featDim
+ *
+ * Every chunk except the last carries exactly `eventsPerChunk`
+ * records, so event `i` lives at a computable offset — random access
+ * over the mapping is O(1) with no index structure. All field and
+ * record sizes are multiples of 4 bytes and the first payload byte
+ * lands 4-aligned, so feature rows are directly usable as
+ * `const float *`; the 8-byte fields are memcpy'd out.
+ *
+ * Crash story: the writer appends chunk-at-a-time through the checked
+ * util/binio AppendFile and consults the injectable write-fault
+ * surface (CASCADE_FAULT_TORN_WRITE_NTH / ENOSPC_NTH / ...) once per
+ * chunk commit. A torn or short final chunk is detected by the CRC
+ * scan in EventLog::open, which truncates to the last valid chunk
+ * boundary and flags `truncatedTail()` — a reader resumes with every
+ * fully-committed event intact. Corruption *before* the tail (a
+ * mid-file bit flip) fails the open outright.
+ */
+
+#ifndef CASCADE_GRAPH_EVENTLOG_HH
+#define CASCADE_GRAPH_EVENTLOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/event.hh"
+#include "util/binio.hh"
+
+namespace cascade {
+
+/** Default records per chunk (96 KiB/chunk at featDim 0). */
+constexpr size_t kEventLogDefaultChunkEvents = 4096;
+
+/**
+ * Streaming writer. Records are buffered per chunk and committed —
+ * header, CRC, payload — when the chunk fills; `finish()` commits the
+ * partial tail chunk and fsyncs. Peak memory is one chunk regardless
+ * of stream length.
+ */
+class EventLogWriter
+{
+  public:
+    /** Opens (truncating) `path` and writes the file header. Check
+     *  ok() before appending. */
+    EventLogWriter(const std::string &path, size_t num_nodes,
+                   size_t feat_dim,
+                   size_t events_per_chunk = kEventLogDefaultChunkEvents);
+    ~EventLogWriter();
+    EventLogWriter(const EventLogWriter &) = delete;
+    EventLogWriter &operator=(const EventLogWriter &) = delete;
+
+    bool ok() const { return ok_; }
+
+    /**
+     * Append one event. `feat` must point at featDim floats (ignored
+     * when featDim is 0). @return false once any commit has failed.
+     */
+    bool append(const Event &ev, const float *feat);
+
+    /** Commit the partial tail chunk and close. Idempotent. */
+    bool finish();
+
+    size_t eventsWritten() const { return events_; }
+    size_t chunksCommitted() const { return chunks_; }
+
+  private:
+    bool commitChunk();
+
+    std::string path_;
+    AppendFile file_;
+    std::string buf_;    ///< pending chunk payload
+    size_t bufEvents_ = 0;
+    size_t featDim_ = 0;
+    size_t eventsPerChunk_ = 0;
+    size_t events_ = 0;
+    size_t chunks_ = 0;
+    bool ok_ = false;
+    bool finished_ = false;
+};
+
+/**
+ * Read-only mmap view of a log. Immutable after open — safe to share
+ * across threads. `dropBehind()` lets a sequential consumer cap its
+ * resident footprint at roughly one chunk.
+ */
+class EventLog
+{
+  public:
+    EventLog() = default;
+    EventLog(EventLog &&) = default;
+    EventLog &operator=(EventLog &&) = default;
+
+    /**
+     * Map and validate `path`. The header and every chunk CRC are
+     * verified (pages are dropped behind the scan, so validation of a
+     * file ≫ RAM stays within budget). An invalid/torn *tail* chunk
+     * truncates the log to the last valid boundary and sets
+     * truncatedTail(); a bad header or mid-file corruption fails.
+     * @return false with `error` set on failure (out untouched)
+     */
+    static bool open(const std::string &path, EventLog &out,
+                     std::string *error = nullptr);
+
+    size_t size() const { return numEvents_; }
+    size_t numNodes() const { return numNodes_; }
+    size_t featDim() const { return featDim_; }
+    size_t eventsPerChunk() const { return eventsPerChunk_; }
+    size_t numChunks() const { return chunkOffsets_.size(); }
+    /** True when open() discarded a torn/corrupt tail chunk. */
+    bool truncatedTail() const { return truncatedTail_; }
+    /** Bytes of the underlying file (for RSS-vs-file-size checks). */
+    size_t fileBytes() const { return map_.size(); }
+
+    Event event(EventIdx i) const;
+    /** Row of featDim floats; nullptr when featDim is 0. */
+    const float *featureRow(EventIdx i) const;
+
+    /** Advisory: release pages holding events [0, i). */
+    void dropBehind(EventIdx i) const;
+
+  private:
+    const uint8_t *record(EventIdx i) const;
+
+    MappedFile map_;
+    std::vector<size_t> chunkOffsets_; ///< payload byte offsets
+    size_t numEvents_ = 0;
+    size_t numNodes_ = 0;
+    size_t featDim_ = 0;
+    size_t eventsPerChunk_ = 1;
+    size_t recordBytes_ = 0;
+    bool truncatedTail_ = false;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_GRAPH_EVENTLOG_HH

@@ -39,8 +39,10 @@ onlyWhitespace(const char *s)
 
 } // namespace
 
+namespace detail {
+
 bool
-saveEventsCsv(const EventSequence &seq, const std::string &path)
+saveCsvImpl(const EventSequence &seq, const std::string &path)
 {
     FilePtr f(std::fopen(path.c_str(), "w"));
     if (!f)
@@ -58,7 +60,7 @@ saveEventsCsv(const EventSequence &seq, const std::string &path)
 }
 
 bool
-loadEventsCsv(EventSequence &seq, const std::string &path)
+loadCsvImpl(EventSequence &seq, const std::string &path)
 {
     FilePtr f(std::fopen(path.c_str(), "r"));
     if (!f)
@@ -94,7 +96,7 @@ loadEventsCsv(EventSequence &seq, const std::string &path)
 }
 
 bool
-saveEventsBinary(const EventSequence &seq, const std::string &path)
+saveBinaryImpl(const EventSequence &seq, const std::string &path)
 {
     ByteWriter w;
     w.u32(kMagic);
@@ -112,7 +114,7 @@ saveEventsBinary(const EventSequence &seq, const std::string &path)
 }
 
 bool
-loadEventsBinary(EventSequence &seq, const std::string &path)
+loadBinaryImpl(EventSequence &seq, const std::string &path)
 {
     std::string payload;
     if (!readFileValidated(path, payload))
@@ -161,5 +163,7 @@ loadEventsBinary(EventSequence &seq, const std::string &path)
     seq = std::move(out);
     return true;
 }
+
+} // namespace detail
 
 } // namespace cascade

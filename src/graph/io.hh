@@ -1,12 +1,19 @@
 /**
  * @file
- * Event-sequence persistence.
+ * Event-sequence persistence (implementation layer).
  *
  * Two interchange formats:
  *  - CSV ("src,dst,ts" with a header line), the layout TGL-style
  *    pipelines ship their edge lists in — features are not included;
  *  - a binary container holding events *and* edge features, for
  *    fast reloads of synthesized benchmark datasets.
+ *
+ * The public loader surface is `Dataset::open` / `Dataset::saveCsv` /
+ * `Dataset::saveBinary` (graph/dataset.hh), which adds format
+ * sniffing and the mmap event-log backend. The free functions below
+ * are the pre-EventSource entry points, kept for one release as
+ * deprecated shims; the `deprecated-api` lint rule keeps the tree
+ * free of callers.
  */
 
 #ifndef CASCADE_GRAPH_IO_HH
@@ -18,21 +25,46 @@
 
 namespace cascade {
 
-/** Write "src,dst,ts" CSV (features are dropped). */
-bool saveEventsCsv(const EventSequence &seq, const std::string &path);
+namespace detail {
 
-/**
- * Read a "src,dst,ts" CSV.
- * @param seq  output; numNodes is set to max id + 1
- * @return false on I/O or parse failure (seq untouched)
- */
-bool loadEventsCsv(EventSequence &seq, const std::string &path);
+/** Implementation behind Dataset::saveCsv and the deprecated shim. */
+bool saveCsvImpl(const EventSequence &seq, const std::string &path);
+/** Implementation behind Dataset::open(Csv); numNodes = max id + 1. */
+bool loadCsvImpl(EventSequence &seq, const std::string &path);
+/** Implementation behind Dataset::saveBinary (events + features). */
+bool saveBinaryImpl(const EventSequence &seq, const std::string &path);
+/** Implementation behind Dataset::open(Binary). */
+bool loadBinaryImpl(EventSequence &seq, const std::string &path);
 
-/** Write the full sequence (events + features) in binary form. */
-bool saveEventsBinary(const EventSequence &seq, const std::string &path);
+} // namespace detail
 
-/** Read a binary sequence written by saveEventsBinary. */
-bool loadEventsBinary(EventSequence &seq, const std::string &path);
+/** @deprecated Use Dataset::saveCsv. */
+[[deprecated("use Dataset::saveCsv")]] inline bool
+saveEventsCsv(const EventSequence &seq, const std::string &path)
+{
+    return detail::saveCsvImpl(seq, path);
+}
+
+/** @deprecated Use Dataset::open(path, Format::Csv). */
+[[deprecated("use Dataset::open")]] inline bool
+loadEventsCsv(EventSequence &seq, const std::string &path)
+{
+    return detail::loadCsvImpl(seq, path);
+}
+
+/** @deprecated Use Dataset::saveBinary. */
+[[deprecated("use Dataset::saveBinary")]] inline bool
+saveEventsBinary(const EventSequence &seq, const std::string &path)
+{
+    return detail::saveBinaryImpl(seq, path);
+}
+
+/** @deprecated Use Dataset::open(path, Format::Binary). */
+[[deprecated("use Dataset::open")]] inline bool
+loadEventsBinary(EventSequence &seq, const std::string &path)
+{
+    return detail::loadBinaryImpl(seq, path);
+}
 
 } // namespace cascade
 

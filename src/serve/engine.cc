@@ -1,0 +1,135 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+
+#include "tgnn/serialize.hh"
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace cascade {
+
+ServeEngine::ServeEngine(TgnnModel &model, const EventSource &data,
+                         const TemporalAdjacency &adj,
+                         size_t applied_events,
+                         obs::MetricsRegistry *metrics)
+    : model_(model), data_(data), adj_(adj), metrics_(metrics)
+{
+    CASCADE_CHECK(applied_events <= data.size(),
+                  "serve: applied_events beyond the stream");
+    if (!metrics_) {
+        ownedMetrics_ = std::make_unique<obs::MetricsRegistry>();
+        metrics_ = ownedMetrics_.get();
+    }
+    const double last_ts =
+        applied_events > 0
+            ? data.event(static_cast<EventIdx>(applied_events - 1)).ts
+            : 0.0;
+    publish(applied_events, last_ts);
+}
+
+std::shared_ptr<const ServeSnapshot>
+ServeEngine::snapshot() const
+{
+    LockGuard lock(snapMutex_);
+    return snap_;
+}
+
+void
+ServeEngine::publish(size_t applied_events, double last_ts)
+{
+    uint64_t version = 1;
+    {
+        LockGuard lock(snapMutex_);
+        if (snap_)
+            version = snap_->version + 1;
+    }
+    auto next = std::make_shared<const ServeSnapshot>(ServeSnapshot{
+        version, applied_events, last_ts, model_.saveState()});
+    {
+        LockGuard lock(snapMutex_);
+        snap_ = std::move(next);
+    }
+    metrics_->counter("serve.snapshots").add(1);
+    metrics_->gauge("serve.applied_events")
+        .set(static_cast<double>(applied_events));
+}
+
+size_t
+ServeEngine::applyEvents(size_t max_events, size_t batch)
+{
+    CASCADE_CHECK(batch > 0, "serve: apply batch must be > 0");
+    const size_t start = snapshot()->appliedEvents;
+    const size_t goal =
+        std::min(data_.size(), start + max_events);
+    if (goal == start)
+        return 0;
+    Timer t;
+    size_t cur = start;
+    while (cur < goal) {
+        const size_t ed = std::min(goal, cur + batch);
+        model_.advanceState(data_, cur, ed);
+        cur = ed;
+    }
+    // Applied pages behind the window are cold from here on; an
+    // mmap-backed source may drop them (advisory no-op otherwise).
+    data_.hintConsumed(static_cast<EventIdx>(cur));
+    publish(cur, data_.event(static_cast<EventIdx>(cur - 1)).ts);
+    metrics_->histogram("serve.apply.seconds").record(t.seconds());
+    metrics_->counter("serve.events_applied").add(cur - start);
+    return cur - start;
+}
+
+ServeReader::ServeReader(ServeEngine &engine)
+    : engine_(engine),
+      replica_(engine.model().config(), engine.model().numNodes(),
+               engine.model().edgeFeatDim(), engine.model().seed())
+{
+    // Clone the trained parameters once through the serialization
+    // path (staged + shape-checked); snapshots then only carry
+    // memory/mailbox state.
+    ByteWriter w;
+    writeParametersBlob(w, engine.model().parameters());
+    ByteReader r(w.buffer());
+    CASCADE_CHECK(readParametersBlob(r, replica_.parameters()),
+                  "serve: replica parameter clone failed");
+}
+
+void
+ServeReader::sync()
+{
+    std::shared_ptr<const ServeSnapshot> newest = engine_.snapshot();
+    if (snap_ && newest->version == version_)
+        return;
+    replica_.restoreState(newest->state);
+    snap_ = std::move(newest);
+    version_ = snap_->version;
+}
+
+Tensor
+ServeReader::embed(const std::vector<NodeId> &nodes)
+{
+    Timer t;
+    sync();
+    Tensor out = replica_.embedNodes(
+        nodes, snap_->lastTs, engine_.data(), engine_.adj(),
+        static_cast<EventIdx>(snap_->appliedEvents));
+    engine_.metrics().histogram("serve.embed.seconds")
+        .record(t.seconds());
+    return out;
+}
+
+Tensor
+ServeReader::scoreLinks(const std::vector<NodeId> &srcs,
+                        const std::vector<NodeId> &dsts)
+{
+    Timer t;
+    sync();
+    Tensor out = replica_.scoreLinks(
+        srcs, dsts, snap_->lastTs, engine_.data(), engine_.adj(),
+        static_cast<EventIdx>(snap_->appliedEvents));
+    engine_.metrics().histogram("serve.score.seconds")
+        .record(t.seconds());
+    return out;
+}
+
+} // namespace cascade

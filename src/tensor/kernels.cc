@@ -76,27 +76,32 @@ class BufferPool
     std::vector<float>
     acquire(size_t n)
     {
-        // Only the free-list scan runs under m_; the O(n) resize
-        // (zero-fill of the grown region) happens after release so a
-        // large acquire cannot stall every concurrent recycle —
-        // lock-hold-time fix from the PR-5 TSan/annotation pass.
+        // Only the free-list scan runs under the shard mutex; the
+        // O(n) resize (zero-fill of the grown region) happens after
+        // release so a large acquire cannot stall every concurrent
+        // recycle — lock-hold-time fix from the PR-5 TSan/annotation
+        // pass. The pool is sharded by thread so concurrent query
+        // threads (the serve read path spins hundreds of small
+        // tensors per request) never contend on one free list.
+        Shard &sh = shards_[shardIndex()];
         std::vector<float> buf;
         bool hit = false;
         {
-            LockGuard lock(m_);
-            size_t best = free_.size();
-            for (size_t i = 0; i < free_.size(); ++i) {
-                if (free_[i].capacity() < n)
+            LockGuard lock(sh.m_);
+            size_t best = sh.free_.size();
+            for (size_t i = 0; i < sh.free_.size(); ++i) {
+                if (sh.free_[i].capacity() < n)
                     continue;
-                if (best == free_.size() ||
-                    free_[i].capacity() < free_[best].capacity()) {
+                if (best == sh.free_.size() ||
+                    sh.free_[i].capacity() <
+                        sh.free_[best].capacity()) {
                     best = i;
                 }
             }
-            if (best != free_.size()) {
-                buf = std::move(free_[best]);
-                free_[best] = std::move(free_.back());
-                free_.pop_back();
+            if (best != sh.free_.size()) {
+                buf = std::move(sh.free_[best]);
+                sh.free_[best] = std::move(sh.free_.back());
+                sh.free_.pop_back();
                 poolCachedBytes.fetch_sub(
                     buf.capacity() * sizeof(float),
                     std::memory_order_relaxed);
@@ -119,15 +124,17 @@ class BufferPool
         if (bytes == 0)
             return;
         poolReturns.fetch_add(1, std::memory_order_relaxed);
-        LockGuard lock(m_);
-        if (free_.size() >= kMaxBuffers || bytes > kMaxBufferBytes ||
+        Shard &sh = shards_[shardIndex()];
+        LockGuard lock(sh.m_);
+        if (sh.free_.size() >= kMaxBuffersPerShard ||
+            bytes > kMaxBufferBytes ||
             poolCachedBytes.load(std::memory_order_relaxed) + bytes >
                 kMaxCachedBytes) {
             poolEvictions.fetch_add(1, std::memory_order_relaxed);
             return; // buf freed here
         }
         poolCachedBytes.fetch_add(bytes, std::memory_order_relaxed);
-        free_.push_back(std::move(buf));
+        sh.free_.push_back(std::move(buf));
     }
 
     /** Intentionally leaked: outlives every static that owns tensors. */
@@ -139,15 +146,34 @@ class BufferPool
     }
 
   private:
-    static constexpr size_t kMaxBuffers = 256;
+    static constexpr size_t kShards = 8;
+    static constexpr size_t kMaxBuffersPerShard = 64;
     static constexpr size_t kMaxBufferBytes = 64ull << 20;
     static constexpr size_t kMaxCachedBytes = 192ull << 20;
 
-    AnnotatedMutex m_;
-    /** The free list proper; poolCachedBytes mirrors its byte total
-     *  (every mutation of either happens under m_, the atomic only
-     *  exists so stats() can read it without the lock). */
-    std::vector<std::vector<float>> free_ CASCADE_GUARDED_BY(m_);
+    struct Shard
+    {
+        AnnotatedMutex m_;
+        /** The free list proper; poolCachedBytes mirrors the byte
+         *  total across shards (mutations happen under the shard
+         *  mutex, the atomic only exists so stats() and the caps can
+         *  read it without every lock). */
+        std::vector<std::vector<float>> free_ CASCADE_GUARDED_BY(m_);
+    };
+
+    /** Stable per-thread shard. A buffer released on a different
+     *  thread than it was acquired on just migrates shards — only the
+     *  hit rate is affected, never correctness. */
+    static size_t
+    shardIndex()
+    {
+        static std::atomic<size_t> next{0};
+        thread_local size_t idx =
+            next.fetch_add(1, std::memory_order_relaxed) % kShards;
+        return idx;
+    }
+
+    Shard shards_[kShards];
 };
 
 /* ------------------------------------------------------------------ */

@@ -321,7 +321,7 @@ Variable
 TgnnModel::embedRows(const FreshMemory &fresh,
                      const std::vector<NodeId> &row_nodes,
                      const std::vector<double> &row_times,
-                     const EventSequence &data,
+                     const EventSource &data,
                      const TemporalAdjacency &adj, EventIdx before,
                      int depth, StepResult &stats, size_t row_weight)
 {
@@ -388,16 +388,15 @@ TgnnModel::embedRows(const FreshMemory &fresh,
         for (size_t j = 0; j < k; ++j) {
             const size_t row = i * k + j;
             if (j < evs.size()) {
-                const Event &e =
-                    data.events[static_cast<size_t>(evs[j])];
+                const Event e = data.event(evs[j]);
                 nbr_nodes[row] =
                     e.src == row_nodes[i] ? e.dst : e.src;
                 nbr_times[row] = e.ts;
                 dt.at(row, 0) =
                     static_cast<float>(row_times[i] - e.ts);
                 if (edgeFeatDim_ > 0) {
-                    feats.copyRowFrom(row, data.features,
-                                      static_cast<size_t>(evs[j]));
+                    const float *fr = data.featureRow(evs[j]);
+                    std::copy(fr, fr + edgeFeatDim_, feats.row(row));
                 }
             } else {
                 // Self-loop padding; attention learns to discount it.
@@ -455,7 +454,7 @@ TgnnModel::embedRows(const FreshMemory &fresh,
 }
 
 StepResult
-TgnnModel::step(const EventSequence &data, const TemporalAdjacency &adj,
+TgnnModel::step(const EventSource &data, const TemporalAdjacency &adj,
                 size_t st, size_t ed, bool train)
 {
     // The synchronous composition of the decomposed pipeline stages;
@@ -474,7 +473,7 @@ TgnnModel::step(const EventSequence &data, const TemporalAdjacency &adj,
 }
 
 TgnnModel::Forward
-TgnnModel::stepForward(const EventSequence &data,
+TgnnModel::stepForward(const EventSource &data,
                        const TemporalAdjacency &adj, size_t st, size_t ed)
 {
     using namespace ops;
@@ -487,14 +486,14 @@ TgnnModel::stepForward(const EventSequence &data,
     std::vector<NodeId> srcs(b), dsts(b), negs(b);
     std::vector<double> times(b);
     for (size_t i = 0; i < b; ++i) {
-        const Event &e = data.events[st + i];
+        const Event e = data.event(static_cast<EventIdx>(st + i));
         srcs[i] = e.src;
         dsts[i] = e.dst;
         times[i] = e.ts;
         negs[i] = static_cast<NodeId>(activeRng().uniformInt(numNodes_));
     }
 
-    const double t_now = data.events[st].ts;
+    const double t_now = times[0];
     auto batch_nodes = uniqueNodes({&srcs, &dsts, &negs});
     FreshMemory fresh = computeFreshMemory(batch_nodes, t_now);
 
@@ -548,7 +547,7 @@ TgnnModel::stepForward(const EventSequence &data,
         wb.active = true;
         wb.st = st;
         wb.ed = ed;
-        wb.writeTs = data.events[ed - 1].ts;
+        wb.writeTs = times[b - 1];
         std::vector<size_t> upd_rows;
         std::unordered_map<NodeId, char> in_batch;
         for (size_t i = 0; i < b; ++i) {
@@ -575,7 +574,7 @@ TgnnModel::stepForward(const EventSequence &data,
 }
 
 TgnnModel::Forward
-TgnnModel::stepForwardWithRng(const EventSequence &data,
+TgnnModel::stepForwardWithRng(const EventSource &data,
                               const TemporalAdjacency &adj, size_t st,
                               size_t ed, Rng &rng)
 {
@@ -644,7 +643,7 @@ TgnnModel::stepBackward(Forward &f)
 }
 
 std::vector<double>
-TgnnModel::applyWriteback(const EventSequence &data, PendingWriteback &wb,
+TgnnModel::applyWriteback(const EventSource &data, PendingWriteback &wb,
                           uint64_t batch_stamp)
 {
     std::vector<double> cosines;
@@ -660,14 +659,16 @@ TgnnModel::applyWriteback(const EventSequence &data, PendingWriteback &wb,
     // endpoint's current memory (post-writeback) plus edge features.
     Tensor payload(1, msgDim_);
     for (size_t i = wb.st; i < wb.ed; ++i) {
-        const Event &e = data.events[i];
+        const Event e = data.event(static_cast<EventIdx>(i));
+        const float *feat = edgeFeatDim_ > 0
+            ? data.featureRow(static_cast<EventIdx>(i))
+            : nullptr;
         auto fill = [&](NodeId to, NodeId other) {
             const float *om =
                 memory_.raw().row(static_cast<size_t>(other));
             std::copy(om, om + config_.memoryDim, payload.row(0));
-            if (edgeFeatDim_ > 0) {
-                std::copy(data.features.row(i),
-                          data.features.row(i) + edgeFeatDim_,
+            if (feat) {
+                std::copy(feat, feat + edgeFeatDim_,
                           payload.row(0) + config_.memoryDim);
             }
             mailbox_.push(to, payload.row(0), e.ts);
@@ -676,6 +677,50 @@ TgnnModel::applyWriteback(const EventSequence &data, PendingWriteback &wb,
         fill(e.dst, e.src);
     }
     return cosines;
+}
+
+void
+TgnnModel::advanceState(const EventSource &data, size_t st, size_t ed)
+{
+    CASCADE_CHECK(st < ed && ed <= data.size(),
+                  "advanceState: bad batch range");
+    if (config_.memory == MemoryKind::Identity)
+        return; // static memory: nothing to advance, no messages
+
+    const size_t b = ed - st;
+    std::vector<NodeId> srcs(b), dsts(b);
+    std::vector<double> times(b);
+    for (size_t i = 0; i < b; ++i) {
+        const Event e = data.event(static_cast<EventIdx>(st + i));
+        srcs[i] = e.src;
+        dsts[i] = e.dst;
+        times[i] = e.ts;
+    }
+
+    // Identical per-node math to stepForward's writeback staging: the
+    // negatives it adds to the fresh set never enter the writeback,
+    // and per-node fresh values are independent of set membership.
+    auto batch_nodes = uniqueNodes({&srcs, &dsts});
+    FreshMemory fresh = computeFreshMemory(batch_nodes, times[0]);
+
+    PendingWriteback wb;
+    wb.active = true;
+    wb.st = st;
+    wb.ed = ed;
+    wb.writeTs = times[b - 1];
+    std::vector<size_t> upd_rows;
+    for (size_t i = 0; i < fresh.nodes.size(); ++i) {
+        if (fresh.consumed[i]) {
+            wb.nodes.push_back(fresh.nodes[i]);
+            upd_rows.push_back(i);
+        }
+    }
+    if (!wb.nodes.empty()) {
+        wb.values = Tensor(wb.nodes.size(), config_.memoryDim);
+        for (size_t i = 0; i < upd_rows.size(); ++i)
+            wb.values.copyRowFrom(i, fresh.values.value(), upd_rows[i]);
+    }
+    applyWriteback(data, wb);
 }
 
 void
@@ -690,7 +735,7 @@ TgnnModel::recordStepMetrics(const StepResult &r)
 }
 
 double
-TgnnModel::evalLoss(const EventSequence &data, const TemporalAdjacency &adj,
+TgnnModel::evalLoss(const EventSource &data, const TemporalAdjacency &adj,
                     size_t st, size_t ed, size_t batch_size)
 {
     return evalMetrics(data, adj, st, ed, batch_size).loss;
@@ -698,7 +743,7 @@ TgnnModel::evalLoss(const EventSequence &data, const TemporalAdjacency &adj,
 
 Tensor
 TgnnModel::embedNodes(const std::vector<NodeId> &nodes, double at_time,
-                      const EventSequence &data,
+                      const EventSource &data,
                       const TemporalAdjacency &adj, EventIdx before)
 {
     CASCADE_CHECK(!nodes.empty(), "embedNodes: empty node list");
@@ -711,8 +756,28 @@ TgnnModel::embedNodes(const std::vector<NodeId> &nodes, double at_time,
     return h.value();
 }
 
+Tensor
+TgnnModel::scoreLinks(const std::vector<NodeId> &srcs,
+                      const std::vector<NodeId> &dsts, double at_time,
+                      const EventSource &data,
+                      const TemporalAdjacency &adj, EventIdx before)
+{
+    CASCADE_CHECK(!srcs.empty() && srcs.size() == dsts.size(),
+                  "scoreLinks: need equal, non-empty endpoint lists");
+    FreshMemory fs = computeFreshMemory(srcs, at_time);
+    FreshMemory fd = computeFreshMemory(dsts, at_time);
+    std::vector<double> times(srcs.size(), at_time);
+    StepResult scratch;
+    const int depth = config_.embed == EmbedKind::Gat2 ? 2 : 1;
+    Variable hs = embedRows(fs, srcs, times, data, adj, before, depth,
+                            scratch);
+    Variable hd = embedRows(fd, dsts, times, data, adj, before, depth,
+                            scratch);
+    return decoder_->forward(ops::concatCols(hs, hd)).value();
+}
+
 TgnnModel::EvalMetrics
-TgnnModel::evalMetrics(const EventSequence &data,
+TgnnModel::evalMetrics(const EventSource &data,
                        const TemporalAdjacency &adj, size_t st,
                        size_t ed, size_t batch_size)
 {

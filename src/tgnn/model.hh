@@ -27,6 +27,7 @@
 
 #include "graph/adjacency.hh"
 #include "graph/event.hh"
+#include "graph/event_source.hh"
 #include "nn/attention.hh"
 #include "nn/linear.hh"
 #include "nn/recurrent.hh"
@@ -90,12 +91,21 @@ class TgnnModel
     /**
      * Process events [st, ed) of `data`.
      *
-     * @param data  full event sequence (train and validation ranges)
+     * @param data  full event stream (train and validation ranges);
+     *              any EventSource — resident vector or mmap'd log
      * @param adj   adjacency over `data`
      * @param train when true, backprop + optimizer step
      */
-    StepResult step(const EventSequence &data, const TemporalAdjacency &adj,
+    StepResult step(const EventSource &data, const TemporalAdjacency &adj,
                     size_t st, size_t ed, bool train);
+
+    /** step() over a resident sequence. */
+    StepResult
+    step(const EventSequence &data, const TemporalAdjacency &adj,
+         size_t st, size_t ed, bool train)
+    {
+        return step(VectorEventSource(data), adj, st, ed, train);
+    }
 
     /**
      * Deferred state mutation produced by a forward pass: the memory
@@ -131,9 +141,17 @@ class TgnnModel
      * draws from the sampling RNG (callers serialize against
      * applyWriteback; the pipeline does so with its state lock).
      */
-    Forward stepForward(const EventSequence &data,
+    Forward stepForward(const EventSource &data,
                         const TemporalAdjacency &adj, size_t st,
                         size_t ed);
+
+    /** stepForward() over a resident sequence. */
+    Forward
+    stepForward(const EventSequence &data, const TemporalAdjacency &adj,
+                size_t st, size_t ed)
+    {
+        return stepForward(VectorEventSource(data), adj, st, ed);
+    }
 
     /**
      * stepForward drawing negatives and neighbor samples from `rng`
@@ -144,9 +162,19 @@ class TgnnModel
      * after a worker death) recompute it bit-identically. The model's
      * internal RNG state is not advanced.
      */
-    Forward stepForwardWithRng(const EventSequence &data,
+    Forward stepForwardWithRng(const EventSource &data,
                                const TemporalAdjacency &adj, size_t st,
                                size_t ed, Rng &rng);
+
+    /** stepForwardWithRng() over a resident sequence. */
+    Forward
+    stepForwardWithRng(const EventSequence &data,
+                       const TemporalAdjacency &adj, size_t st,
+                       size_t ed, Rng &rng)
+    {
+        return stepForwardWithRng(VectorEventSource(data), adj, st, ed,
+                                  rng);
+    }
 
     /**
      * Gradients of f.loss, flattened in parameters() order: zero,
@@ -178,9 +206,27 @@ class TgnnModel
      * messages. Must run in batch order; returns the SG-Filter
      * cosines. wb.nodes is left intact for the caller's feedback.
      */
-    std::vector<double> applyWriteback(const EventSequence &data,
+    std::vector<double> applyWriteback(const EventSource &data,
                                        PendingWriteback &wb,
                                        uint64_t batch_stamp = 0);
+
+    /** applyWriteback() over a resident sequence. */
+    std::vector<double>
+    applyWriteback(const EventSequence &data, PendingWriteback &wb,
+                   uint64_t batch_stamp = 0)
+    {
+        return applyWriteback(VectorEventSource(data), wb, batch_stamp);
+    }
+
+    /**
+     * Advance memory and mailbox over events [st, ed) without scoring,
+     * negatives, backward, or any RNG draw — the serve engine's
+     * single-writer replay path. Because negatives and embeddings
+     * never touch memory/mailbox, the state after advanceState is
+     * bit-identical to the state after the equivalent step() calls
+     * with the same batch boundaries.
+     */
+    void advanceState(const EventSource &data, size_t st, size_t ed);
 
     /** Bump the bound model.* counters for one completed step. */
     void recordStepMetrics(const StepResult &r);
@@ -194,9 +240,18 @@ class TgnnModel
      * batch_size; memories advance (values only) so the stream stays
      * temporally coherent.
      */
-    double evalLoss(const EventSequence &data,
+    double evalLoss(const EventSource &data,
                     const TemporalAdjacency &adj, size_t st, size_t ed,
                     size_t batch_size);
+
+    /** evalLoss() over a resident sequence. */
+    double
+    evalLoss(const EventSequence &data, const TemporalAdjacency &adj,
+             size_t st, size_t ed, size_t batch_size)
+    {
+        return evalLoss(VectorEventSource(data), adj, st, ed,
+                        batch_size);
+    }
 
     /** Loss plus link-ranking accuracy over an evaluation range. */
     struct EvalMetrics
@@ -205,9 +260,18 @@ class TgnnModel
         /** P(score(true edge) > score(random negative)). */
         double rankAccuracy = 0.0;
     };
-    EvalMetrics evalMetrics(const EventSequence &data,
+    EvalMetrics evalMetrics(const EventSource &data,
                             const TemporalAdjacency &adj, size_t st,
                             size_t ed, size_t batch_size);
+
+    /** evalMetrics() over a resident sequence. */
+    EvalMetrics
+    evalMetrics(const EventSequence &data, const TemporalAdjacency &adj,
+                size_t st, size_t ed, size_t batch_size)
+    {
+        return evalMetrics(VectorEventSource(data), adj, st, ed,
+                           batch_size);
+    }
 
     /**
      * Inference-time node embeddings (Eq. 4) for downstream tasks
@@ -222,7 +286,31 @@ class TgnnModel
      * @return |nodes| x memoryDim embedding matrix
      */
     Tensor embedNodes(const std::vector<NodeId> &nodes, double at_time,
-                      const EventSequence &data,
+                      const EventSource &data,
+                      const TemporalAdjacency &adj, EventIdx before);
+
+    /** embedNodes() over a resident sequence. */
+    Tensor
+    embedNodes(const std::vector<NodeId> &nodes, double at_time,
+               const EventSequence &data, const TemporalAdjacency &adj,
+               EventIdx before)
+    {
+        return embedNodes(nodes, at_time, VectorEventSource(data), adj,
+                          before);
+    }
+
+    /**
+     * Link-prediction logits for the aligned pairs (srcs[i],
+     * dsts[i]) at `at_time`: the embedNodes embedding path for both
+     * endpoints followed by the trained decoder — the serve engine's
+     * query readout. Like embedNodes this draws no RNG and mutates
+     * no state, so repeated calls over one snapshot are
+     * bit-identical.
+     * @return |srcs| x 1 logit column
+     */
+    Tensor scoreLinks(const std::vector<NodeId> &srcs,
+                      const std::vector<NodeId> &dsts, double at_time,
+                      const EventSource &data,
                       const TemporalAdjacency &adj, EventIdx before);
 
     /** Re-zero memory/mailbox (fresh epoch). */
@@ -308,7 +396,7 @@ class TgnnModel
     Variable embedRows(const FreshMemory &fresh,
                        const std::vector<NodeId> &row_nodes,
                        const std::vector<double> &row_times,
-                       const EventSequence &data,
+                       const EventSource &data,
                        const TemporalAdjacency &adj, EventIdx before,
                        int depth, StepResult &stats,
                        size_t row_weight = 1);

@@ -22,15 +22,15 @@ FixedBatcher::next(size_t st)
     return std::min(numEvents_, st + batchSize_);
 }
 
-NeutronStreamBatcher::NeutronStreamBatcher(const EventSequence &seq,
+NeutronStreamBatcher::NeutronStreamBatcher(const EventSource &src,
                                            size_t window,
                                            size_t train_end)
-    : seq_(seq), window_(window),
-      trainEnd_(train_end == 0 ? seq.size() : train_end)
+    : src_(src), window_(window),
+      trainEnd_(train_end == 0 ? src.size() : train_end)
 {
     CASCADE_CHECK(window > 0, "NeutronStream: window must be > 0");
-    CASCADE_CHECK(trainEnd_ <= seq.size(),
-                  "NeutronStream: train_end beyond sequence");
+    CASCADE_CHECK(trainEnd_ <= src.size(),
+                  "NeutronStream: train_end beyond stream");
 }
 
 size_t
@@ -48,7 +48,7 @@ NeutronStreamBatcher::next(size_t st)
     std::unordered_set<NodeId> touched;
     size_t ed = st;
     for (size_t i = st; i < hi; ++i) {
-        const Event &e = seq_.events[i];
+        const Event e = src_.event(static_cast<EventIdx>(i));
         if (touched.count(e.src) || touched.count(e.dst))
             break;
         touched.insert(e.src);
@@ -61,35 +61,36 @@ NeutronStreamBatcher::next(size_t st)
     return ed;
 }
 
-EtcBatcher::EtcBatcher(const EventSequence &seq, size_t base_batch,
+EtcBatcher::EtcBatcher(const EventSource &src, size_t base_batch,
                        size_t train_end)
-    : seq_(seq), baseBatch_(base_batch),
-      trainEnd_(train_end == 0 ? seq.size() : train_end)
+    : src_(src), baseBatch_(base_batch),
+      trainEnd_(train_end == 0 ? src.size() : train_end)
 {
     CASCADE_CHECK(base_batch > 0, "ETC: base_batch must be > 0");
-    CASCADE_CHECK(trainEnd_ <= seq.size(),
-                  "ETC: train_end beyond sequence");
+    CASCADE_CHECK(trainEnd_ <= src.size(),
+                  "ETC: train_end beyond stream");
     // Profile the information loss of the preset small batches and
     // use the upper bound as the expansion budget (§5.6).
     Timer t;
     for (size_t st = 0; st < trainEnd_; st += baseBatch_) {
         const size_t ed = std::min(trainEnd_, st + baseBatch_);
         threshold_ =
-            std::max(threshold_, informationLoss(seq_, st, ed));
+            std::max(threshold_, informationLoss(src_, st, ed));
     }
     prepSeconds_ = t.seconds();
 }
 
 size_t
-EtcBatcher::informationLoss(const EventSequence &seq, size_t st,
+EtcBatcher::informationLoss(const EventSource &src, size_t st,
                             size_t ed)
 {
     std::unordered_map<NodeId, size_t> count;
     size_t loss = 0;
     for (size_t i = st; i < ed; ++i) {
-        if (count[seq.events[i].src]++ > 0)
+        const Event e = src.event(static_cast<EventIdx>(i));
+        if (count[e.src]++ > 0)
             ++loss;
-        if (count[seq.events[i].dst]++ > 0)
+        if (count[e.dst]++ > 0)
             ++loss;
     }
     return loss;
@@ -103,7 +104,7 @@ EtcBatcher::next(size_t st)
     size_t loss = 0;
     size_t ed = st;
     while (ed < trainEnd_) {
-        const Event &e = seq_.events[ed];
+        const Event e = src_.event(static_cast<EventIdx>(ed));
         size_t added = 0;
         if (count[e.src]++ > 0)
             ++added;

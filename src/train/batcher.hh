@@ -13,10 +13,12 @@
 #define CASCADE_TRAIN_BATCHER_HH
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/event.hh"
+#include "graph/event_source.hh"
 
 namespace cascade {
 
@@ -160,12 +162,19 @@ class NeutronStreamBatcher : public Batcher
 {
   public:
     /**
-     * @param seq       training sequence
+     * @param src       training stream (must outlive the batcher)
      * @param window    sliding-window length (the base batch size)
-     * @param train_end events to batch over; 0 = the whole sequence
+     * @param train_end events to batch over; 0 = the whole stream
      */
-    NeutronStreamBatcher(const EventSequence &seq, size_t window,
+    NeutronStreamBatcher(const EventSource &src, size_t window,
                          size_t train_end = 0);
+
+    /** Construct over a resident sequence (borrowed, not copied). */
+    NeutronStreamBatcher(const EventSequence &seq, size_t window,
+                         size_t train_end = 0)
+        : NeutronStreamBatcher(std::make_unique<VectorEventSource>(seq),
+                               window, train_end)
+    {}
 
     std::string name() const override { return "NeutronStream"; }
     void reset() override {}
@@ -173,7 +182,15 @@ class NeutronStreamBatcher : public Batcher
     double preprocessSeconds() const override { return prepSeconds_; }
 
   private:
-    const EventSequence &seq_;
+    NeutronStreamBatcher(std::unique_ptr<VectorEventSource> owned,
+                         size_t window, size_t train_end)
+        : NeutronStreamBatcher(*owned, window, train_end)
+    {
+        ownedSrc_ = std::move(owned);
+    }
+
+    std::unique_ptr<VectorEventSource> ownedSrc_;
+    const EventSource &src_;
     size_t window_;
     size_t trainEnd_;
     double prepSeconds_ = 0.0;
@@ -188,12 +205,19 @@ class EtcBatcher : public Batcher
 {
   public:
     /**
-     * @param seq        training sequence
+     * @param src        training stream (must outlive the batcher)
      * @param base_batch preset small batch size to profile
-     * @param train_end  events to batch over; 0 = the whole sequence
+     * @param train_end  events to batch over; 0 = the whole stream
      */
-    EtcBatcher(const EventSequence &seq, size_t base_batch,
+    EtcBatcher(const EventSource &src, size_t base_batch,
                size_t train_end = 0);
+
+    /** Construct over a resident sequence (borrowed, not copied). */
+    EtcBatcher(const EventSequence &seq, size_t base_batch,
+               size_t train_end = 0)
+        : EtcBatcher(std::make_unique<VectorEventSource>(seq),
+                     base_batch, train_end)
+    {}
 
     std::string name() const override { return "ETC"; }
     void reset() override {}
@@ -204,11 +228,19 @@ class EtcBatcher : public Batcher
     size_t threshold() const { return threshold_; }
 
   private:
+    EtcBatcher(std::unique_ptr<VectorEventSource> owned,
+               size_t base_batch, size_t train_end)
+        : EtcBatcher(*owned, base_batch, train_end)
+    {
+        ownedSrc_ = std::move(owned);
+    }
+
     /** Redundant-update count of [st, ed): sum of (n_count - 1). */
-    static size_t informationLoss(const EventSequence &seq, size_t st,
+    static size_t informationLoss(const EventSource &src, size_t st,
                                   size_t ed);
 
-    const EventSequence &seq_;
+    std::unique_ptr<VectorEventSource> ownedSrc_;
+    const EventSource &src_;
     size_t baseBatch_;
     size_t trainEnd_;
     size_t threshold_ = 0;

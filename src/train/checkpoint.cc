@@ -407,8 +407,9 @@ resumeFromNewestValid(const std::string &path, size_t keep,
         // partial-rotation recovery even when no numbered generation
         // was corrupt — warn and count so it cannot pass silently.
         CASCADE_LOG("warning: resumed from the staged checkpoint %s "
-                    "(previous commit was interrupted mid-rotation)",
-                    scan.file.c_str());
+                    "at generation %zu (previous commit was "
+                    "interrupted mid-rotation)",
+                    scan.file.c_str(), scan.generation);
     }
     if (scan.outcome != ResumeScan::Outcome::Resumed) {
         scan.outcome = any_file ? ResumeScan::Outcome::AllCorrupt

@@ -78,7 +78,7 @@ mergeShardResults(std::vector<ShardResult> results)
 }
 
 StepResult
-applyMergedUpdate(TgnnModel &model, const EventSequence &data,
+applyMergedUpdate(TgnnModel &model, const EventSource &data,
                   MergedUpdate &update)
 {
     model.applyMergedGradients(update.grads);

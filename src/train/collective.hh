@@ -99,7 +99,7 @@ MergedUpdate mergeShardResults(std::vector<ShardResult> results);
  * Every replica in a worker group applies the SAME MergedUpdate, so
  * bit-identical replicas stay bit-identical.
  */
-StepResult applyMergedUpdate(TgnnModel &model, const EventSequence &data,
+StepResult applyMergedUpdate(TgnnModel &model, const EventSource &data,
                              MergedUpdate &update);
 
 /** @name Wire format (socketpair frames between supervisor/workers) */

@@ -85,7 +85,7 @@ class TrainingPipeline
     struct Env
     {
         TgnnModel *model = nullptr;
-        const EventSequence *data = nullptr;
+        const EventSource *data = nullptr;
         const TemporalAdjacency *adj = nullptr;
         size_t trainEnd = 0;
         Batcher *batcher = nullptr;

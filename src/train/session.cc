@@ -44,7 +44,7 @@ class StageScope
 } // namespace
 
 TrainingSession::TrainingSession(TgnnModel &model,
-                                 const EventSequence &data,
+                                 const EventSource &data,
                                  const TemporalAdjacency &adj,
                                  size_t train_end, Batcher &batcher,
                                  const TrainOptions &options,
@@ -314,6 +314,11 @@ TrainingSession::runBatch()
     metrics_->counter("train.events").add(r.numEvents);
     metrics_->histogram("train.batch_size")
         .record(static_cast<double>(r.numEvents));
+    // Out-of-core: the trained prefix is no longer hot (neighbor
+    // sampling re-faults cold pages on demand), so an mmap-backed
+    // source may drop it and bound resident memory. Advisory no-op
+    // for resident sources.
+    data_.hintConsumed(static_cast<EventIdx>(ed));
 
     if (observer_) {
         BatchRecord rec;

@@ -78,16 +78,37 @@ class TrainingSession
   public:
     /**
      * Wire a session; nothing runs until run(). All references must
-     * outlive the session. `device`, `metrics` and `trace` may be
-     * null: the session then uses private instances (reachable via
+     * outlive the session. `data` may be any EventSource — a resident
+     * vector or an mmap'd event log (out-of-core training; the
+     * session hints consumed prefixes so the kernel can drop trained
+     * pages). `device`, `metrics` and `trace` may be null: the
+     * session then uses private instances (reachable via
      * metrics()/trace() afterwards).
      */
-    TrainingSession(TgnnModel &model, const EventSequence &data,
+    TrainingSession(TgnnModel &model, const EventSource &data,
                     const TemporalAdjacency &adj, size_t train_end,
                     Batcher &batcher, const TrainOptions &options,
                     DeviceModel *device = nullptr,
                     obs::MetricsRegistry *metrics = nullptr,
                     obs::TraceRecorder *trace = nullptr);
+
+    /**
+     * @deprecated Construct over an EventSource instead (wrap a
+     * resident sequence in VectorEventSource, or pass the Dataset's
+     * source directly). Removed after one release.
+     */
+    [[deprecated("pass an EventSource (e.g. VectorEventSource)")]]
+    TrainingSession(TgnnModel &model, const EventSequence &data,
+                    const TemporalAdjacency &adj, size_t train_end,
+                    Batcher &batcher, const TrainOptions &options,
+                    DeviceModel *device = nullptr,
+                    obs::MetricsRegistry *metrics = nullptr,
+                    obs::TraceRecorder *trace = nullptr)
+        : TrainingSession(model,
+                          std::make_unique<VectorEventSource>(data),
+                          adj, train_end, batcher, options, device,
+                          metrics, trace)
+    {}
 
     /**
      * Unbinds the instruments the constructor bound into the
@@ -125,6 +146,20 @@ class TrainingSession
     const obs::TraceRecorder &trace() const { return *trace_; }
 
   private:
+    /** Adapter-owning delegate for the deprecated EventSequence
+     *  constructor: the wrapper must live as long as the session. */
+    TrainingSession(TgnnModel &model,
+                    std::unique_ptr<VectorEventSource> owned,
+                    const TemporalAdjacency &adj, size_t train_end,
+                    Batcher &batcher, const TrainOptions &options,
+                    DeviceModel *device, obs::MetricsRegistry *metrics,
+                    obs::TraceRecorder *trace)
+        : TrainingSession(model, *owned, adj, train_end, batcher,
+                          options, device, metrics, trace)
+    {
+        ownedSrc_ = std::move(owned);
+    }
+
     /** Per-batch outcome deciding the loop's next move. */
     enum class BatchOutcome
     {
@@ -171,8 +206,9 @@ class TrainingSession
     void assembleReport();
 
     // --- wiring -----------------------------------------------------
+    std::unique_ptr<VectorEventSource> ownedSrc_;
     TgnnModel &model_;
-    const EventSequence &data_;
+    const EventSource &data_;
     const TemporalAdjacency &adj_;
     size_t trainEnd_;
     Batcher &batcher_;

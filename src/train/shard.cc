@@ -41,7 +41,7 @@ ackDeadline(const WorkerGroupOptions &o)
 
 } // namespace
 
-WorkerGroup::WorkerGroup(TgnnModel &master, const EventSequence &data,
+WorkerGroup::WorkerGroup(TgnnModel &master, const EventSource &data,
                          const TemporalAdjacency &adj,
                          const WorkerGroupOptions &options,
                          obs::MetricsRegistry *metrics)

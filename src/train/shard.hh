@@ -94,7 +94,7 @@ class WorkerGroup
      *               checkpoints, eval and the batcher feedback see.
      *               All references must outlive the group.
      */
-    WorkerGroup(TgnnModel &master, const EventSequence &data,
+    WorkerGroup(TgnnModel &master, const EventSource &data,
                 const TemporalAdjacency &adj,
                 const WorkerGroupOptions &options,
                 obs::MetricsRegistry *metrics);
@@ -197,7 +197,7 @@ class WorkerGroup
     TgnnModel &replica(size_t rank);
 
     TgnnModel &master_;
-    const EventSequence &data_;
+    const EventSource &data_;
     const TemporalAdjacency &adj_;
     WorkerGroupOptions options_;
     obs::MetricsRegistry *metrics_;

@@ -5,7 +5,7 @@
 namespace cascade {
 
 TrainReport
-trainModel(TgnnModel &model, const EventSequence &data,
+trainModel(TgnnModel &model, const EventSource &data,
            const TemporalAdjacency &adj, size_t train_end,
            Batcher &batcher, const TrainOptions &options,
            DeviceModel *device)

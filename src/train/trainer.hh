@@ -214,12 +214,29 @@ struct TrainOptions
 
 /**
  * Run `model` over data[0, train_end) with `batcher`, validating on
- * data[train_end, N).
+ * data[train_end, N). `data` may be any EventSource — a resident
+ * vector or an mmap'd event log (out-of-core training).
  */
-TrainReport trainModel(TgnnModel &model, const EventSequence &data,
+TrainReport trainModel(TgnnModel &model, const EventSource &data,
                        const TemporalAdjacency &adj, size_t train_end,
                        Batcher &batcher, const TrainOptions &options,
                        DeviceModel *device = nullptr);
+
+/**
+ * @deprecated Pass an EventSource instead (wrap a resident sequence
+ * in VectorEventSource, or pass the Dataset's source directly).
+ * Removed after one release.
+ */
+[[deprecated("pass an EventSource (e.g. VectorEventSource)")]]
+inline TrainReport
+trainModel(TgnnModel &model, const EventSequence &data,
+           const TemporalAdjacency &adj, size_t train_end,
+           Batcher &batcher, const TrainOptions &options,
+           DeviceModel *device = nullptr)
+{
+    return trainModel(model, VectorEventSource(data), adj, train_end,
+                      batcher, options, device);
+}
 
 } // namespace cascade
 

@@ -1,5 +1,6 @@
 #include "util/binio.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -12,6 +13,7 @@
 #include <cerrno>
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/mman.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -374,6 +376,164 @@ readFileValidated(const std::string &path, std::string &payload)
 }
 
 #ifndef _WIN32
+
+AppendFile::~AppendFile()
+{
+    (void)close();
+}
+
+bool
+AppendFile::open(const std::string &path)
+{
+    if (fd_ >= 0)
+        return false;
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    written_ = 0;
+    return fd_ >= 0;
+}
+
+bool
+AppendFile::append(const void *data, size_t len)
+{
+    if (fd_ < 0)
+        return false;
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        const ssize_t n = ::write(fd_, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<size_t>(n);
+        written_ += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+AppendFile::appendPrefix(const std::string &data, size_t limit)
+{
+    return append(data.data(), std::min(data.size(), limit));
+}
+
+bool
+AppendFile::sync()
+{
+    return fd_ >= 0 && ::fsync(fd_) == 0;
+}
+
+bool
+AppendFile::close()
+{
+    if (fd_ < 0)
+        return true;
+    const bool synced = ::fsync(fd_) == 0;
+    const bool closed = ::close(fd_) == 0;
+    fd_ = -1;
+    return synced && closed;
+}
+
+MappedFile::~MappedFile()
+{
+    close();
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data_(other.data_), size_(other.size_), mapped_(other.mapped_)
+{
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        data_ = other.data_;
+        size_ = other.size_;
+        mapped_ = other.mapped_;
+        other.data_ = nullptr;
+        other.size_ = 0;
+        other.mapped_ = false;
+    }
+    return *this;
+}
+
+bool
+MappedFile::open(const std::string &path)
+{
+    close();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        (void)::close(fd);
+        return false;
+    }
+    size_ = static_cast<size_t>(st.st_size);
+    if (size_ == 0) {
+        // An empty file has nothing to map but is a valid open.
+        mapped_ = true;
+        const bool ok = ::close(fd) == 0;
+        if (!ok)
+            mapped_ = false;
+        return ok;
+    }
+    void *p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping keeps its own reference; the descriptor can go
+    // either way without affecting it, but a failed close still
+    // signals descriptor-table trouble worth surfacing.
+    const bool closed = ::close(fd) == 0;
+    if (p == MAP_FAILED || !closed) {
+        if (p != MAP_FAILED)
+            (void)::munmap(p, size_);
+        data_ = nullptr;
+        size_ = 0;
+        return false;
+    }
+    data_ = static_cast<const uint8_t *>(p);
+    mapped_ = true;
+    return true;
+}
+
+void
+MappedFile::close()
+{
+    if (data_ != nullptr)
+        (void)::munmap(const_cast<uint8_t *>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+    mapped_ = false;
+}
+
+void
+MappedFile::adviseSequential() const
+{
+    if (data_ != nullptr) {
+        (void)::madvise(const_cast<uint8_t *>(data_), size_,
+                        MADV_SEQUENTIAL);
+    }
+}
+
+void
+MappedFile::dropBehind(size_t offset) const
+{
+    if (data_ == nullptr)
+        return;
+    const size_t page = 4096;
+    const size_t end = std::min(offset, size_) / page * page;
+    if (end > 0) {
+        (void)::madvise(const_cast<uint8_t *>(data_), end,
+                        MADV_DONTNEED);
+    }
+}
 
 namespace {
 

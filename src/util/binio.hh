@@ -134,6 +134,92 @@ bool touchFile(const std::string &path);
 /** @} */
 
 /**
+ * @name Out-of-core file primitives
+ * The event log (graph/eventlog.hh) streams multi-gigabyte synthetic
+ * traces through two checked building blocks: an append-only writer
+ * whose every write/fsync/close return is consumed, and a read-only
+ * memory mapping with page-drop hints so a sequential training pass
+ * never accumulates the whole file in resident memory. Raw syscalls
+ * stay inside this TU per the `unchecked-io` lint rule.
+ */
+/** @{ */
+
+/**
+ * Checked append-only file writer. Unlike writeFileAtomic this is a
+ * *streaming* sink — callers frame their own payload (the event log
+ * CRCs each chunk) and decide which prefix of the file is valid on
+ * reload. Fault injection for the log lives in the framing layer
+ * (graph/eventlog.cc), not here, so a torn chunk is an ordinary
+ * sequence of checked short appends.
+ */
+class AppendFile
+{
+  public:
+    AppendFile() = default;
+    ~AppendFile();
+    AppendFile(const AppendFile &) = delete;
+    AppendFile &operator=(const AppendFile &) = delete;
+
+    /** Open (creating/truncating) `path` for appending. */
+    bool open(const std::string &path);
+    /** Append exactly `len` bytes, retrying EINTR/short writes. */
+    bool append(const void *data, size_t len);
+    /** Append at most `limit` bytes of `data` (torn-tail injection). */
+    bool appendPrefix(const std::string &data, size_t limit);
+    /** Flush to the platter (fsync). */
+    bool sync();
+    /** fsync + close; false if any step failed. Idempotent. */
+    bool close();
+
+    bool isOpen() const { return fd_ >= 0; }
+    size_t bytesWritten() const { return written_; }
+
+  private:
+    int fd_ = -1;
+    size_t written_ = 0;
+};
+
+/**
+ * Read-only memory mapping of a whole file. The mapping is immutable
+ * bytes — safe to read from any number of threads. `dropBehind`
+ * releases the resident pages of a consumed prefix (MADV_DONTNEED)
+ * so a single forward pass over a file ≫ RAM keeps a bounded
+ * footprint; dropped pages fault back in transparently if re-read.
+ */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /** Map `path` read-only; false if missing/unmappable (empty files
+     *  map successfully with size() == 0). */
+    bool open(const std::string &path);
+    void close();
+
+    const uint8_t *data() const { return data_; }
+    size_t size() const { return size_; }
+    bool isOpen() const { return data_ != nullptr || mapped_; }
+
+    /** Hint a one-way sequential scan (aggressive readahead). */
+    void adviseSequential() const;
+    /** Drop resident pages of [0, offset) — advisory, never fails the
+     *  caller; offset is rounded down to a page boundary. */
+    void dropBehind(size_t offset) const;
+
+  private:
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    bool mapped_ = false; ///< distinguishes an open empty file
+};
+
+/** @} */
+
+/**
  * @name Framed message I/O over local stream sockets
  * The supervisor <-> worker transport of the sharded trainer
  * (train/shard.hh): length-prefixed, CRC32-checked frames over a

@@ -176,6 +176,7 @@ TEST(Etc, ExpandsBeyondBaseOnIndependentEvents)
 TEST(AllBatchers, PartitionTheSequence)
 {
     EventSequence seq = dataset(3);
+    VectorEventSource src(seq);
     TemporalAdjacency adj(seq);
 
     FixedBatcher fixed(seq.size(), 32);
@@ -183,7 +184,7 @@ TEST(AllBatchers, PartitionTheSequence)
     EtcBatcher etc(seq, 32);
     CascadeBatcher::Options copts;
     copts.baseBatch = 32;
-    CascadeBatcher cascade(seq, adj, seq.size(), copts);
+    CascadeBatcher cascade(src, adj, seq.size(), copts);
 
     for (Batcher *b : std::vector<Batcher *>{&fixed, &ns, &etc,
                                              &cascade}) {
@@ -198,29 +199,31 @@ TEST(AllBatchers, PartitionTheSequence)
 TEST(CascadeBatcher, NamesReflectConfiguration)
 {
     EventSequence seq = dataset(4, 400.0);
+    VectorEventSource src(seq);
     TemporalAdjacency adj(seq);
     CascadeBatcher::Options o;
     o.baseBatch = 16;
-    CascadeBatcher full(seq, adj, seq.size(), o);
+    CascadeBatcher full(src, adj, seq.size(), o);
     EXPECT_EQ(full.name(), "Cascade");
 
     o.enableSgFilter = false;
-    CascadeBatcher tb(seq, adj, seq.size(), o);
+    CascadeBatcher tb(src, adj, seq.size(), o);
     EXPECT_EQ(tb.name(), "Cascade-TB");
 
     o.enableSgFilter = true;
     o.chunkSize = seq.size() / 2;
-    CascadeBatcher ex(seq, adj, seq.size(), o);
+    CascadeBatcher ex(src, adj, seq.size(), o);
     EXPECT_EQ(ex.name(), "Cascade_EX");
 }
 
 TEST(CascadeBatcher, GrowsBatchesBeyondBase)
 {
     EventSequence seq = dataset(5);
+    VectorEventSource src(seq);
     TemporalAdjacency adj(seq);
     CascadeBatcher::Options o;
     o.baseBatch = 32;
-    CascadeBatcher b(seq, adj, seq.size(), o);
+    CascadeBatcher b(src, adj, seq.size(), o);
     auto cuts = run(b, seq.size());
     const double avg = static_cast<double>(seq.size()) / cuts.size();
     // Adaptive batching must beat the base size on this workload.
@@ -232,10 +235,11 @@ TEST(CascadeBatcher, GrowsBatchesBeyondBase)
 TEST(CascadeBatcher, FeedbackUpdatesStableFlags)
 {
     EventSequence seq = dataset(6, 400.0);
+    VectorEventSource src(seq);
     TemporalAdjacency adj(seq);
     CascadeBatcher::Options o;
     o.baseBatch = 16;
-    CascadeBatcher b(seq, adj, seq.size(), o);
+    CascadeBatcher b(src, adj, seq.size(), o);
     b.reset();
 
     std::vector<NodeId> nodes = {seq.events[0].src};

@@ -22,6 +22,7 @@ struct Fixture
 {
     DatasetSpec spec;
     EventSequence data;
+    VectorEventSource src;
     TemporalAdjacency adj;
     size_t trainEnd;
 
@@ -31,7 +32,7 @@ struct Fixture
               Rng rng(71);
               return generateDataset(spec, rng);
           }()),
-          adj(data), trainEnd(data.size() * 4 / 5)
+          src(data), adj(data), trainEnd(data.size() * 4 / 5)
     {}
 };
 
@@ -44,11 +45,11 @@ runChunked(Fixture &f, size_t chunk, bool pipeline, size_t epochs = 2)
     copts.baseBatch = f.spec.baseBatch;
     copts.chunkSize = chunk;
     copts.pipeline = pipeline;
-    CascadeBatcher batcher(f.data, f.adj, f.trainEnd, copts);
+    CascadeBatcher batcher(f.src, f.adj, f.trainEnd, copts);
     TrainOptions options;
     options.epochs = epochs;
     options.evalBatch = f.spec.baseBatch;
-    return trainModel(model, f.data, f.adj, f.trainEnd, batcher,
+    return trainModel(model, f.src, f.adj, f.trainEnd, batcher,
                       options);
 }
 
@@ -82,7 +83,7 @@ TEST(ChunkedTraining, BatchesNeverCrossChunkEdges)
     copts.baseBatch = f.spec.baseBatch;
     copts.chunkSize = chunk;
     copts.pipeline = false;
-    CascadeBatcher b(f.data, f.adj, f.trainEnd, copts);
+    CascadeBatcher b(f.src, f.adj, f.trainEnd, copts);
     b.reset();
     size_t st = 0;
     while (st < f.trainEnd) {

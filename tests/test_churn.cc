@@ -76,6 +76,7 @@ TEST(ChurnEndToEnd, ProbeOverTgnnBeatsChance)
     DatasetSpec spec = moocSpec(120.0);
     Rng rng(9);
     EventSequence data = generateDataset(spec, rng);
+    VectorEventSource src(data);
     TemporalAdjacency adj(data);
     const size_t train_end = data.size() * 7 / 10;
     const size_t horizon = std::max<size_t>(50, data.size() / 30);
@@ -83,11 +84,11 @@ TEST(ChurnEndToEnd, ProbeOverTgnnBeatsChance)
     TgnnModel model(tgnConfig(16), spec.numNodes, data.featDim(), 2);
     CascadeBatcher::Options copts;
     copts.baseBatch = spec.baseBatch;
-    CascadeBatcher batcher(data, adj, train_end, copts);
+    CascadeBatcher batcher(src, adj, train_end, copts);
     TrainOptions options;
     options.epochs = 2;
     options.validate = false;
-    trainModel(model, data, adj, train_end, batcher, options);
+    trainModel(model, src, adj, train_end, batcher, options);
 
     std::vector<NodeId> nodes;
     for (size_t n = 0; n < spec.numNodes; ++n) {

@@ -36,6 +36,7 @@ struct Fixture
 {
     DatasetSpec spec;
     EventSequence data;
+    VectorEventSource src;
     TemporalAdjacency adj;
     size_t trainEnd;
 
@@ -45,7 +46,7 @@ struct Fixture
               Rng rng(seed);
               return generateDataset(spec, rng);
           }()),
-          adj(data), trainEnd(data.size() * 4 / 5)
+          src(data), adj(data), trainEnd(data.size() * 4 / 5)
     {}
 };
 
@@ -62,7 +63,7 @@ freshCascade(const Fixture &f)
     CascadeBatcher::Options copts;
     copts.baseBatch = f.spec.baseBatch;
     copts.seed = 11;
-    return CascadeBatcher(f.data, f.adj, f.trainEnd, copts);
+    return CascadeBatcher(f.src, f.adj, f.trainEnd, copts);
 }
 
 /** Cascade_EX configuration: chunked tables with pipelined builds. */
@@ -74,7 +75,7 @@ freshCascadeEx(const Fixture &f)
     copts.seed = 11;
     copts.chunkSize = std::max<size_t>(1, f.trainEnd / 4);
     copts.pipeline = true;
-    return CascadeBatcher(f.data, f.adj, f.trainEnd, copts);
+    return CascadeBatcher(f.src, f.adj, f.trainEnd, copts);
 }
 
 TrainOptions
@@ -253,7 +254,7 @@ TEST(FaultTolerance, CrashAndResumeIsBitIdenticalFixedBatcher)
     // Uninterrupted reference run.
     TgnnModel ref = freshModel(f);
     FixedBatcher rb(f.trainEnd, f.spec.baseBatch);
-    TrainReport want = trainModel(ref, f.data, f.adj, f.trainEnd, rb,
+    TrainReport want = trainModel(ref, f.src, f.adj, f.trainEnd, rb,
                                   baseOptions(f));
     ASSERT_GE(want.totalBatches, 6u);
 
@@ -268,7 +269,7 @@ TEST(FaultTolerance, CrashAndResumeIsBitIdenticalFixedBatcher)
         fc.crashBatch =
             static_cast<long>(want.totalBatches / 2 + 1);
         FaultScope scope(fc);
-        TrainReport r = trainModel(crashed, f.data, f.adj, f.trainEnd,
+        TrainReport r = trainModel(crashed, f.src, f.adj, f.trainEnd,
                                    cb, copts);
         ASSERT_TRUE(r.interrupted);
         EXPECT_LT(r.totalBatches, want.totalBatches);
@@ -279,7 +280,7 @@ TEST(FaultTolerance, CrashAndResumeIsBitIdenticalFixedBatcher)
     ropts.resume = true;
     TgnnModel resumed = freshModel(f);
     FixedBatcher nb(f.trainEnd, f.spec.baseBatch);
-    TrainReport got = trainModel(resumed, f.data, f.adj, f.trainEnd,
+    TrainReport got = trainModel(resumed, f.src, f.adj, f.trainEnd,
                                  nb, ropts);
     EXPECT_TRUE(got.resumed);
     EXPECT_FALSE(got.interrupted);
@@ -302,7 +303,7 @@ TEST(FaultTolerance, CrashAndResumeIsBitIdenticalCascade)
 
     TgnnModel ref = freshModel(f);
     CascadeBatcher rb = freshCascade(f);
-    TrainReport want = trainModel(ref, f.data, f.adj, f.trainEnd, rb,
+    TrainReport want = trainModel(ref, f.src, f.adj, f.trainEnd, rb,
                                   baseOptions(f));
     ASSERT_GE(want.totalBatches, 4u);
 
@@ -316,7 +317,7 @@ TEST(FaultTolerance, CrashAndResumeIsBitIdenticalCascade)
         fc.crashBatch =
             static_cast<long>(want.totalBatches / 2);
         FaultScope scope(fc);
-        TrainReport r = trainModel(crashed, f.data, f.adj, f.trainEnd,
+        TrainReport r = trainModel(crashed, f.src, f.adj, f.trainEnd,
                                    cb, copts);
         ASSERT_TRUE(r.interrupted);
     }
@@ -325,7 +326,7 @@ TEST(FaultTolerance, CrashAndResumeIsBitIdenticalCascade)
     ropts.resume = true;
     TgnnModel resumed = freshModel(f);
     CascadeBatcher nb = freshCascade(f);
-    TrainReport got = trainModel(resumed, f.data, f.adj, f.trainEnd,
+    TrainReport got = trainModel(resumed, f.src, f.adj, f.trainEnd,
                                  nb, ropts);
     EXPECT_TRUE(got.resumed);
 
@@ -354,7 +355,7 @@ TEST(FaultTolerance, NanInjectionRollsBackAndRecovers)
     opts.checkpointEvery = 2; // rollback grain
     TgnnModel model = freshModel(f);
     CascadeBatcher batcher = freshCascade(f);
-    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+    TrainReport r = trainModel(model, f.src, f.adj, f.trainEnd,
                                batcher, opts);
 
     EXPECT_EQ(r.guardTrips, 1u);
@@ -381,7 +382,7 @@ TEST(FaultTolerance, CheckpointWriteFailureDoesNotKillTraining)
     opts.checkpointEvery = 1;
     TgnnModel model = freshModel(f);
     FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
-    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+    TrainReport r = trainModel(model, f.src, f.adj, f.trainEnd,
                                batcher, opts);
     EXPECT_FALSE(r.interrupted);
     EXPECT_GE(fault::injectedCount(), 1u);
@@ -398,7 +399,7 @@ TEST(FaultTolerance, SingleChunkBuildFailureRetriesAndRecovers)
     fault::reset();
     TgnnModel ref = freshModel(f);
     CascadeBatcher rb = freshCascadeEx(f);
-    TrainReport want = trainModel(ref, f.data, f.adj, f.trainEnd, rb,
+    TrainReport want = trainModel(ref, f.src, f.adj, f.trainEnd, rb,
                                   baseOptions(f));
     EXPECT_EQ(want.retries, 0u);
     EXPECT_EQ(want.degradedMode, "none");
@@ -412,7 +413,7 @@ TEST(FaultTolerance, SingleChunkBuildFailureRetriesAndRecovers)
     opts.supervisor.retry.baseDelayMs = 0.0;
     TgnnModel model = freshModel(f);
     CascadeBatcher batcher = freshCascadeEx(f);
-    TrainReport got = trainModel(model, f.data, f.adj, f.trainEnd,
+    TrainReport got = trainModel(model, f.src, f.adj, f.trainEnd,
                                  batcher, opts);
 
     EXPECT_FALSE(got.interrupted);
@@ -441,7 +442,7 @@ TEST(FaultTolerance, PersistentChunkFailuresWalkTheLadderToStatic)
         opts.supervisor.retry.baseDelayMs = 0.0;
         TgnnModel model = freshModel(f);
         CascadeBatcher batcher = freshCascadeEx(f);
-        return trainModel(model, f.data, f.adj, f.trainEnd, batcher,
+        return trainModel(model, f.src, f.adj, f.trainEnd, batcher,
                           opts);
     };
 
@@ -486,7 +487,7 @@ TEST(FaultTolerance, CheckpointWriteRetrySucceedsAndIsCounted)
     opts.supervisor.retry.baseDelayMs = 0.0;
     TgnnModel model = freshModel(f);
     FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
-    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+    TrainReport r = trainModel(model, f.src, f.adj, f.trainEnd,
                                batcher, opts);
 
     EXPECT_FALSE(r.interrupted);
@@ -514,7 +515,7 @@ TEST(FaultTolerance, PersistentWriteFailuresDisableCheckpointing)
     opts.supervisor.retry.baseDelayMs = 0.0;
     TgnnModel model = freshModel(f);
     FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
-    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+    TrainReport r = trainModel(model, f.src, f.adj, f.trainEnd,
                                batcher, opts);
 
     // Durability degraded; the training run itself finished.
@@ -540,7 +541,7 @@ TEST(FaultTolerance, GuardExhaustionFailsLoudly)
         {
             TgnnModel model = freshModel(f);
             FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
-            trainModel(model, f.data, f.adj, f.trainEnd, batcher,
+            trainModel(model, f.src, f.adj, f.trainEnd, batcher,
                        opts);
         },
         ::testing::ExitedWithCode(1), "retry budget");
@@ -720,6 +721,10 @@ TEST(CheckpointRotation, StagedArtifactIsTriedFirst)
         resumeFromNewestValid(path, 3, model, batcher, cur, nullptr);
     EXPECT_EQ(scan.outcome, ResumeScan::Outcome::Resumed);
     EXPECT_EQ(scan.file, checkpointStagePath(path));
+    // The stage slot scans as generation 0 — the index the
+    // staged-recovery warning now names.
+    EXPECT_EQ(scan.generation, 0u);
+    EXPECT_TRUE(scan.stagedRecovery);
     EXPECT_EQ(cur.globalBatch, 2u);
 }
 
@@ -760,7 +765,7 @@ TEST(FaultTolerance, TornNewestGenerationResumesFromOlderBitIdentical)
 
     TgnnModel ref = freshModel(f);
     FixedBatcher rb(f.trainEnd, f.spec.baseBatch);
-    TrainReport want = trainModel(ref, f.data, f.adj, f.trainEnd, rb,
+    TrainReport want = trainModel(ref, f.src, f.adj, f.trainEnd, rb,
                                   baseOptions(f));
     ASSERT_GE(want.totalBatches, 6u);
 
@@ -774,7 +779,7 @@ TEST(FaultTolerance, TornNewestGenerationResumesFromOlderBitIdentical)
         fault::Config fc;
         fc.crashBatch = static_cast<long>(want.totalBatches / 2 + 1);
         FaultScope scope(fc);
-        TrainReport r = trainModel(crashed, f.data, f.adj, f.trainEnd,
+        TrainReport r = trainModel(crashed, f.src, f.adj, f.trainEnd,
                                    cb, copts);
         ASSERT_TRUE(r.interrupted);
     }
@@ -788,7 +793,7 @@ TEST(FaultTolerance, TornNewestGenerationResumesFromOlderBitIdentical)
     ropts.resume = true;
     TgnnModel resumed = freshModel(f);
     FixedBatcher nb(f.trainEnd, f.spec.baseBatch);
-    TrainReport got = trainModel(resumed, f.data, f.adj, f.trainEnd,
+    TrainReport got = trainModel(resumed, f.src, f.adj, f.trainEnd,
                                  nb, ropts);
     EXPECT_TRUE(got.resumed);
     EXPECT_EQ(got.resumedGeneration, 1u);
@@ -821,7 +826,7 @@ TEST(FaultTolerance, ResumeIfPossibleStartsFreshWithoutFiles)
     opts.resumeIfPossible = true;
     TgnnModel model = freshModel(f);
     FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
-    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+    TrainReport r = trainModel(model, f.src, f.adj, f.trainEnd,
                                batcher, opts);
     EXPECT_FALSE(r.resumed);
     EXPECT_FALSE(r.interrupted);

@@ -29,6 +29,7 @@ struct Fixture
 {
     DatasetSpec spec;
     EventSequence data;
+    VectorEventSource src;
     TemporalAdjacency adj;
     size_t trainEnd;
 
@@ -38,7 +39,7 @@ struct Fixture
               Rng rng(seed);
               return generateDataset(spec, rng);
           }()),
-          adj(data), trainEnd(data.size() * 4 / 5)
+          src(data), adj(data), trainEnd(data.size() * 4 / 5)
     {}
 };
 
@@ -57,7 +58,7 @@ struct GoldenBatch
  * model step, batcher feedback) and nothing else.
  */
 std::vector<GoldenBatch>
-referenceTrajectory(TgnnModel &model, const EventSequence &data,
+referenceTrajectory(TgnnModel &model, const EventSource &data,
                     const TemporalAdjacency &adj, size_t train_end,
                     Batcher &batcher, size_t epochs)
 {
@@ -89,7 +90,7 @@ referenceTrajectory(TgnnModel &model, const EventSequence &data,
 }
 
 std::vector<GoldenBatch>
-sessionTrajectory(TgnnModel &model, const EventSequence &data,
+sessionTrajectory(TgnnModel &model, const EventSource &data,
                   const TemporalAdjacency &adj, size_t train_end,
                   Batcher &batcher, size_t epochs)
 {
@@ -132,14 +133,14 @@ TEST(GoldenTrajectory, FixedBatcherMatchesSeedSemantics)
                         f.data.featDim(), 7);
     FixedBatcher ref_batcher(f.trainEnd, f.spec.baseBatch);
     const std::vector<GoldenBatch> golden = referenceTrajectory(
-        ref_model, f.data, f.adj, f.trainEnd, ref_batcher, epochs);
+        ref_model, f.src, f.adj, f.trainEnd, ref_batcher, epochs);
     ASSERT_FALSE(golden.empty());
 
     TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(),
                     7);
     FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
     const std::vector<GoldenBatch> staged = sessionTrajectory(
-        model, f.data, f.adj, f.trainEnd, batcher, epochs);
+        model, f.src, f.adj, f.trainEnd, batcher, epochs);
 
     expectIdentical(golden, staged);
     // Same trajectory => same final model state => same eval loss.
@@ -159,16 +160,16 @@ TEST(GoldenTrajectory, CascadePolicyMatchesSeedSemantics)
 
     TgnnModel ref_model(tgnConfig(16), f.spec.numNodes,
                         f.data.featDim(), 7);
-    CascadeBatcher ref_batcher(f.data, f.adj, f.trainEnd, copts);
+    CascadeBatcher ref_batcher(f.src, f.adj, f.trainEnd, copts);
     const std::vector<GoldenBatch> golden = referenceTrajectory(
-        ref_model, f.data, f.adj, f.trainEnd, ref_batcher, epochs);
+        ref_model, f.src, f.adj, f.trainEnd, ref_batcher, epochs);
     ASSERT_FALSE(golden.empty());
 
     TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(),
                     7);
-    CascadeBatcher batcher(f.data, f.adj, f.trainEnd, copts);
+    CascadeBatcher batcher(f.src, f.adj, f.trainEnd, copts);
     const std::vector<GoldenBatch> staged = sessionTrajectory(
-        model, f.data, f.adj, f.trainEnd, batcher, epochs);
+        model, f.src, f.adj, f.trainEnd, batcher, epochs);
 
     // Cascade's boundaries depend on the SG-Filter/ABS feedback of
     // every earlier batch, so agreement here pins the whole staged
@@ -185,11 +186,11 @@ TEST(GoldenTrajectory, WrapperAndSessionAgree)
 
     TgnnModel m1(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 9);
     FixedBatcher b1(f.trainEnd, f.spec.baseBatch);
-    TrainReport r1 = trainModel(m1, f.data, f.adj, f.trainEnd, b1, o);
+    TrainReport r1 = trainModel(m1, f.src, f.adj, f.trainEnd, b1, o);
 
     TgnnModel m2(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 9);
     FixedBatcher b2(f.trainEnd, f.spec.baseBatch);
-    TrainingSession session(m2, f.data, f.adj, f.trainEnd, b2, o);
+    TrainingSession session(m2, f.src, f.adj, f.trainEnd, b2, o);
     TrainReport r2 = session.run();
 
     EXPECT_EQ(r1.totalBatches, r2.totalBatches);

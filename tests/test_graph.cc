@@ -279,7 +279,7 @@ TEST(DatasetIo, BinaryCorruptionRejectedWithoutMutatingSequence)
     EventSequence seq = tinyDataset();
     const std::string path =
         std::string(::testing::TempDir()) + "graph_events.bin";
-    ASSERT_TRUE(saveEventsBinary(seq, path));
+    ASSERT_TRUE(detail::saveBinaryImpl(seq, path));
 
     // Truncate mid-payload: the CRC32 footer rejects the file and the
     // in-memory target sequence keeps its contents.
@@ -299,7 +299,7 @@ TEST(DatasetIo, BinaryCorruptionRejectedWithoutMutatingSequence)
     EventSequence target = tinyDataset(200.0, 7);
     const size_t events_before = target.size();
     const NodeId src_before = target.events[0].src;
-    EXPECT_FALSE(loadEventsBinary(target, path));
+    EXPECT_FALSE(detail::loadBinaryImpl(target, path));
     EXPECT_EQ(target.size(), events_before);
     EXPECT_EQ(target.events[0].src, src_before);
 
@@ -309,7 +309,7 @@ TEST(DatasetIo, BinaryCorruptionRejectedWithoutMutatingSequence)
     blob[blob.size() / 3] ^= 0x20;
     std::fwrite(blob.data(), 1, blob.size(), f);
     std::fclose(f);
-    EXPECT_FALSE(loadEventsBinary(target, path));
+    EXPECT_FALSE(detail::loadBinaryImpl(target, path));
     EXPECT_EQ(target.size(), events_before);
 
     // The intact blob still round-trips (sanity for the helpers).
@@ -318,6 +318,6 @@ TEST(DatasetIo, BinaryCorruptionRejectedWithoutMutatingSequence)
     blob[blob.size() / 3] ^= 0x20;
     std::fwrite(blob.data(), 1, blob.size(), f);
     std::fclose(f);
-    ASSERT_TRUE(loadEventsBinary(target, path));
+    ASSERT_TRUE(detail::loadBinaryImpl(target, path));
     EXPECT_EQ(target.size(), seq.size());
 }

@@ -21,6 +21,7 @@ struct Env
 {
     DatasetSpec spec;
     EventSequence data;
+    VectorEventSource src;
     TemporalAdjacency adj;
     size_t trainEnd;
 
@@ -30,7 +31,7 @@ struct Env
               Rng rng(seed);
               return generateDataset(spec, rng);
           }()),
-          adj(data), trainEnd(data.size() * 4 / 5)
+          src(data), adj(data), trainEnd(data.size() * 4 / 5)
     {}
 };
 
@@ -43,7 +44,7 @@ runPolicy(Env &env, Batcher &batcher, uint64_t seed = 5,
     TrainOptions o;
     o.epochs = epochs;
     o.evalBatch = env.spec.baseBatch;
-    return trainModel(model, env.data, env.adj, env.trainEnd, batcher,
+    return trainModel(model, env.src, env.adj, env.trainEnd, batcher,
                       o);
 }
 
@@ -57,7 +58,7 @@ TEST(Integration, CascadeSpeedsUpWithoutLossRegression)
 
     CascadeBatcher::Options copts;
     copts.baseBatch = env.spec.baseBatch;
-    CascadeBatcher cb(env.data, env.adj, env.trainEnd, copts);
+    CascadeBatcher cb(env.src, env.adj, env.trainEnd, copts);
     TrainReport cascade = runPolicy(env, cb);
 
     // Modeled device speedup > 1 (the paper's Figure 10 claim).
@@ -73,7 +74,7 @@ TEST(Integration, NaiveLargeBatchesHurtAccuracy)
     Env env;
     CascadeBatcher::Options copts;
     copts.baseBatch = env.spec.baseBatch;
-    CascadeBatcher cb(env.data, env.adj, env.trainEnd, copts);
+    CascadeBatcher cb(env.src, env.adj, env.trainEnd, copts);
     TrainReport cascade = runPolicy(env, cb);
 
     FixedBatcher small(env.trainEnd, env.spec.baseBatch);
@@ -100,12 +101,12 @@ TEST(Integration, SgFilterAblationOrdering)
     CascadeBatcher::Options tb_opts;
     tb_opts.baseBatch = env.spec.baseBatch;
     tb_opts.enableSgFilter = false;
-    CascadeBatcher tb(env.data, env.adj, env.trainEnd, tb_opts);
+    CascadeBatcher tb(env.src, env.adj, env.trainEnd, tb_opts);
     TrainReport cascade_tb = runPolicy(env, tb);
 
     CascadeBatcher::Options full_opts;
     full_opts.baseBatch = env.spec.baseBatch;
-    CascadeBatcher full(env.data, env.adj, env.trainEnd, full_opts);
+    CascadeBatcher full(env.src, env.adj, env.trainEnd, full_opts);
     TrainReport cascade = runPolicy(env, full);
 
     EXPECT_GT(cascade_tb.avgBatchSize, base.avgBatchSize);
@@ -120,13 +121,13 @@ TEST(Integration, ChunkedPreprocessingPreservesBehaviour)
     Env env;
     CascadeBatcher::Options mono;
     mono.baseBatch = env.spec.baseBatch;
-    CascadeBatcher cb1(env.data, env.adj, env.trainEnd, mono);
+    CascadeBatcher cb1(env.src, env.adj, env.trainEnd, mono);
     TrainReport full = runPolicy(env, cb1);
 
     CascadeBatcher::Options chunked = mono;
     chunked.chunkSize = env.trainEnd / 3 + 1;
     chunked.pipeline = true;
-    CascadeBatcher cb2(env.data, env.adj, env.trainEnd, chunked);
+    CascadeBatcher cb2(env.src, env.adj, env.trainEnd, chunked);
     TrainReport ex = runPolicy(env, cb2);
 
     EXPECT_LT(ex.valLoss, full.valLoss * 1.2);
@@ -140,7 +141,7 @@ TEST(Integration, StableRatioGrowsWithTraining)
     Env env;
     CascadeBatcher::Options copts;
     copts.baseBatch = env.spec.baseBatch;
-    CascadeBatcher cb(env.data, env.adj, env.trainEnd, copts);
+    CascadeBatcher cb(env.src, env.adj, env.trainEnd, copts);
 
     TgnnModel model(tgnConfig(16), env.spec.numNodes,
                     env.data.featDim(), 9);
@@ -148,11 +149,11 @@ TEST(Integration, StableRatioGrowsWithTraining)
     o.epochs = 1;
     o.evalBatch = env.spec.baseBatch;
     o.validate = false;
-    TrainReport first = trainModel(model, env.data, env.adj,
+    TrainReport first = trainModel(model, env.src, env.adj,
                                    env.trainEnd, cb, o);
     // Train three more epochs with the same model and batcher.
     o.epochs = 3;
-    TrainReport later = trainModel(model, env.data, env.adj,
+    TrainReport later = trainModel(model, env.src, env.adj,
                                    env.trainEnd, cb, o);
     EXPECT_GT(later.stableUpdateRatio, first.stableUpdateRatio * 0.9);
     EXPECT_GT(later.stableUpdateRatio, 0.1);
@@ -166,11 +167,12 @@ TEST(Integration, SparseGraphsBenefitMoreThanDenseOnes)
     auto growth = [](const DatasetSpec &spec, uint64_t seed) {
         Rng rng(seed);
         EventSequence data = generateDataset(spec, rng);
+        VectorEventSource src(data);
         TemporalAdjacency adj(data);
         const size_t train_end = data.size() * 4 / 5;
         CascadeBatcher::Options copts;
         copts.baseBatch = spec.baseBatch;
-        CascadeBatcher cb(data, adj, train_end, copts);
+        CascadeBatcher cb(src, adj, train_end, copts);
         cb.reset();
         size_t st = 0, batches = 0;
         while (st < train_end) {

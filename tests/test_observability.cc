@@ -198,6 +198,7 @@ struct Fixture
 {
     DatasetSpec spec;
     EventSequence data;
+    VectorEventSource src;
     TemporalAdjacency adj;
     size_t trainEnd;
 
@@ -207,7 +208,7 @@ struct Fixture
               Rng rng(seed);
               return generateDataset(spec, rng);
           }()),
-          adj(data), trainEnd(data.size() * 4 / 5)
+          src(data), adj(data), trainEnd(data.size() * 4 / 5)
     {}
 };
 
@@ -430,7 +431,7 @@ TEST(TrainingSession, StageSecondsReconcileWithWallSeconds)
     o.validate = false;    // eval runs outside the epoch wall clocks
     o.checkpointEvery = 0; // keep every stage inside the epoch loop
 
-    TrainingSession session(model, f.data, f.adj, f.trainEnd, batcher,
+    TrainingSession session(model, f.src, f.adj, f.trainEnd, batcher,
                             o);
     TrainReport r = session.run();
     ASSERT_GT(r.wallSeconds, 0.0);
@@ -463,7 +464,7 @@ TEST(TrainingSession, ReportIsAssembledFromTheRegistry)
     o.epochs = 1;
     o.evalBatch = f.spec.baseBatch;
 
-    TrainingSession session(model, f.data, f.adj, f.trainEnd, batcher,
+    TrainingSession session(model, f.src, f.adj, f.trainEnd, batcher,
                             o);
     TrainReport r = session.run();
 
@@ -501,7 +502,7 @@ TEST(TrainingSession, RunsAtMostOnce)
     TrainOptions o;
     o.epochs = 1;
     o.validate = false;
-    TrainingSession session(model, f.data, f.adj, f.trainEnd, batcher,
+    TrainingSession session(model, f.src, f.adj, f.trainEnd, batcher,
                             o);
     session.run();
     ::testing::GTEST_FLAG(death_test_style) = "threadsafe";

@@ -40,6 +40,7 @@ struct Fixture
 {
     DatasetSpec spec;
     EventSequence data;
+    VectorEventSource src;
     TemporalAdjacency adj;
     size_t trainEnd;
 
@@ -49,7 +50,7 @@ struct Fixture
               Rng rng(seed);
               return generateDataset(spec, rng);
           }()),
-          adj(data), trainEnd(data.size() * 4 / 5)
+          src(data), adj(data), trainEnd(data.size() * 4 / 5)
     {}
 };
 
@@ -82,7 +83,7 @@ struct FaultScope
  * admission order — the order the synchronous loop would produce).
  */
 std::vector<SeenBatch>
-runTrajectory(TgnnModel &model, const EventSequence &data,
+runTrajectory(TgnnModel &model, const EventSource &data,
               const TemporalAdjacency &adj, size_t train_end,
               Batcher &batcher, size_t epochs, size_t depth,
               size_t staleness, TrainReport *report_out = nullptr)
@@ -139,9 +140,9 @@ TEST(PipelineIdentity, S0CascadeBitIdenticalAcrossThreadCounts)
     // Synchronous reference (pipeline off), default pool.
     TgnnModel ref_model(tgnConfig(16), f.spec.numNodes, f.data.featDim(),
                         7);
-    CascadeBatcher ref_batcher(f.data, f.adj, f.trainEnd, copts);
+    CascadeBatcher ref_batcher(f.src, f.adj, f.trainEnd, copts);
     const std::vector<SeenBatch> sync_traj =
-        runTrajectory(ref_model, f.data, f.adj, f.trainEnd, ref_batcher,
+        runTrajectory(ref_model, f.src, f.adj, f.trainEnd, ref_batcher,
                       epochs, /*depth=*/0, /*staleness=*/0);
     ASSERT_FALSE(sync_traj.empty());
     const double ref_eval =
@@ -154,10 +155,10 @@ TEST(PipelineIdentity, S0CascadeBitIdenticalAcrossThreadCounts)
 
         TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(),
                         7);
-        CascadeBatcher batcher(f.data, f.adj, f.trainEnd, copts);
+        CascadeBatcher batcher(f.src, f.adj, f.trainEnd, copts);
         TrainReport report;
         const std::vector<SeenBatch> piped =
-            runTrajectory(model, f.data, f.adj, f.trainEnd, batcher,
+            runTrajectory(model, f.src, f.adj, f.trainEnd, batcher,
                           epochs, /*depth=*/4, /*staleness=*/0, &report);
 
         expectIdentical(sync_traj, piped);
@@ -182,7 +183,7 @@ TEST(PipelineIdentity, S0FixedBatcherBitIdentical)
                         7);
     FixedBatcher ref_batcher(f.trainEnd, f.spec.baseBatch);
     const std::vector<SeenBatch> sync_traj =
-        runTrajectory(ref_model, f.data, f.adj, f.trainEnd, ref_batcher,
+        runTrajectory(ref_model, f.src, f.adj, f.trainEnd, ref_batcher,
                       epochs, 0, 0);
     ASSERT_FALSE(sync_traj.empty());
 
@@ -190,7 +191,7 @@ TEST(PipelineIdentity, S0FixedBatcherBitIdentical)
     TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 7);
     FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
     const std::vector<SeenBatch> piped = runTrajectory(
-        model, f.data, f.adj, f.trainEnd, batcher, epochs, 4, 0);
+        model, f.src, f.adj, f.trainEnd, batcher, epochs, 4, 0);
 
     expectIdentical(sync_traj, piped);
 }
@@ -221,7 +222,7 @@ TEST(PipelineStaleness, BoundHoldsPerBatchUnderSlowUpdates)
                         f.data.featDim(), 7);
         FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
         report = TrainReport{};
-        piped = runTrajectory(model, f.data, f.adj, f.trainEnd, batcher,
+        piped = runTrajectory(model, f.src, f.adj, f.trainEnd, batcher,
                               /*epochs=*/1, /*depth=*/4, kBound,
                               &report);
         ASSERT_FALSE(piped.empty());
@@ -248,7 +249,7 @@ TEST(PipelineStaleness, BoundHoldsPerBatchUnderSlowUpdates)
                         7);
     FixedBatcher ref_batcher(f.trainEnd, f.spec.baseBatch);
     const std::vector<SeenBatch> sync_traj = runTrajectory(
-        ref_model, f.data, f.adj, f.trainEnd, ref_batcher, 1, 0, 0);
+        ref_model, f.src, f.adj, f.trainEnd, ref_batcher, 1, 0, 0);
     ASSERT_EQ(sync_traj.size(), piped.size());
     for (size_t i = 0; i < piped.size(); ++i) {
         EXPECT_EQ(sync_traj[i].st, piped[i].st);
@@ -270,7 +271,7 @@ TEST(PipelineRollback, NanTripRecoversLikeSynchronousLoop)
         FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
         TrainReport report;
         std::vector<SeenBatch> traj =
-            runTrajectory(model, f.data, f.adj, f.trainEnd, batcher,
+            runTrajectory(model, f.src, f.adj, f.trainEnd, batcher,
                           /*epochs=*/1, depth, /*staleness=*/0, &report);
         const double eval =
             model.evalLoss(f.data, f.adj, f.trainEnd, f.data.size(),

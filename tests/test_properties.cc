@@ -36,6 +36,7 @@ struct Generated
 {
     DatasetSpec spec;
     EventSequence data;
+    VectorEventSource src;
     TemporalAdjacency adj;
 
     explicit Generated(int which)
@@ -44,7 +45,7 @@ struct Generated
               Rng rng(100 + which);
               return generateDataset(spec, rng);
           }()),
-          adj(data)
+          src(data), adj(data)
     {}
 };
 
@@ -79,7 +80,7 @@ TEST_P(EveryDataset, AllPoliciesPartitionInOrder)
     EtcBatcher etc(g.data, g.spec.baseBatch);
     CascadeBatcher::Options copts;
     copts.baseBatch = g.spec.baseBatch;
-    CascadeBatcher cascade(g.data, g.adj, n, copts);
+    CascadeBatcher cascade(g.src, g.adj, n, copts);
 
     for (Batcher *b :
          std::vector<Batcher *>{&fixed, &ns, &etc, &cascade}) {

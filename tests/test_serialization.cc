@@ -251,10 +251,10 @@ TEST(EventIo, CsvRoundTripLosesOnlyFeatures)
 {
     EventSequence seq = smallDataset();
     const std::string path = tmpPath("events.csv");
-    ASSERT_TRUE(saveEventsCsv(seq, path));
+    ASSERT_TRUE(detail::saveCsvImpl(seq, path));
 
     EventSequence loaded;
-    ASSERT_TRUE(loadEventsCsv(loaded, path));
+    ASSERT_TRUE(detail::loadCsvImpl(loaded, path));
     ASSERT_EQ(loaded.size(), seq.size());
     for (size_t i = 0; i < seq.size(); ++i) {
         EXPECT_EQ(loaded.events[i].src, seq.events[i].src);
@@ -273,17 +273,17 @@ TEST(EventIo, CsvRejectsMalformedRows)
     std::fputs("src,dst,ts\n1,2\n", f);
     std::fclose(f);
     EventSequence seq;
-    EXPECT_FALSE(loadEventsCsv(seq, path));
+    EXPECT_FALSE(detail::loadCsvImpl(seq, path));
 }
 
 TEST(EventIo, BinaryRoundTripKeepsFeatures)
 {
     EventSequence seq = smallDataset();
     const std::string path = tmpPath("events.bin");
-    ASSERT_TRUE(saveEventsBinary(seq, path));
+    ASSERT_TRUE(detail::saveBinaryImpl(seq, path));
 
     EventSequence loaded;
-    ASSERT_TRUE(loadEventsBinary(loaded, path));
+    ASSERT_TRUE(detail::loadBinaryImpl(loaded, path));
     ASSERT_EQ(loaded.size(), seq.size());
     ASSERT_EQ(loaded.numNodes, seq.numNodes);
     ASSERT_EQ(loaded.featDim(), seq.featDim());
@@ -303,8 +303,8 @@ TEST(EventIo, BinaryRejectsGarbage)
     std::fputs("junk", f);
     std::fclose(f);
     EventSequence seq;
-    EXPECT_FALSE(loadEventsBinary(seq, path));
-    EXPECT_FALSE(loadEventsBinary(seq, tmpPath("missing.bin")));
+    EXPECT_FALSE(detail::loadBinaryImpl(seq, path));
+    EXPECT_FALSE(detail::loadBinaryImpl(seq, tmpPath("missing.bin")));
 }
 
 TEST(EventIo, BinaryRejectsTruncationAndBitFlips)
@@ -312,17 +312,17 @@ TEST(EventIo, BinaryRejectsTruncationAndBitFlips)
     EventSequence seq = smallDataset();
     const std::string path = tmpPath("events_corrupt.bin");
 
-    ASSERT_TRUE(saveEventsBinary(seq, path));
+    ASSERT_TRUE(detail::saveBinaryImpl(seq, path));
     truncateFile(path, 64);
     EventSequence target;
     target.numNodes = 77; // sentinel: must survive the failed load
-    EXPECT_FALSE(loadEventsBinary(target, path));
+    EXPECT_FALSE(detail::loadBinaryImpl(target, path));
     EXPECT_EQ(target.numNodes, 77u);
     EXPECT_TRUE(target.events.empty());
 
-    ASSERT_TRUE(saveEventsBinary(seq, path));
+    ASSERT_TRUE(detail::saveBinaryImpl(seq, path));
     flipByte(path, 48); // inside the event payload
-    EXPECT_FALSE(loadEventsBinary(target, path));
+    EXPECT_FALSE(detail::loadBinaryImpl(target, path));
     EXPECT_EQ(target.numNodes, 77u);
 }
 
@@ -338,7 +338,7 @@ TEST(EventIo, CsvAcceptsCrlfAndTrailingWhitespace)
     std::fclose(f);
 
     EventSequence seq;
-    ASSERT_TRUE(loadEventsCsv(seq, path));
+    ASSERT_TRUE(detail::loadCsvImpl(seq, path));
     ASSERT_EQ(seq.size(), 2u);
     EXPECT_EQ(seq.events[0].src, 1);
     EXPECT_EQ(seq.events[0].dst, 2);
@@ -358,6 +358,6 @@ TEST(EventIo, CsvRejectsHalfParsedTokens)
     std::fclose(f);
     EventSequence seq;
     seq.numNodes = 77;
-    EXPECT_FALSE(loadEventsCsv(seq, path));
+    EXPECT_FALSE(detail::loadCsvImpl(seq, path));
     EXPECT_EQ(seq.numNodes, 77u);
 }

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Serve-path tests (src/serve/): reader answers must be byte-identical
+ * to offline TgnnModel::embedNodes/scoreLinks on the same snapshot
+ * state, concurrent readers must stay snapshot-consistent while the
+ * single writer applies live windows (the TSan lane's target), and the
+ * unix-socket front end must round-trip the protocol faithfully.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/dataset.hh"
+#include "serve/server.hh"
+#include "tgnn/serialize.hh"
+
+using namespace cascade;
+
+namespace {
+
+struct Fixture
+{
+    DatasetSpec spec;
+    EventSequence data;
+    VectorEventSource src;
+    TemporalAdjacency adj;
+    TgnnModel model;
+
+    explicit Fixture(double scale = 400.0, uint64_t seed = 29)
+        : spec(wikiSpec(scale)),
+          data([&] {
+              Rng rng(seed);
+              return generateDataset(spec, rng);
+          }()),
+          src(data), adj(data),
+          model(tgnConfig(16), spec.numNodes, data.featDim(), seed + 1)
+    {}
+};
+
+bool
+bitEqual(const Tensor &a, const Tensor &b)
+{
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(float)) == 0;
+}
+
+/** A model with the engine's parameters holding `snap`'s state. */
+TgnnModel
+offlineReplica(const ServeEngine &engine, const ServeSnapshot &snap)
+{
+    const TgnnModel &m = engine.model();
+    TgnnModel replica(m.config(), m.numNodes(), m.edgeFeatDim(),
+                      m.seed());
+    ByteWriter w;
+    writeParametersBlob(w, m.parameters());
+    ByteReader r(w.buffer());
+    EXPECT_TRUE(readParametersBlob(r, replica.parameters()));
+    replica.restoreState(snap.state);
+    return replica;
+}
+
+std::vector<NodeId>
+probeNodes(size_t n, size_t num_nodes, size_t salt)
+{
+    std::vector<NodeId> out;
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(
+            static_cast<NodeId>((salt + i * 37 + 5) % num_nodes));
+    return out;
+}
+
+} // namespace
+
+TEST(Serve, ReaderMatchesOfflineComputeExactly)
+{
+    Fixture f;
+    ServeEngine engine(f.model, f.src, f.adj, 0);
+    engine.applyEvents(f.src.size() * 4 / 5, 64);
+    const auto snap = engine.snapshot();
+    ASSERT_GT(snap->appliedEvents, 0u);
+
+    const std::vector<NodeId> nodes =
+        probeNodes(6, f.spec.numNodes, 3);
+    const std::vector<NodeId> dsts =
+        probeNodes(6, f.spec.numNodes, 101);
+
+    ServeReader reader(engine);
+    const Tensor served_emb = reader.embed(nodes);
+    const Tensor served_score = reader.scoreLinks(nodes, dsts);
+    EXPECT_EQ(reader.syncedVersion(), snap->version);
+
+    TgnnModel offline = offlineReplica(engine, *snap);
+    const EventIdx before =
+        static_cast<EventIdx>(snap->appliedEvents);
+    const Tensor off_emb = offline.embedNodes(nodes, snap->lastTs,
+                                              f.src, f.adj, before);
+    const Tensor off_score = offline.scoreLinks(
+        nodes, dsts, snap->lastTs, f.src, f.adj, before);
+
+    // Byte-identical, not approximately equal: serving must add no
+    // approximation over offline embedding compute.
+    EXPECT_TRUE(bitEqual(served_emb, off_emb));
+    EXPECT_TRUE(bitEqual(served_score, off_score));
+}
+
+TEST(Serve, ApplyingEventsAdvancesSnapshotsAndAnswers)
+{
+    Fixture f;
+    ServeEngine engine(f.model, f.src, f.adj, 0);
+    const size_t half = f.src.size() / 2;
+    engine.applyEvents(half, 64);
+    const uint64_t v1 = engine.snapshot()->version;
+
+    ServeReader reader(engine);
+    const std::vector<NodeId> nodes =
+        probeNodes(4, f.spec.numNodes, 7);
+    const Tensor before = reader.embed(nodes);
+
+    // Drain the rest of the stream; a new snapshot must appear and
+    // the reader must adopt it on its next query.
+    EXPECT_GT(engine.applyEvents(f.src.size(), 64), 0u);
+    EXPECT_EQ(engine.pendingEvents(), 0u);
+    EXPECT_GT(engine.snapshot()->version, v1);
+
+    const Tensor after = reader.embed(nodes);
+    EXPECT_EQ(reader.syncedVersion(), engine.snapshot()->version);
+
+    // And the post-drain answer again matches offline compute.
+    const auto snap = engine.snapshot();
+    TgnnModel offline = offlineReplica(engine, *snap);
+    const Tensor off_after = offline.embedNodes(
+        nodes, snap->lastTs, f.src, f.adj,
+        static_cast<EventIdx>(snap->appliedEvents));
+    EXPECT_TRUE(bitEqual(after, off_after));
+}
+
+TEST(Serve, ConcurrentReadersStaySnapshotConsistent)
+{
+    Fixture f;
+    ServeEngine engine(f.model, f.src, f.adj, 0);
+    engine.applyEvents(f.src.size() / 2, 64);
+
+    // Writer thread applies the remaining suffix window by window
+    // while reader threads query continuously. Each reader checks
+    // that (a) versions it observes never go backwards, (b) every
+    // answer is finite, and (c) the answer matches the snapshot the
+    // reader reports it was computed against — the TSan lane turns
+    // any torn snapshot access into a hard failure.
+    std::atomic<bool> failed{false};
+    std::thread writer([&] {
+        while (engine.pendingEvents() > 0)
+            engine.applyEvents(32, 32);
+    });
+
+    std::vector<std::thread> readers;
+    for (size_t t = 0; t < 3; ++t) {
+        readers.emplace_back([&, t] {
+            ServeReader reader(engine);
+            uint64_t last_version = 0;
+            const std::vector<NodeId> nodes =
+                probeNodes(4, f.spec.numNodes, t * 911);
+            for (size_t q = 0; q < 40; ++q) {
+                const Tensor emb = reader.embed(nodes);
+                const uint64_t v = reader.syncedVersion();
+                if (v < last_version)
+                    failed.store(true);
+                last_version = v;
+                for (size_t i = 0; i < emb.size(); ++i) {
+                    if (!std::isfinite(emb.data()[i]))
+                        failed.store(true);
+                }
+            }
+        });
+    }
+    writer.join();
+    for (std::thread &th : readers)
+        th.join();
+    EXPECT_FALSE(failed.load());
+    EXPECT_EQ(engine.pendingEvents(), 0u);
+
+    // After the dust settles a fresh reader agrees with offline
+    // compute at the final snapshot.
+    ServeReader reader(engine);
+    const std::vector<NodeId> nodes =
+        probeNodes(4, f.spec.numNodes, 13);
+    const Tensor served = reader.embed(nodes);
+    const auto snap = engine.snapshot();
+    TgnnModel offline = offlineReplica(engine, *snap);
+    const Tensor off = offline.embedNodes(
+        nodes, snap->lastTs, f.src, f.adj,
+        static_cast<EventIdx>(snap->appliedEvents));
+    EXPECT_TRUE(bitEqual(served, off));
+}
+
+TEST(Serve, SocketServerRoundTripsProtocol)
+{
+    Fixture f;
+    ServeEngine engine(f.model, f.src, f.adj, 0);
+    engine.applyEvents(f.src.size() * 4 / 5, 64);
+
+    ServeServerOptions sopts;
+    sopts.socketPath =
+        std::string(::testing::TempDir()) + "serve_test.sock";
+    sopts.readerThreads = 2;
+    ServeSocketServer server(engine, sopts);
+    ASSERT_TRUE(server.start());
+    EXPECT_TRUE(server.running());
+
+    ServeClient client;
+    ASSERT_TRUE(client.connect(sopts.socketPath));
+
+    ServeClient::Stats stats;
+    ASSERT_TRUE(client.stats(stats));
+    EXPECT_EQ(stats.version, engine.snapshot()->version);
+    EXPECT_EQ(stats.appliedEvents, engine.appliedEvents());
+    EXPECT_EQ(stats.pendingEvents, engine.pendingEvents());
+
+    const std::vector<NodeId> nodes =
+        probeNodes(5, f.spec.numNodes, 3);
+    const std::vector<NodeId> dsts =
+        probeNodes(5, f.spec.numNodes, 77);
+
+    ServeClient::EmbedResult emb;
+    ASSERT_TRUE(client.embed(nodes, emb));
+    EXPECT_EQ(emb.version, engine.snapshot()->version);
+
+    // The socket answer is the in-process answer, byte for byte.
+    ServeReader reader(engine);
+    const Tensor local_emb = reader.embed(nodes);
+    ASSERT_EQ(emb.rows.size(), local_emb.size());
+    ASSERT_EQ(emb.dim, local_emb.cols());
+    EXPECT_EQ(std::memcmp(emb.rows.data(), local_emb.data(),
+                          emb.rows.size() * sizeof(float)),
+              0);
+
+    ServeClient::ScoreResult score;
+    ASSERT_TRUE(client.score(nodes, dsts, score));
+    const Tensor local_score = reader.scoreLinks(nodes, dsts);
+    ASSERT_EQ(score.logits.size(), local_score.size());
+    EXPECT_EQ(std::memcmp(score.logits.data(), local_score.data(),
+                          score.logits.size() * sizeof(float)),
+              0);
+
+    // Done with the first connection; free its reader thread.
+    client.close();
+
+    // Malformed input is refused without killing the server.
+    ServeClient empty_client;
+    ASSERT_TRUE(empty_client.connect(sopts.socketPath));
+    ServeClient::EmbedResult bad;
+    EXPECT_FALSE(empty_client.embed({}, bad));
+    empty_client.close();
+
+    // A second well-formed client still gets answers afterwards.
+    ServeClient client2;
+    ASSERT_TRUE(client2.connect(sopts.socketPath));
+    ServeClient::Stats stats2;
+    EXPECT_TRUE(client2.stats(stats2));
+
+    EXPECT_GE(server.requestsServed(), 4u);
+    EXPECT_TRUE(client2.shutdownServer());
+    server.stop();
+    EXPECT_FALSE(server.running());
+}

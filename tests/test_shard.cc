@@ -33,6 +33,7 @@ struct Fixture
 {
     DatasetSpec spec;
     EventSequence data;
+    VectorEventSource src;
     TemporalAdjacency adj;
     size_t trainEnd;
 
@@ -42,7 +43,7 @@ struct Fixture
               Rng rng(seed);
               return generateDataset(spec, rng);
           }()),
-          adj(data), trainEnd(data.size() * 4 / 5)
+          src(data), adj(data), trainEnd(data.size() * 4 / 5)
     {}
 };
 
@@ -71,7 +72,7 @@ runSharded(const Fixture &f, size_t workers, size_t shards,
     CascadeBatcher::Options copts;
     copts.baseBatch = f.spec.baseBatch;
     copts.seed = 11;
-    CascadeBatcher batcher(f.data, f.adj, f.trainEnd, copts);
+    CascadeBatcher batcher(f.src, f.adj, f.trainEnd, copts);
 
     TrainOptions o = base;
     o.epochs = epochs;
@@ -81,7 +82,7 @@ runSharded(const Fixture &f, size_t workers, size_t shards,
     o.workerProcs = procs;
 
     RunOutcome out;
-    TrainingSession session(model, f.data, f.adj, f.trainEnd, batcher,
+    TrainingSession session(model, f.src, f.adj, f.trainEnd, batcher,
                             o);
     session.setBatchObserver([&](const BatchRecord &rec) {
         out.batches.push_back({rec.st, rec.ed, rec.loss});

@@ -18,6 +18,7 @@ struct Fixture
 {
     DatasetSpec spec;
     EventSequence data;
+    VectorEventSource src;
     TemporalAdjacency adj;
     size_t trainEnd;
 
@@ -27,7 +28,7 @@ struct Fixture
               Rng rng(seed);
               return generateDataset(spec, rng);
           }()),
-          adj(data), trainEnd(data.size() * 4 / 5)
+          src(data), adj(data), trainEnd(data.size() * 4 / 5)
     {}
 };
 
@@ -48,7 +49,7 @@ TEST(Trainer, ReportFieldsAreConsistent)
     TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 1);
     FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
     DeviceModel dev;
-    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+    TrainReport r = trainModel(model, f.src, f.adj, f.trainEnd,
                                batcher, fastOptions(f.spec), &dev);
 
     ASSERT_EQ(r.epochs.size(), 2u);
@@ -72,7 +73,7 @@ TEST(Trainer, LossImprovesAcrossEpochs)
     TgnnModel model(jodieConfig(16), f.spec.numNodes, f.data.featDim(),
                     2);
     FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
-    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+    TrainReport r = trainModel(model, f.src, f.adj, f.trainEnd,
                                batcher, fastOptions(f.spec, 4));
     EXPECT_LT(r.epochs.back().trainLoss, r.epochs.front().trainLoss);
 }
@@ -86,13 +87,13 @@ TEST(Trainer, WorksWithEveryBatcherPolicy)
     FixedBatcher fixed(f.trainEnd, f.spec.baseBatch);
     NeutronStreamBatcher ns(f.data, f.spec.baseBatch, f.trainEnd);
     EtcBatcher etc(f.data, f.spec.baseBatch, f.trainEnd);
-    CascadeBatcher cascade(f.data, f.adj, f.trainEnd, copts);
+    CascadeBatcher cascade(f.src, f.adj, f.trainEnd, copts);
 
     for (Batcher *b : std::vector<Batcher *>{&fixed, &ns, &etc,
                                              &cascade}) {
         TgnnModel model(tgnConfig(16), f.spec.numNodes,
                         f.data.featDim(), 3);
-        TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+        TrainReport r = trainModel(model, f.src, f.adj, f.trainEnd,
                                    *b, fastOptions(f.spec, 1));
         EXPECT_GT(r.totalBatches, 0u) << b->name();
         EXPECT_GT(r.valLoss, 0.0) << b->name();
@@ -105,14 +106,14 @@ TEST(Trainer, CascadeFormsFewerLargerBatchesThanFixed)
     Fixture f;
     TgnnModel m1(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 4);
     FixedBatcher fixed(f.trainEnd, f.spec.baseBatch);
-    TrainReport rf = trainModel(m1, f.data, f.adj, f.trainEnd, fixed,
+    TrainReport rf = trainModel(m1, f.src, f.adj, f.trainEnd, fixed,
                                 fastOptions(f.spec));
 
     TgnnModel m2(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 4);
     CascadeBatcher::Options copts;
     copts.baseBatch = f.spec.baseBatch;
-    CascadeBatcher cascade(f.data, f.adj, f.trainEnd, copts);
-    TrainReport rc = trainModel(m2, f.data, f.adj, f.trainEnd, cascade,
+    CascadeBatcher cascade(f.src, f.adj, f.trainEnd, copts);
+    TrainReport rc = trainModel(m2, f.src, f.adj, f.trainEnd, cascade,
                                 fastOptions(f.spec));
 
     EXPECT_LT(rc.totalBatches, rf.totalBatches);
@@ -130,7 +131,7 @@ TEST(Trainer, ValidationSkippedWhenDisabled)
     FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
     TrainOptions o = fastOptions(f.spec, 1);
     o.validate = false;
-    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+    TrainReport r = trainModel(model, f.src, f.adj, f.trainEnd,
                                batcher, o);
     EXPECT_DOUBLE_EQ(r.valLoss, 0.0);
 }
@@ -140,7 +141,7 @@ TEST(Trainer, EpochWallTimesSumToTotal)
     Fixture f(400.0);
     TgnnModel model(tgnConfig(16), f.spec.numNodes, f.data.featDim(), 6);
     FixedBatcher batcher(f.trainEnd, f.spec.baseBatch);
-    TrainReport r = trainModel(model, f.data, f.adj, f.trainEnd,
+    TrainReport r = trainModel(model, f.src, f.adj, f.trainEnd,
                                batcher, fastOptions(f.spec, 3));
     double sum = 0.0;
     for (const auto &e : r.epochs)

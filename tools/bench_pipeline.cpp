@@ -111,7 +111,7 @@ cleanCheckpointFiles(const std::string &path, size_t keep)
 /** One full training run; returns wall seconds, fills stats. */
 double
 runArm(const ArmSpec &arm, const Workload &w, const DatasetSpec &spec,
-       const EventSequence &data, const TemporalAdjacency &adj,
+       const EventSource &data, const TemporalAdjacency &adj,
        size_t train_end, const std::string &ckpt_path, ArmStats &out)
 {
     // Fresh model + batcher per run: identical seeds give every rep of
@@ -208,6 +208,7 @@ main(int argc, char **argv)
     spec.baseBatch *= w.batchMultiplier;
     Rng rng(w.seed);
     EventSequence data = generateDataset(spec, rng);
+    VectorEventSource src(data);
     TemporalAdjacency adj(data);
     const size_t train_end = data.size() * 17 / 20;
 
@@ -222,7 +223,7 @@ main(int argc, char **argv)
     // predictors. Discarded.
     {
         ArmStats scratch;
-        (void)runArm(arms[0], w, spec, data, adj, train_end, ckpt_path,
+        (void)runArm(arms[0], w, spec, src, adj, train_end, ckpt_path,
                      scratch);
     }
 
@@ -230,7 +231,7 @@ main(int argc, char **argv)
     // dominant noise on shared runners) penalize all arms equally.
     for (size_t r = 0; r < reps; ++r) {
         for (size_t a = 0; a < arms.size(); ++a) {
-            const double wall = runArm(arms[a], w, spec, data, adj,
+            const double wall = runArm(arms[a], w, spec, src, adj,
                                        train_end, ckpt_path, stats[a]);
             stats[a].walls.push_back(wall);
             std::printf("rep %zu  %-8s wall=%7.3fs  val_loss=%.6f  "

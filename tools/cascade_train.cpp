@@ -5,27 +5,18 @@
  * Runs one (dataset, model, policy) training configuration and prints
  * a machine-readable summary line, optionally appending CSV rows to a
  * results file — the entry point a downstream user scripts sweeps
- * with.
+ * with. Flags are declared through the shared tools/cli.hh parser
+ * (`--flag value` and `--flag=value`, strict numerics, generated
+ * --help).
  *
- * Usage:
- *   cascade_train [--dataset wiki|reddit|mooc|wikitalk|sxfull|
- *                            gdelt|mag]
- *                 [--model jodie|tgn|apan|dysat|tgat]
- *                 [--policy tgl|tglite|neutronstream|etc|cascade|
- *                           cascade-tb|cascade-ex]
- *                 [--scale <divisor>] [--epochs <n>] [--dim <n>]
- *                 [--theta <t>] [--seed <n>] [--save <model.bin>]
- *                 [--csv <results.csv>]
- *                 [--checkpoint <ckpt.bin>] [--checkpoint-every <n>]
- *                 [--checkpoint-keep <n>]
- *                 [--resume] [--resume-auto] [--threads <n>]
- *                 [--metrics-out <metrics.json>]
- *                 [--trace-out <trace.json>]
- *                 [--retry-max <n>] [--retry-base-ms <ms>]
- *                 [--stage-deadline-ms <ms>]
- *                 [--pipeline-depth <n>] [--staleness-bound <s>]
- *
- * Flags accept both `--flag value` and `--flag=value`.
+ * Out-of-core mode: --export-eventlog synthesizes the configured
+ * dataset straight into a chunked mmap event log (graph/eventlog.hh)
+ * with O(chunk) peak memory and exits; --eventlog trains *from* such
+ * a log without ever materializing the event vector — the session
+ * hints consumed prefixes so the kernel can drop trained pages, and
+ * the summary's rss_peak_mb reports the resulting peak resident set.
+ * Both paths produce bit-identical trajectories to the in-memory
+ * generator at equal (dataset, scale, seed).
  *
  * With --checkpoint the trainer snapshots its full state (parameters,
  * optimizer moments, memories, batcher schedule, cursor) every
@@ -65,11 +56,10 @@
  * (degraded=pipeline-synchronous in the summary).
  */
 
+#include <sys/resource.h>
+
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 
@@ -79,6 +69,7 @@
 #include "obs/trace.hh"
 #include "tgnn/model.hh"
 #include "tgnn/serialize.hh"
+#include "cli.hh"
 #include "train/session.hh"
 #include "train/trainer.hh"
 #include "util/logging.hh"
@@ -100,6 +91,8 @@ struct CliOptions
     uint64_t seed = 42;
     std::string savePath;
     std::string csvPath;
+    std::string eventlogPath;   ///< train out-of-core from this log
+    std::string exportLogPath;  ///< write the dataset as a log; exit
     std::string checkpointPath;
     size_t checkpointEvery = 50;
     size_t checkpointKeep = 3;
@@ -120,152 +113,68 @@ struct CliOptions
 };
 
 void
-usage(const char *argv0)
+declareFlags(cli::FlagSet &flags, CliOptions &o)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--dataset D] [--model M] [--policy P]\n"
-                 "          [--scale S] [--epochs N] [--dim N]\n"
-                 "          [--theta T] [--seed N] [--save FILE]\n"
-                 "          [--csv FILE] [--checkpoint FILE]\n"
-                 "          [--checkpoint-every N]\n"
-                 "          [--checkpoint-keep N] [--resume]\n"
-                 "          [--resume-auto]\n"
-                 "          [--threads N] [--metrics-out FILE]\n"
-                 "          [--trace-out FILE] [--retry-max N]\n"
-                 "          [--retry-base-ms MS]\n"
-                 "          [--stage-deadline-ms MS]\n"
-                 "          [--pipeline-depth N]\n"
-                 "          [--staleness-bound S]\n"
-                 "          [--workers N] [--worker-procs]\n"
-                 "          [--shards K]\n"
-                 "          [--worker-heartbeat-ms MS]\n",
-                 argv0);
-}
-
-/**
- * Strict numeric parsers: the whole token must be a number. A typo
- * like `--epochs 3x` or `--scale ""` names the offending flag and
- * exits instead of silently training with a half-parsed value.
- */
-double
-parseDouble(const char *flag, const char *s)
-{
-    char *end = nullptr;
-    errno = 0;
-    const double v = std::strtod(s, &end);
-    if (end == s || *end != '\0' || errno == ERANGE) {
-        std::fprintf(stderr, "%s: invalid number '%s'\n", flag, s);
-        std::exit(2);
-    }
-    return v;
-}
-
-uint64_t
-parseUint(const char *flag, const char *s)
-{
-    char *end = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s || *end != '\0' || errno == ERANGE || *s == '-') {
-        std::fprintf(stderr, "%s: invalid count '%s'\n", flag, s);
-        std::exit(2);
-    }
-    return v;
-}
-
-bool
-parseArgs(int argc, char **argv, CliOptions &opts)
-{
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        // Accept both `--flag value` and `--flag=value`.
-        std::string inline_value;
-        bool has_inline = false;
-        const size_t eq = arg.find('=');
-        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
-            inline_value = arg.substr(eq + 1);
-            arg.erase(eq);
-            has_inline = true;
-        }
-        auto next = [&]() -> const char * {
-            if (has_inline)
-                return inline_value.c_str();
-            if (i + 1 >= argc)
-                return nullptr;
-            return argv[++i];
-        };
-        const char *v = nullptr;
-        if (arg == "--dataset" && (v = next()))
-            opts.dataset = v;
-        else if (arg == "--model" && (v = next()))
-            opts.model = v;
-        else if (arg == "--policy" && (v = next()))
-            opts.policy = v;
-        else if (arg == "--scale" && (v = next()))
-            opts.scale = parseDouble("--scale", v);
-        else if (arg == "--epochs" && (v = next()))
-            opts.epochs =
-                static_cast<size_t>(parseUint("--epochs", v));
-        else if (arg == "--dim" && (v = next()))
-            opts.dim = static_cast<size_t>(parseUint("--dim", v));
-        else if (arg == "--theta" && (v = next()))
-            opts.theta = parseDouble("--theta", v);
-        else if (arg == "--seed" && (v = next()))
-            opts.seed = parseUint("--seed", v);
-        else if (arg == "--save" && (v = next()))
-            opts.savePath = v;
-        else if (arg == "--csv" && (v = next()))
-            opts.csvPath = v;
-        else if (arg == "--checkpoint" && (v = next()))
-            opts.checkpointPath = v;
-        else if (arg == "--checkpoint-every" && (v = next()))
-            opts.checkpointEvery =
-                static_cast<size_t>(parseUint("--checkpoint-every", v));
-        else if (arg == "--checkpoint-keep" && (v = next()))
-            opts.checkpointKeep =
-                static_cast<size_t>(parseUint("--checkpoint-keep", v));
-        else if (arg == "--resume" && !has_inline)
-            opts.resume = true;
-        else if (arg == "--resume-auto" && !has_inline) {
-            opts.resume = true;
-            opts.resumeAuto = true;
-        }
-        else if (arg == "--metrics-out" && (v = next()))
-            opts.metricsOut = v;
-        else if (arg == "--trace-out" && (v = next()))
-            opts.traceOut = v;
-        else if (arg == "--threads" && (v = next()))
-            opts.threads =
-                static_cast<size_t>(parseUint("--threads", v));
-        else if (arg == "--retry-max" && (v = next()))
-            opts.retryMax =
-                static_cast<size_t>(parseUint("--retry-max", v));
-        else if (arg == "--retry-base-ms" && (v = next()))
-            opts.retryBaseMs = parseDouble("--retry-base-ms", v);
-        else if (arg == "--stage-deadline-ms" && (v = next()))
-            opts.stageDeadlineMs =
-                parseDouble("--stage-deadline-ms", v);
-        else if (arg == "--pipeline-depth" && (v = next()))
-            opts.pipelineDepth =
-                static_cast<size_t>(parseUint("--pipeline-depth", v));
-        else if (arg == "--staleness-bound" && (v = next()))
-            opts.stalenessBound =
-                static_cast<size_t>(parseUint("--staleness-bound", v));
-        else if (arg == "--workers" && (v = next()))
-            opts.workers =
-                static_cast<size_t>(parseUint("--workers", v));
-        else if (arg == "--worker-procs" && !has_inline)
-            opts.workerProcs = true;
-        else if (arg == "--shards" && (v = next()))
-            opts.shards =
-                static_cast<size_t>(parseUint("--shards", v));
-        else if (arg == "--worker-heartbeat-ms" && (v = next()))
-            opts.workerHeartbeatMs = static_cast<size_t>(
-                parseUint("--worker-heartbeat-ms", v));
-        else
-            return false;
-    }
-    return true;
+    flags.flagString("--dataset", &o.dataset, "D",
+                     "wiki|reddit|mooc|wikitalk|sxfull|gdelt|mag");
+    flags.flagString("--model", &o.model, "M",
+                     "jodie|tgn|apan|dysat|tgat");
+    flags.flagString("--policy", &o.policy, "P",
+                     "tgl|tglite|neutronstream|etc|cascade|"
+                     "cascade-tb|cascade-ex");
+    flags.flagDouble("--scale", &o.scale, "S",
+                     "dataset scale divisor (1 = paper scale)");
+    flags.flagInt("--epochs", &o.epochs, "N", "training epochs");
+    flags.flagInt("--dim", &o.dim, "N", "model hidden dimension");
+    flags.flagDouble("--theta", &o.theta, "T",
+                     "Cascade similarity threshold");
+    flags.flagInt("--seed", &o.seed, "N", "master RNG seed");
+    flags.flagString("--save", &o.savePath, "FILE",
+                     "save trained model parameters");
+    flags.flagString("--csv", &o.csvPath, "FILE",
+                     "append a results CSV row");
+    flags.flagString("--eventlog", &o.eventlogPath, "FILE",
+                     "train out-of-core from a CEVL event log");
+    flags.flagString("--export-eventlog", &o.exportLogPath, "FILE",
+                     "write the dataset as an event log and exit");
+    flags.flagString("--checkpoint", &o.checkpointPath, "FILE",
+                     "rotating training checkpoints");
+    flags.flagInt("--checkpoint-every", &o.checkpointEvery, "N",
+                  "snapshot cadence in batches");
+    flags.flagInt("--checkpoint-keep", &o.checkpointKeep, "N",
+                  "checkpoint generations to keep");
+    flags.flagBool("--resume", &o.resume,
+                   "resume from the newest valid checkpoint");
+    flags.flagAction("--resume-auto",
+                     [&o] {
+                         o.resume = true;
+                         o.resumeAuto = true;
+                     },
+                     "resume if a checkpoint exists, else start");
+    flags.flagString("--metrics-out", &o.metricsOut, "FILE",
+                     "dump the metrics registry as JSON");
+    flags.flagString("--trace-out", &o.traceOut, "FILE",
+                     "write per-stage spans (chrome://tracing)");
+    flags.flagInt("--threads", &o.threads, "N",
+                  "global worker-pool size (0 = default)");
+    flags.flagInt("--retry-max", &o.retryMax, "N",
+                  "supervised-stage retry budget");
+    flags.flagDouble("--retry-base-ms", &o.retryBaseMs, "MS",
+                     "base retry backoff delay");
+    flags.flagDouble("--stage-deadline-ms", &o.stageDeadlineMs, "MS",
+                     "stage watchdog deadline (0 = off)");
+    flags.flagInt("--pipeline-depth", &o.pipelineDepth, "N",
+                  "async pipeline depth (0 = synchronous)");
+    flags.flagInt("--staleness-bound", &o.stalenessBound, "S",
+                  "memory staleness bound in batches");
+    flags.flagInt("--workers", &o.workers, "N",
+                  "worker shards (1 = unsharded)");
+    flags.flagBool("--worker-procs", &o.workerProcs,
+                   "fork the workers as processes");
+    flags.flagInt("--shards", &o.shards, "K",
+                  "logical shard count (0 = workers)");
+    flags.flagInt("--worker-heartbeat-ms", &o.workerHeartbeatMs, "MS",
+                  "worker reply deadline");
 }
 
 DatasetSpec
@@ -304,30 +213,84 @@ modelByCliName(const std::string &name, size_t dim)
     CASCADE_FATAL("unknown model (see --help)");
 }
 
+/** Peak resident set of this process so far, in MiB. */
+double
+peakRssMb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+    return static_cast<double>(ru.ru_maxrss) / 1024.0; // KiB on Linux
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     CliOptions opts;
-    if (!parseArgs(argc, argv, opts)) {
-        usage(argv[0]);
-        return 2;
+    cli::FlagSet flags("cascade_train",
+                       "train one (dataset, model, policy) "
+                       "configuration and print a summary line");
+    declareFlags(flags, opts);
+    switch (flags.parse(argc, argv)) {
+      case cli::ParseResult::Help: return 0;
+      case cli::ParseResult::Error: return 2;
+      case cli::ParseResult::Ok: break;
     }
 
     if (opts.threads > 0)
         ThreadPool::setGlobalThreads(opts.threads);
 
     DatasetSpec spec = specByName(opts.dataset, opts.scale);
-    Rng rng(opts.seed);
-    EventSequence data = generateDataset(spec, rng);
-    TemporalAdjacency adj(data);
-    const size_t train_end = data.size() * 17 / 20;
+
+    if (!opts.exportLogPath.empty()) {
+        // Converter mode: synthesize straight to the chunked log with
+        // O(chunk) peak memory; the stream is bit-identical to the
+        // in-memory generator at the same (dataset, scale, seed).
+        Rng rng(opts.seed);
+        if (!generateDatasetToLog(spec, rng, opts.exportLogPath)) {
+            std::fprintf(stderr, "cannot write event log %s\n",
+                         opts.exportLogPath.c_str());
+            return 1;
+        }
+        std::printf("exported dataset=%s scale=%.1f events=%zu "
+                    "eventlog=%s rss_peak_mb=%.1f\n",
+                    opts.dataset.c_str(), opts.scale, spec.numEvents,
+                    opts.exportLogPath.c_str(), peakRssMb());
+        return 0;
+    }
+
+    // Data source: a generated resident sequence by default, or the
+    // mmap'd event log (out-of-core) with --eventlog.
+    EventSequence data;
+    std::unique_ptr<VectorEventSource> vec_src;
+    std::unique_ptr<EventSource> log_src;
+    const EventSource *src = nullptr;
+    if (!opts.eventlogPath.empty()) {
+        std::string err;
+        log_src = Dataset::open(opts.eventlogPath,
+                                Dataset::Format::EventLog, &err);
+        if (!log_src) {
+            std::fprintf(stderr, "cannot open event log %s: %s\n",
+                         opts.eventlogPath.c_str(), err.c_str());
+            return 1;
+        }
+        src = log_src.get();
+    } else {
+        Rng rng(opts.seed);
+        data = generateDataset(spec, rng);
+        vec_src = std::make_unique<VectorEventSource>(data);
+        src = vec_src.get();
+    }
+    TemporalAdjacency adj(*src);
+    const size_t train_end = src->size() * 17 / 20;
+    const size_t num_nodes = std::max(spec.numNodes, src->numNodes());
 
     ModelConfig mc = modelByCliName(opts.model, opts.dim);
     if (opts.policy == "tglite")
         mc.dedupEmbed = true;
-    TgnnModel model(mc, spec.numNodes, data.featDim(), opts.seed + 1);
+    TgnnModel model(mc, num_nodes, src->featDim(), opts.seed + 1);
 
     // One preset batch size feeds the batcher, the validation pass and
     // the device calibration; they must agree (see TrainOptions).
@@ -339,9 +302,9 @@ main(int argc, char **argv)
             std::make_unique<FixedBatcher>(train_end, base_batch);
     } else if (opts.policy == "neutronstream") {
         batcher = std::make_unique<NeutronStreamBatcher>(
-            data, base_batch, train_end);
+            *src, base_batch, train_end);
     } else if (opts.policy == "etc") {
-        batcher = std::make_unique<EtcBatcher>(data, base_batch,
+        batcher = std::make_unique<EtcBatcher>(*src, base_batch,
                                                train_end);
     } else if (opts.policy == "cascade" ||
                opts.policy == "cascade-tb" ||
@@ -353,10 +316,11 @@ main(int argc, char **argv)
         if (opts.policy == "cascade-ex")
             copts.chunkSize = std::max<size_t>(1, train_end / 4);
         copts.seed = opts.seed + 2;
-        batcher = std::make_unique<CascadeBatcher>(data, adj, train_end,
+        batcher = std::make_unique<CascadeBatcher>(*src, adj, train_end,
                                                    copts);
     } else {
-        usage(argv[0]);
+        std::fprintf(stderr, "unknown policy '%s' (--help)\n",
+                     opts.policy.c_str());
         return 2;
     }
 
@@ -396,7 +360,7 @@ main(int argc, char **argv)
     }
     DeviceModel device(scaledDeviceParams(base_batch));
 
-    TrainingSession session(model, data, adj, train_end, *batcher,
+    TrainingSession session(model, *src, adj, train_end, *batcher,
                             toptions, &device);
     TrainReport r = session.run();
 
@@ -428,9 +392,10 @@ main(int argc, char **argv)
                 "checkpointing=%s pipeline_depth=%zu staleness=%zu "
                 "max_staleness=%zu pipeline_stall_s=%.4f "
                 "workers=%zu worker_procs=%d shards=%zu "
-                "worker_deaths=%zu worker_rebalances=%zu\n",
+                "worker_deaths=%zu worker_rebalances=%zu "
+                "out_of_core=%d rss_peak_mb=%.1f\n",
                 opts.dataset.c_str(), opts.model.c_str(),
-                opts.policy.c_str(), data.size(), opts.epochs,
+                opts.policy.c_str(), src->size(), opts.epochs,
                 r.totalBatches, r.avgBatchSize, r.wallSeconds,
                 r.deviceSeconds, r.preprocessSeconds,
                 r.deviceUtilization, r.valLoss, r.guardTrips,
@@ -439,7 +404,8 @@ main(int argc, char **argv)
                 opts.pipelineDepth, opts.stalenessBound,
                 r.maxStaleness, r.pipelineStallSeconds, r.workers,
                 r.workerProcs ? 1 : 0, r.shards, r.workerDeaths,
-                r.workerRebalances);
+                r.workerRebalances, src->resident() ? 0 : 1,
+                peakRssMb());
 
     if (!opts.csvPath.empty()) {
         std::FILE *f = std::fopen(opts.csvPath.c_str(), "a");

@@ -158,6 +158,26 @@ cmp "$WORKER_WORK/ref.model" "$WORKER_WORK/killed.model"
 rm -rf "$WORKER_WORK"
 echo "check.sh: worker smoke passed (1 of 4 killed, bit-identical)"
 
+# Serve smoke (mirrors the CI serve-smoke job): train and save a
+# model, export the dataset as an event log, then serve it out-of-core
+# over a unix socket — cascade_serve --smoke round-trips a real
+# protocol client (stats/embed/score/shutdown) in-process. Plus the
+# engine-level bench smoke with its serve==offline exact-match gate.
+cmake --build --preset default -j "$(nproc)" \
+    --target cascade_serve_cli bench_serve cascade_train_cli
+SERVE_WORK="$(mktemp -d)"
+SERVE_ARGS="--dataset wiki --scale 100 --seed 42"
+./build/tools/cascade_train $SERVE_ARGS --epochs 1 --policy cascade \
+    --save "$SERVE_WORK/m.model" >/dev/null
+./build/tools/cascade_train $SERVE_ARGS \
+    --export-eventlog "$SERVE_WORK/wiki.cevl" >/dev/null
+./build/tools/cascade_serve $SERVE_ARGS --load "$SERVE_WORK/m.model" \
+    --eventlog "$SERVE_WORK/wiki.cevl" --socket "$SERVE_WORK/s.sock" \
+    --smoke | grep -q "^serve "
+./build/tools/bench_serve --smoke --out build/BENCH_serve_smoke.json
+rm -rf "$SERVE_WORK"
+echo "check.sh: serve smoke passed (socket round-trip + exact match)"
+
 # Chaos soak: seeded SIGKILLs against the real CLI (some inside the
 # checkpoint write window), every relaunch resumes, worker processes
 # are killed by PID (section 6), and the final trajectory must be

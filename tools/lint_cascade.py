@@ -348,10 +348,12 @@ def rule_unguarded_mutex(root: str) -> List[Violation]:
 
 _DEPRECATED_API_RE = re.compile(
     r"\bmatmul(?:TransA|TransB)?Raw\b"
+    r"|\b(?:save|load)Events(?:Csv|Binary)\b"
 )
 _DEPRECATED_API_ALLOWED = (
     "src/tensor/kernels",  # defining TU + deprecated wrappers
     "src/tensor/tensor",   # declaration site of the wrappers
+    "src/graph/io.",       # declaration site of the loader shims
 )
 
 
@@ -631,8 +633,10 @@ _SELF_TEST_CASES = {
     ),
     "deprecated-api": (
         "src/nn/victim.cc",
-        "void f() { matmulTransARaw(a, b, c); }\n",
-        "void f() { kernels::gemm(a, b, c); }\n",
+        "void f() { matmulTransARaw(a, b, c); }\n"
+        "bool g() { return loadEventsCsv(seq, path); }\n",
+        "void f() { kernels::gemm(a, b, c); }\n"
+        "bool g() { return Dataset::open(path) != nullptr; }\n",
     ),
     "tsan-supp-justified": (
         "tools/tsan.supp",
