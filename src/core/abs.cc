@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hh"
 #include "util/binio.hh"
+#include "util/determinism.hh"
 #include "util/logging.hh"
 
 namespace cascade {
@@ -34,7 +35,12 @@ AdaptiveBatchSensor::profile(const EventSource &src,
         std::unordered_set<size_t> chosen;
         while (chosen.size() < opts_.sampleBatches)
             chosen.insert(rng_.uniformInt(stats.batchCount));
+        // Hash-set order must not leak into the float accumulation
+        // below (a += fold is order-sensitive): profile the sampled
+        // batches in ascending index order.
+        CASCADE_NONDET_OK("contents are sorted before any float fold")
         batches.assign(chosen.begin(), chosen.end());
+        std::sort(batches.begin(), batches.end());
     }
 
     double sum = 0.0;
@@ -54,6 +60,7 @@ AdaptiveBatchSensor::profile(const EventSource &src,
             touched.insert(ev.dst);
         }
         size_t max_endurance = 0;
+        CASCADE_NONDET_OK("max over size_t is commutative")
         for (NodeId node : touched) {
             const auto &entry = table.entry(node);
             const auto lo =

@@ -1,8 +1,8 @@
 #include "graph/stats.hh"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "util/logging.hh"
 
@@ -35,21 +35,31 @@ batchDegreeHistogram(const EventSequence &seq, size_t batch_size,
     BatchDegreeHistogram hist;
     hist.bucketWidth = bucket_width;
 
-    std::unordered_map<NodeId, size_t> degree;
+    // Degree counting via sort + run-length scan: no hash map, so
+    // the traversal order (and with it any future use of this
+    // histogram in trajectory-adjacent reporting) is deterministic
+    // by construction.
+    std::vector<NodeId> touched;
     for (size_t st = 0; st < seq.size(); st += batch_size) {
         const size_t ed = std::min(seq.size(), st + batch_size);
-        degree.clear();
+        touched.clear();
+        touched.reserve(2 * (ed - st));
         for (size_t i = st; i < ed; ++i) {
-            ++degree[seq.events[i].src];
-            ++degree[seq.events[i].dst];
+            touched.push_back(seq.events[i].src);
+            touched.push_back(seq.events[i].dst);
         }
-        for (const auto &[node, d] : degree) {
-            (void)node;
+        std::sort(touched.begin(), touched.end());
+        for (size_t i = 0; i < touched.size();) {
+            size_t j = i + 1;
+            while (j < touched.size() && touched[j] == touched[i])
+                ++j;
+            const size_t d = j - i;
             const size_t bucket = d / bucket_width;
             if (hist.counts.size() <= bucket)
                 hist.counts.resize(bucket + 1, 0);
             ++hist.counts[bucket];
             hist.maxDegree = std::max(hist.maxDegree, d);
+            i = j;
         }
     }
     return hist;

@@ -38,6 +38,7 @@
 #include "graph/event_source.hh"
 #include "obs/metrics.hh"
 #include "tgnn/model.hh"
+#include "util/determinism.hh"
 #include "util/thread_annotations.hh"
 
 namespace cascade {
@@ -106,6 +107,7 @@ class ServeEngine
      * (TgnnModel::advanceState).
      * @return events applied (0 when the stream is drained)
      */
+    CASCADE_TRAJECTORY
     size_t applyEvents(size_t max_events, size_t batch = 128);
 
     const EventSource &data() const { return data_; }

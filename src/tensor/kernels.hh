@@ -38,6 +38,7 @@
 #include <cstdint>
 
 #include "tensor/tensor.hh"
+#include "util/determinism.hh"
 
 namespace cascade {
 
@@ -60,11 +61,14 @@ enum class Trans : uint8_t {
  * the product into it (backward-pass accumulation).
  */
 /** @{ */
+CASCADE_TRAJECTORY
 void gemm(Trans ta, Trans tb, const Tensor &a, const Tensor &b,
           Tensor &out);
+CASCADE_TRAJECTORY
 void gemmAcc(Trans ta, Trans tb, const Tensor &a, const Tensor &b,
              Tensor &out);
 /** Convenience overload returning a pool-backed tensor. */
+CASCADE_TRAJECTORY
 Tensor gemm(Trans ta, Trans tb, const Tensor &a, const Tensor &b);
 /** @} */
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/binio.hh"
+#include "util/determinism.hh"
 #include "util/logging.hh"
 
 namespace cascade {
@@ -75,7 +76,20 @@ Mailbox::saveState(ByteWriter &w) const
     w.u64(slots_);
     w.u64(msgDim_);
     w.u64(boxes_.size());
+    // Checkpoint bytes must not depend on hash-bucket layout: a
+    // save -> load -> save round trip rebuilds boxes_ with a
+    // different insertion history, so raw map order would change the
+    // artifact. Serialize in ascending node order instead.
+    std::vector<NodeId> nodes;
+    nodes.reserve(boxes_.size());
+    CASCADE_NONDET_OK("keys are sorted before any byte is written")
     for (const auto &[node, box] : boxes_) {
+        (void)box;
+        nodes.push_back(node);
+    }
+    std::sort(nodes.begin(), nodes.end());
+    for (NodeId node : nodes) {
+        const NodeBox &box = boxes_.at(node);
         w.u64(static_cast<uint64_t>(node));
         w.u64(box.next);
         w.u64(box.count);
@@ -138,6 +152,7 @@ size_t
 Mailbox::bytes() const
 {
     size_t b = 0;
+    CASCADE_NONDET_OK("size_t addition is commutative; feeds a gauge")
     for (const auto &[node, box] : boxes_) {
         (void)node;
         b += sizeof(NodeBox) + box.ring.size() *

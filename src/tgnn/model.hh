@@ -32,6 +32,7 @@
 #include "nn/linear.hh"
 #include "nn/recurrent.hh"
 #include "nn/time_encoding.hh"
+#include "util/determinism.hh"
 #include "tensor/optim.hh"
 #include "tgnn/config.hh"
 #include "tgnn/mailbox.hh"
@@ -162,6 +163,7 @@ class TgnnModel
      * after a worker death) recompute it bit-identically. The model's
      * internal RNG state is not advanced.
      */
+    CASCADE_TRAJECTORY
     Forward stepForwardWithRng(const EventSource &data,
                                const TemporalAdjacency &adj, size_t st,
                                size_t ed, Rng &rng);
@@ -226,6 +228,7 @@ class TgnnModel
      * bit-identical to the state after the equivalent step() calls
      * with the same batch boundaries.
      */
+    CASCADE_TRAJECTORY
     void advanceState(const EventSource &data, size_t st, size_t ed);
 
     /** Bump the bound model.* counters for one completed step. */

@@ -26,6 +26,7 @@
 
 #include "tensor/variable.hh"
 #include "util/binio.hh"
+#include "util/determinism.hh"
 
 namespace cascade {
 
@@ -69,6 +70,7 @@ bool loadParameters(std::vector<Variable> params,
                     const std::string &path);
 
 /** Convenience wrappers for a whole model. */
+CASCADE_TRAJECTORY
 bool saveModel(const TgnnModel &model, const std::string &path);
 bool loadModel(TgnnModel &model, const std::string &path);
 

@@ -60,6 +60,7 @@
 #include "tgnn/model.hh"
 #include "train/batcher.hh"
 #include "train/trainer.hh"
+#include "util/determinism.hh"
 
 namespace cascade {
 
@@ -146,6 +147,7 @@ struct CheckpointManifest
  * it). Counts `checkpoint.saves` / `checkpoint.write_failures` /
  * `checkpoint.bytes_written` / `checkpoint.rotations`.
  */
+CASCADE_TRAJECTORY
 bool saveCheckpointRotated(const std::string &path,
                            const std::string &payload, size_t keep,
                            obs::MetricsRegistry *metrics = nullptr);

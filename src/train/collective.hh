@@ -31,6 +31,7 @@
 
 #include "tgnn/model.hh"
 #include "util/binio.hh"
+#include "util/determinism.hh"
 
 namespace cascade {
 
@@ -87,6 +88,7 @@ struct MergedUpdate
  * bit-identical for any worker count and completion schedule.
  * Shards with empty slices are simply absent.
  */
+CASCADE_TRAJECTORY
 MergedUpdate mergeShardResults(std::vector<ShardResult> results);
 
 /**
@@ -99,6 +101,7 @@ MergedUpdate mergeShardResults(std::vector<ShardResult> results);
  * Every replica in a worker group applies the SAME MergedUpdate, so
  * bit-identical replicas stay bit-identical.
  */
+CASCADE_TRAJECTORY
 StepResult applyMergedUpdate(TgnnModel &model, const EventSource &data,
                              MergedUpdate &update);
 

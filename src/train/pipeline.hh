@@ -58,6 +58,7 @@
 #include "train/checkpoint.hh"
 #include "train/numeric_guard.hh"
 #include "train/supervisor.hh"
+#include "util/determinism.hh"
 
 namespace cascade {
 
@@ -125,6 +126,7 @@ class TrainingPipeline
     TrainingPipeline(const Env &env, const Config &config);
 
     /** Run until epoch end / rollback / crash / overload. */
+    CASCADE_TRAJECTORY
     PipelineOutcome runSegment();
 
     /** Consecutive over-deadline batches that trigger Overloaded. */

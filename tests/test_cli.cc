@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the shared tools flag parser (tools/cli.{hh,cc}).
+ *
+ * Every cascade tool parses argv through FlagSet, so a regression
+ * here breaks all CLIs at once — yet until now the parser was only
+ * exercised indirectly through the tools' own smoke runs. These
+ * tests pin the contract directly: `--flag value` and `--flag=value`
+ * are equivalent for value flags, boolean flags reject an inline
+ * value, numeric parsing is strict whole-token (range-checked on
+ * narrowing), and every error path returns Error rather than
+ * half-applying argv.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli.hh"
+
+namespace cascade {
+namespace {
+
+using cli::FlagSet;
+using cli::ParseResult;
+
+/** Build a mutable argv from string literals for FlagSet::parse. */
+class Argv
+{
+  public:
+    explicit Argv(std::initializer_list<const char *> args)
+    {
+        storage_.emplace_back("prog");
+        for (const char *a : args)
+            storage_.emplace_back(a);
+        for (std::string &s : storage_)
+            ptrs_.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> storage_;
+    std::vector<char *> ptrs_;
+};
+
+struct Parsed
+{
+    std::string name;
+    double rate = 0.0;
+    size_t epochs = 0;
+    uint16_t port = 0;
+    bool verbose = false;
+    int actions = 0;
+};
+
+FlagSet
+makeFlags(Parsed &p)
+{
+    FlagSet flags("prog", "test program");
+    flags.flagString("--name", &p.name, "S", "a string");
+    flags.flagDouble("--rate", &p.rate, "X", "a double");
+    flags.flagInt("--epochs", &p.epochs, "N", "a size_t");
+    flags.flagInt("--port", &p.port, "N", "a u16");
+    flags.flagBool("--verbose", &p.verbose, "a bool");
+    flags.flagAction("--twice", [&p] { p.actions += 2; }, "an action");
+    return flags;
+}
+
+TEST(FlagSet, SeparateValueForm)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"--name", "wiki", "--rate", "0.5", "--epochs", "3"});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Ok);
+    EXPECT_EQ(p.name, "wiki");
+    EXPECT_DOUBLE_EQ(p.rate, 0.5);
+    EXPECT_EQ(p.epochs, 3u);
+}
+
+TEST(FlagSet, InlineEqualsFormIsEquivalent)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"--name=wiki", "--rate=0.5", "--epochs=3"});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Ok);
+    EXPECT_EQ(p.name, "wiki");
+    EXPECT_DOUBLE_EQ(p.rate, 0.5);
+    EXPECT_EQ(p.epochs, 3u);
+}
+
+TEST(FlagSet, EmptyInlineValueIsAccepted)
+{
+    // `--name=` is an explicit empty string, not a parse error.
+    Parsed p;
+    p.name = "preset";
+    FlagSet flags = makeFlags(p);
+    Argv a({"--name="});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Ok);
+    EXPECT_EQ(p.name, "");
+}
+
+TEST(FlagSet, BoolAndActionFlags)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"--verbose", "--twice", "--twice"});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Ok);
+    EXPECT_TRUE(p.verbose);
+    EXPECT_EQ(p.actions, 4);
+}
+
+TEST(FlagSet, BoolFlagRejectsInlineValue)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"--verbose=1"});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Error);
+    EXPECT_FALSE(p.verbose);
+}
+
+TEST(FlagSet, UnknownFlagIsAnError)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"--nonesuch", "7"});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Error);
+}
+
+TEST(FlagSet, PositionalArgumentIsAnError)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"wiki"});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Error);
+}
+
+TEST(FlagSet, MissingValueAtEndOfArgv)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"--epochs"});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Error);
+}
+
+TEST(FlagSet, MalformedNumbersAreWholeTokenStrict)
+{
+    for (const char *bad : {"3x", "x3", "", " 3", "3 ", "0.5"}) {
+        Parsed p;
+        FlagSet flags = makeFlags(p);
+        Argv a({"--epochs", bad});
+        EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Error)
+            << "accepted malformed integer '" << bad << "'";
+        EXPECT_EQ(p.epochs, 0u);
+    }
+    for (const char *bad : {"0.5.5", "nanx", "", "1e"}) {
+        Parsed p;
+        FlagSet flags = makeFlags(p);
+        Argv a({"--rate", bad});
+        EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Error)
+            << "accepted malformed double '" << bad << "'";
+    }
+}
+
+TEST(FlagSet, NegativeIntegersAreRejected)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"--epochs", "-1"});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Error);
+}
+
+TEST(FlagSet, NarrowingIsRangeChecked)
+{
+    // 70000 fits u64 but not the u16 port target.
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv ok({"--port", "65535"});
+    EXPECT_EQ(flags.parse(ok.argc(), ok.argv()), ParseResult::Ok);
+    EXPECT_EQ(p.port, 65535u);
+
+    Parsed q;
+    FlagSet flags2 = makeFlags(q);
+    Argv over({"--port", "70000"});
+    EXPECT_EQ(flags2.parse(over.argc(), over.argv()),
+              ParseResult::Error);
+    EXPECT_EQ(q.port, 0u);
+}
+
+TEST(FlagSet, ErrorStopsConsumingArgv)
+{
+    // Nothing after the bad token is applied.
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"--epochs", "bogus", "--verbose"});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Error);
+    EXPECT_FALSE(p.verbose);
+}
+
+TEST(FlagSet, HelpShortCircuits)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"--help", "--verbose"});
+    ::testing::internal::CaptureStdout();
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Help);
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("usage: prog"), std::string::npos);
+    EXPECT_FALSE(p.verbose); // parsing stopped at --help
+}
+
+TEST(FlagSet, HelpTextListsEveryFlag)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    const std::string help = flags.helpText();
+    for (const char *name :
+         {"--name", "--rate", "--epochs", "--port", "--verbose",
+          "--twice", "--help"}) {
+        EXPECT_NE(help.find(name), std::string::npos)
+            << "help text is missing " << name;
+    }
+}
+
+TEST(FlagSet, LastOccurrenceWins)
+{
+    Parsed p;
+    FlagSet flags = makeFlags(p);
+    Argv a({"--epochs", "3", "--epochs=7"});
+    EXPECT_EQ(flags.parse(a.argc(), a.argv()), ParseResult::Ok);
+    EXPECT_EQ(p.epochs, 7u);
+}
+
+TEST(ParseStrict, DoubleWholeToken)
+{
+    double v = 0.0;
+    EXPECT_TRUE(cli::parseDoubleStrict("2.5", &v));
+    EXPECT_DOUBLE_EQ(v, 2.5);
+    EXPECT_TRUE(cli::parseDoubleStrict("-1e-3", &v));
+    EXPECT_DOUBLE_EQ(v, -1e-3);
+    EXPECT_FALSE(cli::parseDoubleStrict("2.5x", &v));
+    EXPECT_FALSE(cli::parseDoubleStrict("", &v));
+}
+
+TEST(ParseStrict, Uint64WholeToken)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(cli::parseUint64Strict("18446744073709551615", &v));
+    EXPECT_EQ(v, UINT64_MAX);
+    EXPECT_FALSE(cli::parseUint64Strict("18446744073709551616", &v));
+    EXPECT_FALSE(cli::parseUint64Strict("-1", &v));
+    EXPECT_FALSE(cli::parseUint64Strict("+1", &v));
+    EXPECT_FALSE(cli::parseUint64Strict("1.0", &v));
+}
+
+} // namespace
+} // namespace cascade

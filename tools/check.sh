@@ -7,14 +7,19 @@
 #                             # chaos soak (tools/chaos_soak.sh)
 #   tools/check.sh <regex>    # same, only tests matching regex
 #   tools/check.sh -s [re]    # sanitize preset only (old behaviour)
-#   tools/check.sh -q         # quick lint-only gate (seconds): the
-#                             # cascade linter self-test + tree scan.
-#                             # Intended as a pre-commit hook.
+#   tools/check.sh -q         # quick static gate (seconds): the
+#                             # cascade linter self-test + tree scan,
+#                             # then the determinism checker
+#                             # (tools/detcheck.py) against the
+#                             # existing compile DB or a plain src/
+#                             # tree scan. Intended as a pre-commit
+#                             # hook.
 #
-# Static steps (lint, clang-tidy, the clang analyze preset) run first
-# so the cheap failures arrive before any compile. Steps whose
-# toolchain is missing locally (clang++/clang-tidy on a gcc-only box)
-# are skipped with a notice — CI always runs them.
+# Static steps (lint, clang-tidy, the clang analyze preset, the
+# determinism scan lane) run first so the cheap failures arrive before
+# any compile. Steps whose toolchain is missing locally
+# (clang++/clang-tidy on a gcc-only box) are skipped with a notice —
+# CI always runs them.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -31,7 +36,13 @@ run_lint() {
 
 if [ "${1:-}" = "-q" ]; then
     run_lint
-    echo "check.sh -q: lint clean"
+    # Determinism contract, seconds-fast: self-test the checker, then
+    # walk the trajectory call graph. Reuses an existing compilation
+    # database when one is around; otherwise detcheck falls back to a
+    # plain src/ tree scan, so the gate never needs a configure.
+    python3 tools/detcheck.py --self-test
+    python3 tools/detcheck.py
+    echo "check.sh -q: lint + detcheck clean"
     exit 0
 fi
 
@@ -81,7 +92,14 @@ else
 fi
 
 # ------------------------------------------------------------------
-# Stage 4: runtime suites — default, ASan/UBSan, TSan.
+# Stage 4: determinism scan lane — detcheck self-test, clean-tree
+# pass, seeded-violation negative check, CSA when clang++ exists
+# (tools/scan.sh skips it with a notice otherwise).
+# ------------------------------------------------------------------
+sh tools/scan.sh
+
+# ------------------------------------------------------------------
+# Stage 5: runtime suites — default, ASan/UBSan, TSan.
 # ------------------------------------------------------------------
 run_preset() {
     preset="$1"

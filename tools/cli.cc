@@ -1,5 +1,6 @@
 #include "cli.hh"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,10 @@ namespace cli {
 bool
 parseDoubleStrict(const char *s, double *out)
 {
+    // strtod skips leading whitespace; "whole token" means no such
+    // slack — ' 3' is an error, not 3.
+    if (std::isspace(static_cast<unsigned char>(*s)))
+        return false;
     char *end = nullptr;
     errno = 0;
     const double v = std::strtod(s, &end);
@@ -22,9 +27,12 @@ parseDoubleStrict(const char *s, double *out)
 bool
 parseUint64Strict(const char *s, uint64_t *out)
 {
-    // strtoull silently wraps negatives; reject the sign up front.
-    if (*s == '-' || *s == '+')
+    // strtoull silently wraps negatives and skips leading
+    // whitespace; reject both up front.
+    if (*s == '-' || *s == '+' ||
+        std::isspace(static_cast<unsigned char>(*s))) {
         return false;
+    }
     char *end = nullptr;
     errno = 0;
     const unsigned long long v = std::strtoull(s, &end, 10);

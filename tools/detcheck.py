@@ -1,0 +1,852 @@
+#!/usr/bin/env python3
+"""Determinism checker: machine-enforce the bit-identity contract.
+
+Every bit-identity mode the project ships (any-thread-count GEMM,
+any-worker-count collectives, S=0 pipelining, out-of-core/serve byte
+identity) rests on trajectory-defining code being deterministic.
+Golden tests enforce that dynamically; this tool is the static half
+(DESIGN.md "Determinism contract"): it walks the call graph from
+functions marked ``CASCADE_TRAJECTORY`` (src/util/determinism.hh) and
+flags constructs that can change the trajectory between runs,
+platforms, or standard-library versions — unless waived in place with
+``CASCADE_NONDET_OK("written order-insensitivity argument")``.
+
+Rules
+-----
+nondet-call
+    Calls to nondeterministic primitives in trajectory-reachable
+    code: libc RNG (``rand``/``srand``/``drand48``/...), wall clocks
+    (``time``/``clock``/``gettimeofday``/``*_clock::now``), thread
+    and process identity (``this_thread::get_id``/``pthread_self``/
+    ``getpid``), and ``std::random_device``. Seeded draws go through
+    util/rng.hh; timing belongs to the obs layer.
+
+unordered-iter
+    Iteration (range-for or ``.begin()``) over a variable anywhere
+    declared as ``std::unordered_map``/``std::unordered_set``:
+    hash-bucket order is unspecified and changes across standard
+    libraries and insertion histories. Membership tests and lookups
+    are fine — only *iteration* leaks the order.
+
+addr-order
+    Ordered containers keyed on raw pointers (``std::map<T*, ...>``,
+    ``std::set<T*>``): iteration order is allocation order, which no
+    two runs share.
+
+unordered-reduce
+    ``std::reduce``/``std::transform_reduce`` and OpenMP
+    ``reduction`` clauses: the fold order is unspecified, so float
+    results differ run to run. Fixed-order alternatives:
+    ``std::accumulate``, ``kernels::gemm`` (fixed p-order),
+    ``mergeShardResults`` (fixed shard order).
+
+empty-waiver
+    A ``CASCADE_NONDET_OK("")`` with no reason. The waiver *is* the
+    documentation; an empty one is a silenced finding with no
+    argument.
+
+Engine
+------
+The analysis core is lexical and self-contained: function extents
+are recovered from the (uniformly formatted) source, call edges by
+identifier matching, reachability by BFS from the marked roots. When
+the ``clang.cindex`` bindings are importable (``pip``'s ``libclang``
+or Debian ``python3-clang``), a libclang front-end parses each TU
+from ``compile_commands.json`` instead and supplies exact function
+extents and ``[[clang::annotate]]`` markers; any parse failure falls
+back to the lexical front-end for that TU, so missing or broken
+bindings can never turn the gate off.
+
+The TU list comes from ``compile_commands.json`` (``-p builddir``,
+like clang-tidy); only entries under ``src/`` plus seeded
+``*violation_fixture*`` TUs are analyzed, and all ``src/`` headers
+ride along. Without a database (e.g. the seconds-fast ``check.sh
+-q`` gate before any configure) the tree under ``src/`` is scanned
+directly.
+
+Observability is outside the contract: ``src/obs/``,
+``src/util/timer.hh`` and ``src/util/logging.hh`` are not traversed
+— clocks and thread-ids there feed metrics and traces, never losses,
+gradients, or serialized state.
+
+Self-test: ``detcheck.py --self-test`` builds a synthetic mini-repo
+per rule and asserts each rule fires on the violating variant, stays
+quiet on the clean one, honors waivers, rejects empty waivers, and
+does NOT flag nondeterminism in functions unreachable from any root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+# --------------------------------------------------------------------
+# Shared lexical helpers
+# --------------------------------------------------------------------
+
+CXX_EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp", ".h")
+
+# Files outside the determinism contract: observability may read
+# clocks/thread-ids because nothing it produces feeds the trajectory.
+OBSERVER_PATHS = (
+    "src/obs/",
+    "src/util/timer.hh",
+    "src/util/logging.hh",
+)
+
+_COMMENT_OR_STRING = re.compile(
+    r'"(?:[^"\\]|\\.)*"'
+    r"|'(?:[^'\\]|\\.)*'"
+    r"|//[^\n]*"
+    r"|/\*.*?\*/",
+    re.DOTALL,
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank comments/strings, preserving offsets and line numbers."""
+
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    return _COMMENT_OR_STRING.sub(blank, text)
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    func: str
+    message: str
+
+    def __str__(self) -> str:
+        where = f" in '{self.func}'" if self.func else ""
+        return f"{self.path}:{self.line}: [{self.rule}]{where} {self.message}"
+
+
+class FuncDef(NamedTuple):
+    name: str      # last-component name (no class/namespace prefix)
+    qual: str      # as written at the definition site
+    path: str
+    start: int     # offset of the opening brace in the stripped text
+    end: int       # offset one past the closing brace
+    line: int      # 1-based line of the definition
+
+
+# --------------------------------------------------------------------
+# Function-extent recovery (lexical front-end)
+# --------------------------------------------------------------------
+
+_KEYWORDS = frozenset(
+    """if for while switch return catch sizeof alignof decltype throw
+    new delete static_assert case do else defined co_await co_return
+    co_yield""".split()
+)
+
+# An identifier (possibly ::-qualified, possibly a destructor)
+# directly followed by an open paren.
+_CAND_RE = re.compile(
+    r"([A-Za-z_~][\w]*(?:\s*::\s*[A-Za-z_~][\w]*)*)\s*\("
+)
+
+# Tokens that may legally sit between the parameter list's `)` and
+# the body's `{`: cv/ref/exception/virt specifiers and a ctor-init
+# list (balanced parens; this codebase uses paren-init members).
+_BETWEEN_OK = re.compile(r"[\s\w:&*,()\[\]<>~.]")
+
+
+def _match_forward(code: str, pos: int, open_ch: str, close_ch: str,
+                   limit: int) -> int:
+    """Offset one past the bracket closing `open_ch` at `pos`, or -1."""
+    depth = 0
+    i = pos
+    end = min(len(code), pos + limit)
+    while i < end:
+        c = code[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return -1
+
+
+def find_function_defs(code: str, path: str) -> List[FuncDef]:
+    """Recover function definitions with body extents, lexically.
+
+    A definition is NAME(params) [specifiers] [: ctor-init] { ... }
+    where NAME's last component is not a control-flow keyword and the
+    candidate is not a member access (`.name(` / `->name(`). Bodies
+    of lambdas and control-flow blocks are attributed to the
+    innermost enclosing definition by span containment.
+    """
+    defs: List[FuncDef] = []
+    for m in _CAND_RE.finditer(code):
+        name = re.sub(r"\s+", "", m.group(1))
+        last = name.rsplit("::", 1)[-1].lstrip("~")
+        if last in _KEYWORDS or name.split("::", 1)[0] in _KEYWORDS:
+            continue
+        before = code[: m.start()].rstrip()
+        if before.endswith(".") or before.endswith("->"):
+            continue
+        close = _match_forward(code, m.end() - 1, "(", ")", 20000)
+        if close < 0:
+            continue
+        # Walk from `)` to a `{` through specifier/ctor-init
+        # territory only; a `;`, `=` or anything else is not a
+        # definition.
+        i = close
+        depth = 0
+        body = -1
+        while i < len(code) and i - close < 2000:
+            c = code[i]
+            if depth == 0 and c == "{":
+                body = i
+                break
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and not _BETWEEN_OK.match(c):
+                break
+            i += 1
+        if body < 0:
+            continue
+        end = _match_forward(code, body, "{", "}", 2_000_000)
+        if end < 0:
+            continue
+        line = code.count("\n", 0, m.start()) + 1
+        defs.append(FuncDef(last, name, path, body, end, line))
+    return defs
+
+
+def innermost_def(defs: List[FuncDef], pos: int) -> Optional[FuncDef]:
+    best = None
+    for d in defs:
+        if d.start <= pos < d.end:
+            if best is None or d.start > best.start:
+                best = d
+    return best
+
+
+# --------------------------------------------------------------------
+# Optional libclang front-end. Never required: any failure falls
+# back to the lexical front-end for that TU.
+# --------------------------------------------------------------------
+
+
+def _try_cindex():
+    try:
+        from clang import cindex  # type: ignore
+
+        # Probe that the shared library actually loads.
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def clang_function_defs(cindex, db_entry: dict, code: str,
+                        relpath: str) -> Optional[List[FuncDef]]:
+    """Function extents for one TU via libclang; None on any failure."""
+    try:
+        args = [
+            a
+            for a in db_entry.get("arguments")
+            or db_entry.get("command", "").split()
+        ][1:]
+        # Strip output/input tokens the parser does not want.
+        drop_next = False
+        clean = []
+        for a in args:
+            if drop_next:
+                drop_next = False
+                continue
+            if a in ("-o", "-c"):
+                drop_next = a == "-o"
+                continue
+            if a == db_entry["file"] or a.endswith(relpath):
+                continue
+            clean.append(a)
+        tu = cindex.Index.create().parse(db_entry["file"], clean)
+        kinds = (
+            cindex.CursorKind.FUNCTION_DECL,
+            cindex.CursorKind.CXX_METHOD,
+            cindex.CursorKind.CONSTRUCTOR,
+            cindex.CursorKind.DESTRUCTOR,
+            cindex.CursorKind.FUNCTION_TEMPLATE,
+        )
+        defs: List[FuncDef] = []
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind not in kinds or not cur.is_definition():
+                continue
+            if not cur.location.file or \
+                    os.path.abspath(str(cur.location.file)) != \
+                    os.path.abspath(db_entry["file"]):
+                continue
+            ext = cur.extent
+            start = code.find("{", ext.start.offset)
+            if start < 0 or start >= ext.end.offset:
+                continue
+            defs.append(
+                FuncDef(cur.spelling, cur.spelling, relpath, start,
+                        ext.end.offset, cur.location.line)
+            )
+        return defs
+    except Exception:
+        return None
+
+
+# --------------------------------------------------------------------
+# Rule patterns
+# --------------------------------------------------------------------
+
+_NONDET_CALL_RE = re.compile(
+    r"(?<![\w.])(?:std\s*::\s*)?"
+    r"(?:rand|srand|rand_r|random|srandom|drand48|lrand48|mrand48"
+    r"|time|clock|gettimeofday|clock_gettime|getpid|gettid)\s*\("
+    r"|(?:system|steady|high_resolution)_clock\s*::\s*now"
+    r"|this_thread\s*::\s*get_id"
+    r"|(?<![\w.])pthread_self\s*\("
+    r"|(?<![\w.])random_device\b"
+)
+
+_UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+
+_ADDR_ORDER_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:map|set|multimap|multiset)\s*<\s*"
+    r"(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*"
+)
+
+_UNORDERED_REDUCE_RE = re.compile(
+    r"\bstd\s*::\s*(?:reduce|transform_reduce)\s*\("
+    r"|#\s*pragma\s+omp\b[^\n]*\breduction\s*\("
+)
+
+_WAIVER_RAW_RE = re.compile(r"CASCADE_NONDET_OK\s*\(\s*\"((?:[^\"\\]|\\.)*)\"")
+_TRAJECTORY_RE = re.compile(r"\bCASCADE_TRAJECTORY\b")
+
+
+def _collect_unordered_names(code: str) -> Set[str]:
+    """Names of variables/members declared as unordered containers."""
+    names: Set[str] = set()
+    for m in _UNORDERED_DECL_RE.finditer(code):
+        close = _match_forward(code, m.end() - 1, "<", ">", 2000)
+        if close < 0:
+            continue
+        tail = code[close : close + 200]
+        vm = re.match(r"\s*[&*]?\s*([A-Za-z_]\w*)\s*[;={(,)]", tail)
+        if vm:
+            names.add(vm.group(1))
+    return names
+
+
+def _iteration_sites(code: str, names: Set[str]) -> List[Tuple[int, str]]:
+    """(offset, varname) of range-for / .begin() over `names`."""
+    if not names:
+        return []
+    alt = "|".join(sorted(re.escape(n) for n in names))
+    sites: List[Tuple[int, str]] = []
+    for m in re.finditer(
+        r"for\s*\([^;()]*?:\s*(?:[\w.\->]*?[.>])?(" + alt + r")\s*\)",
+        code,
+    ):
+        sites.append((m.start(), m.group(1)))
+    for m in re.finditer(
+        r"\b(" + alt + r")\s*\.\s*c?r?begin\s*\(", code
+    ):
+        sites.append((m.start(), m.group(1)))
+    return sites
+
+
+# --------------------------------------------------------------------
+# Analysis driver
+# --------------------------------------------------------------------
+
+
+class SourceFile(NamedTuple):
+    relpath: str
+    raw: str
+    code: str
+    defs: List[FuncDef]
+    waivers: Dict[int, str]  # line -> reason
+    unordered: Set[str]
+
+
+def _load_file(root: str, relpath: str, cindex=None,
+               db_entry: Optional[dict] = None) -> SourceFile:
+    with open(os.path.join(root, relpath), encoding="utf-8") as f:
+        raw = f.read()
+    code = strip_comments_and_strings(raw)
+    defs = None
+    if cindex is not None and db_entry is not None:
+        defs = clang_function_defs(cindex, db_entry, code, relpath)
+    if defs is None:
+        defs = find_function_defs(code, relpath)
+    waivers: Dict[int, str] = {}
+    for m in _WAIVER_RAW_RE.finditer(raw):
+        waivers[raw.count("\n", 0, m.start()) + 1] = m.group(1)
+    return SourceFile(relpath, raw, code, defs,
+                      waivers, _collect_unordered_names(code))
+
+
+def _is_observer(relpath: str) -> bool:
+    return any(relpath.startswith(p) for p in OBSERVER_PATHS)
+
+
+def _universe(root: str, build_dir: Optional[str]) -> Tuple[
+        List[str], Dict[str, dict], Optional[str]]:
+    """(relpaths, relpath -> compile-db entry, db path or None)."""
+    entries: Dict[str, dict] = {}
+    db_path = None
+    if build_dir:
+        db_path = os.path.join(build_dir, "compile_commands.json")
+        with open(db_path, encoding="utf-8") as f:
+            db = json.load(f)
+        files: Set[str] = set()
+        for e in db:
+            absf = os.path.abspath(
+                os.path.join(e.get("directory", ""), e["file"])
+            )
+            rel = os.path.relpath(absf, root)
+            if rel.startswith("src" + os.sep) or \
+                    "violation_fixture" in os.path.basename(rel):
+                if rel.endswith(CXX_EXTENSIONS) and os.path.isfile(absf):
+                    files.add(rel)
+                    entries[rel] = dict(e, file=absf)
+    else:
+        files = set()
+        for dirpath, dirnames, filenames in os.walk(
+            os.path.join(root, "src")
+        ):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            for name in filenames:
+                if name.endswith(CXX_EXTENSIONS):
+                    files.add(
+                        os.path.relpath(os.path.join(dirpath, name), root)
+                    )
+    # Headers always ride along: markers and members live there.
+    for dirpath, dirnames, filenames in os.walk(os.path.join(root, "src")):
+        dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+        for name in filenames:
+            if name.endswith((".hh", ".hpp", ".h")):
+                files.add(
+                    os.path.relpath(os.path.join(dirpath, name), root)
+                )
+    return sorted(f for f in files if not _is_observer(f)), entries, db_path
+
+
+def _root_names(sources: List[SourceFile]) -> Set[str]:
+    """Functions marked CASCADE_TRAJECTORY, by last-component name."""
+    roots: Set[str] = set()
+    for src in sources:
+        for m in _TRAJECTORY_RE.finditer(src.code):
+            # Not a marker when it is the macro's own definition.
+            bol = src.code.rfind("\n", 0, m.start()) + 1
+            if src.code[bol : m.start()].lstrip().startswith("#"):
+                continue
+            cand = _CAND_RE.search(src.code, m.end())
+            if cand:
+                name = re.sub(r"\s+", "", cand.group(1))
+                name = name.rsplit("::", 1)[-1]
+                if not name.startswith("CASCADE_"):
+                    roots.add(name)
+    return roots
+
+
+def _call_names(code: str, start: int, end: int) -> Set[str]:
+    names: Set[str] = set()
+    for m in _CAND_RE.finditer(code, start, end):
+        name = re.sub(r"\s+", "", m.group(1)).rsplit("::", 1)[-1]
+        if name not in _KEYWORDS:
+            names.add(name.lstrip("~"))
+    return names
+
+
+def analyze(root: str, build_dir: Optional[str],
+            engine: str = "auto", verbose: bool = False) -> List[Finding]:
+    cindex = _try_cindex() if engine in ("auto", "clang") else None
+    if engine == "clang" and cindex is None:
+        print(
+            "detcheck: --engine clang requested but clang.cindex is "
+            "not importable; using the lexical engine",
+            file=sys.stderr,
+        )
+    files, entries, _ = _universe(root, build_dir)
+    sources = [
+        _load_file(root, f, cindex, entries.get(f)) for f in files
+    ]
+
+    roots = _root_names(sources)
+    by_name: Dict[str, List[Tuple[SourceFile, FuncDef]]] = {}
+    for src in sources:
+        for d in src.defs:
+            by_name.setdefault(d.name, []).append((src, d))
+
+    # Reachability over last-component call names (overapproximate:
+    # colliding names pull in every same-named definition, which errs
+    # on the side of checking more code).
+    reached: Set[Tuple[str, int]] = set()
+    reached_names: Set[str] = set()
+    work = [n for n in roots if n in by_name]
+    missing_roots = roots - set(by_name)
+    while work:
+        name = work.pop()
+        if name in reached_names:
+            continue
+        reached_names.add(name)
+        for src, d in by_name.get(name, []):
+            reached.add((src.relpath, d.start))
+            for callee in _call_names(src.code, d.start, d.end):
+                if callee in by_name and callee not in reached_names:
+                    work.append(callee)
+
+    global_unordered: Set[str] = set()
+    for src in sources:
+        global_unordered |= src.unordered
+
+    findings: List[Finding] = []
+    waived = 0
+
+    def waived_at(src: SourceFile, line: int) -> Optional[str]:
+        """Waiver on the same line or the line directly above."""
+        for ln in (line, line - 1):
+            if ln in src.waivers:
+                return src.waivers[ln]
+        return None
+
+    def report(src: SourceFile, off: int, rule: str, func: str,
+               message: str) -> None:
+        nonlocal waived
+        line = src.code.count("\n", 0, off) + 1
+        reason = waived_at(src, line)
+        if reason is not None:
+            if not reason.strip():
+                findings.append(
+                    Finding(src.relpath, line, "empty-waiver", func,
+                            "CASCADE_NONDET_OK with an empty reason — "
+                            "the waiver IS the documentation")
+                )
+            else:
+                waived += 1
+                if verbose:
+                    print(
+                        f"waived: {src.relpath}:{line}: [{rule}] "
+                        f"{message} — {reason}"
+                    )
+            return
+        findings.append(Finding(src.relpath, line, rule, func, message))
+
+    for src in sources:
+        spans = [
+            d for d in src.defs if (src.relpath, d.start) in reached
+        ]
+        for d in spans:
+            body = src.code[d.start : d.end]
+            base = d.start
+            for m in _NONDET_CALL_RE.finditer(body):
+                report(
+                    src, base + m.start(), "nondet-call", d.qual,
+                    f"nondeterministic primitive "
+                    f"'{m.group(0).strip().rstrip('(').strip()}' in "
+                    "trajectory-reachable code; seeded draws go "
+                    "through util/rng.hh, timing through the obs "
+                    "layer, or waive with CASCADE_NONDET_OK(reason)",
+                )
+            for off, var in _iteration_sites(body, global_unordered):
+                report(
+                    src, base + off, "unordered-iter", d.qual,
+                    f"iteration over unordered container '{var}' — "
+                    "hash-bucket order is unspecified; iterate a "
+                    "sorted copy, restructure to avoid iterating, or "
+                    "waive with a written order-insensitivity "
+                    "argument",
+                )
+            for m in _ADDR_ORDER_RE.finditer(body):
+                report(
+                    src, base + m.start(), "addr-order", d.qual,
+                    "ordered container keyed on a raw pointer — "
+                    "iteration order is allocation order, which no "
+                    "two runs share; key on a stable id instead",
+                )
+            for m in _UNORDERED_REDUCE_RE.finditer(body):
+                report(
+                    src, base + m.start(), "unordered-reduce", d.qual,
+                    "reduction with unspecified fold order in "
+                    "trajectory-reachable code; use std::accumulate, "
+                    "kernels::gemm, or the fixed-shard-order merge",
+                )
+
+    # Roots that never resolved to a definition are a rot signal: a
+    # rename would silently shrink the checked surface to nothing.
+    for name in sorted(missing_roots):
+        findings.append(
+            Finding("<roots>", 0, "missing-root", "",
+                    f"CASCADE_TRAJECTORY root '{name}' has no "
+                    "definition in the scanned universe — marker and "
+                    "definition drifted apart")
+        )
+    if verbose:
+        print(
+            f"detcheck: {len(files)} files, "
+            f"{sum(len(s.defs) for s in sources)} functions, "
+            f"{len(roots)} roots, {len(reached)} reachable, "
+            f"{waived} waived"
+        )
+    return findings
+
+
+# --------------------------------------------------------------------
+# Self-test
+# --------------------------------------------------------------------
+
+_ST_PRELUDE = """
+#define CASCADE_TRAJECTORY
+#define CASCADE_NONDET_OK(reason)
+"""
+
+# (name, trajectory-reachable violating body, clean counterpart, rule)
+_ST_CASES = [
+    (
+        "nondet-call",
+        _ST_PRELUDE + """
+CASCADE_TRAJECTORY
+int stepRoot() { return helper(); }
+int helper() { return rand(); }
+""",
+        _ST_PRELUDE + """
+CASCADE_TRAJECTORY
+int stepRoot() { return helper(); }
+int helper() { return 4; }
+""",
+    ),
+    (
+        "unordered-iter",
+        _ST_PRELUDE + """
+#include <unordered_map>
+std::unordered_map<int, int> table_;
+CASCADE_TRAJECTORY
+int stepRoot() {
+    int s = 0;
+    for (const auto &kv : table_) s += kv.second;
+    return s;
+}
+""",
+        _ST_PRELUDE + """
+#include <unordered_map>
+std::unordered_map<int, int> table_;
+CASCADE_TRAJECTORY
+int stepRoot() { return table_.count(3); }
+""",
+    ),
+    (
+        "addr-order",
+        _ST_PRELUDE + """
+#include <map>
+CASCADE_TRAJECTORY
+int stepRoot() {
+    std::map<int *, int> by_addr;
+    return by_addr.size();
+}
+""",
+        _ST_PRELUDE + """
+#include <map>
+CASCADE_TRAJECTORY
+int stepRoot() {
+    std::map<long, int> by_id;
+    return by_id.size();
+}
+""",
+    ),
+    (
+        "unordered-reduce",
+        _ST_PRELUDE + """
+#include <numeric>
+CASCADE_TRAJECTORY
+float stepRoot(float *a, float *b) {
+    return std::reduce(a, b, 0.0f);
+}
+""",
+        _ST_PRELUDE + """
+#include <numeric>
+CASCADE_TRAJECTORY
+float stepRoot(float *a, float *b) {
+    return std::accumulate(a, b, 0.0f);
+}
+""",
+    ),
+    (
+        "empty-waiver",
+        _ST_PRELUDE + """
+CASCADE_TRAJECTORY
+int stepRoot() {
+    CASCADE_NONDET_OK("")
+    return rand();
+}
+""",
+        _ST_PRELUDE + """
+CASCADE_TRAJECTORY
+int stepRoot() {
+    CASCADE_NONDET_OK("seed constant under test harness")
+    return rand();
+}
+""",
+    ),
+]
+
+_ST_UNREACHABLE = _ST_PRELUDE + """
+CASCADE_TRAJECTORY
+int stepRoot() { return 1; }
+int deadCode() { return rand(); }
+"""
+
+_ST_WAIVER_SILENCES = _ST_PRELUDE + """
+#include <unordered_map>
+std::unordered_map<int, int> table_;
+CASCADE_TRAJECTORY
+int stepRoot() {
+    int s = 0;
+    CASCADE_NONDET_OK("int addition is commutative")
+    for (const auto &kv : table_) s += kv.second;
+    return s;
+}
+"""
+
+
+def self_test() -> int:
+    import shutil
+    import tempfile
+
+    failures: List[str] = []
+
+    def run_case(content: str) -> List[Finding]:
+        tmp = tempfile.mkdtemp(prefix="detcheck_selftest_")
+        try:
+            os.makedirs(os.path.join(tmp, "src"))
+            with open(
+                os.path.join(tmp, "src", "victim.cc"), "w",
+                encoding="utf-8",
+            ) as f:
+                f.write(content)
+            return analyze(tmp, None, engine="text")
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    for name, bad, good in _ST_CASES:
+        fired = [v for v in run_case(bad) if v.rule == name]
+        if not fired:
+            failures.append(f"{name}: did not fire on violation")
+        clean = [v for v in run_case(good) if v.rule == name]
+        if clean:
+            failures.append(
+                f"{name}: false positive on clean input: {clean[0]}"
+            )
+
+    leaked = [v for v in run_case(_ST_UNREACHABLE)
+              if v.rule == "nondet-call"]
+    if leaked:
+        failures.append(
+            f"call-graph: flagged unreachable code: {leaked[0]}"
+        )
+    unwaived = run_case(_ST_WAIVER_SILENCES)
+    if unwaived:
+        failures.append(
+            f"waiver: justified CASCADE_NONDET_OK did not silence: "
+            f"{unwaived[0]}"
+        )
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"self-test OK: {len(_ST_CASES)} rules fire and stay quiet, "
+        "waivers honored, unreachable code ignored"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------
+
+
+def find_repo_root(start: str) -> str:
+    d = os.path.abspath(start)
+    while True:
+        if os.path.isdir(os.path.join(d, ".git")) or os.path.isfile(
+            os.path.join(d, "CMakePresets.json")
+        ):
+            return d
+        parent = os.path.dirname(d)
+        if parent == d:
+            return os.path.abspath(start)
+        d = parent
+
+
+def main(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "-p",
+        "--build-dir",
+        default=None,
+        help="build dir containing compile_commands.json (like "
+        "clang-tidy -p); default: build/ if present, else a plain "
+        "src/ tree scan",
+    )
+    ap.add_argument("--root", default=None, help="repo root")
+    ap.add_argument(
+        "--engine",
+        choices=("auto", "text", "clang"),
+        default="auto",
+        help="front-end: 'clang' uses clang.cindex when importable, "
+        "'text' forces the lexical engine, 'auto' prefers clang and "
+        "falls back (default)",
+    )
+    ap.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print waived findings (with reasons) and a summary",
+    )
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every rule on synthetic fixtures")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or find_repo_root(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    build_dir = args.build_dir
+    if build_dir is None:
+        default_db = os.path.join(root, "build", "compile_commands.json")
+        if os.path.isfile(default_db):
+            build_dir = os.path.join(root, "build")
+    elif not os.path.isfile(
+        os.path.join(build_dir, "compile_commands.json")
+    ):
+        print(
+            f"detcheck: no compile_commands.json under {build_dir}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = analyze(root, build_dir, args.engine, args.verbose)
+    for v in sorted(findings):
+        print(v)
+    if findings:
+        print(f"detcheck: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

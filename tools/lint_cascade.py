@@ -98,6 +98,22 @@ unchecked-io
     the return; a deliberate discard carries
     ``cascade-lint: allow(unchecked-io)`` on the same line.
 
+unordered-iteration
+    Iteration (range-for or ``.begin()``) over a variable the same
+    file declares as ``std::unordered_map``/``std::unordered_set`` is
+    forbidden in ``src/``: hash-bucket order is unspecified, varies
+    across standard libraries and insertion histories, and is exactly
+    how a trajectory stops being bit-identical. Lookups and
+    membership tests are fine — only iteration leaks the order.
+    Iterate a sorted copy, restructure, or waive in place with
+    ``CASCADE_NONDET_OK("order-insensitivity argument")``
+    (util/determinism.hh) on the same line or the line above; the
+    escape comment ``cascade-lint: allow(unordered-iteration)`` also
+    works. This is the seconds-fast same-file rule; the cross-file,
+    call-graph-aware version is ``tools/detcheck.py`` (the scan
+    lane), which also checks reachability from CASCADE_TRAJECTORY
+    roots.
+
 Self-test: ``lint_cascade.py --self-test`` runs each rule against a
 synthetic violating file and exits non-zero unless every rule fires
 (and does not fire on a clean counterpart).
@@ -584,6 +600,56 @@ def rule_unchecked_io(root: str) -> List[Violation]:
     return out
 
 
+# Unordered-container declarations and iteration over them. The lazy
+# body match backtracks across nested template arguments
+# (`unordered_map<K, std::vector<V>>`) until the variable name parses.
+_UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*"
+    r"[&*]?\s*([A-Za-z_]\w*)\s*[;={]"
+)
+_ALLOW_UNORDERED_ITER = "cascade-lint: allow(unordered-iteration)"
+_NONDET_WAIVER = "CASCADE_NONDET_OK"
+
+
+def rule_unordered_iteration(root: str) -> List[Violation]:
+    out = []
+    for path in iter_repo_files(root, ["src"]):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        code = strip_comments_and_strings(text)
+        names = set(_UNORDERED_DECL_RE.findall(code))
+        if not names:
+            continue
+        alt = "|".join(sorted(re.escape(n) for n in names))
+        iter_re = re.compile(
+            r"for\s*\([^;()]*?:\s*(?:[\w.\->]*?[.>])?(" + alt + r")\s*\)"
+            r"|\b(" + alt + r")\s*\.\s*c?r?begin\s*\("
+        )
+        for m in iter_re.finditer(code):
+            line_no = code.count("\n", 0, m.start()) + 1
+            context = raw_lines[max(0, line_no - 2) : line_no]
+            if any(
+                _ALLOW_UNORDERED_ITER in ln or _NONDET_WAIVER in ln
+                for ln in context
+            ):
+                continue
+            var = m.group(1) or m.group(2)
+            out.append(
+                Violation(
+                    rel(root, path),
+                    line_no,
+                    "unordered-iteration",
+                    f"iteration over unordered container '{var}' — "
+                    "hash-bucket order is unspecified and breaks "
+                    "bit-identical trajectories; iterate a sorted "
+                    "copy, or waive with CASCADE_NONDET_OK(reason) / "
+                    f"'{_ALLOW_UNORDERED_ITER}'",
+                )
+            )
+    return out
+
+
 RULES: List[tuple[str, Callable[[str], List[Violation]]]] = [
     ("determinism-clock", rule_determinism_clock),
     ("hot-path-iostream", rule_hot_path_iostream),
@@ -595,6 +661,7 @@ RULES: List[tuple[str, Callable[[str], List[Violation]]]] = [
     ("cv-wait-predicate", rule_cv_wait_predicate),
     ("raw-process", rule_raw_process),
     ("unchecked-io", rule_unchecked_io),
+    ("unordered-iteration", rule_unordered_iteration),
 ]
 
 
@@ -658,6 +725,24 @@ _SELF_TEST_CASES = {
         "src/train/victim.cc",
         "void f() { std::rename(a, b); }\n",
         "void f() { if (std::rename(a, b) != 0) die(); }\n",
+    ),
+    "unordered-iteration": (
+        "src/tgnn/victim.cc",
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, float> table_;\n"
+        "float f() {\n"
+        "    float s = 0;\n"
+        "    for (const auto &kv : table_) s += kv.second;\n"
+        "    return s;\n"
+        "}\n",
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, float> table_;\n"
+        "float f() {\n"
+        "    float s = 0;\n"
+        "    CASCADE_NONDET_OK(\"sorted before any fold\")\n"
+        "    for (const auto &kv : table_) s += kv.second;\n"
+        "    return s + table_.count(3);\n"
+        "}\n",
     ),
 }
 
